@@ -1,0 +1,29 @@
+"""Benchmark-suite configuration shared by the bench_* modules.
+
+Kept separate from ``conftest.py`` (which only defines pytest fixtures) so
+benchmark modules can import plain helpers without relying on conftest being
+importable as a module.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["bench_rows", "latency_rows", "latency_vectors"]
+
+
+def bench_rows() -> int:
+    """Row count per dataset for the compression benchmarks."""
+    return int(os.environ.get("CORRA_BENCH_ROWS", "200000"))
+
+
+def latency_rows() -> int:
+    """Row count for the latency benchmarks (at most one data block)."""
+    return int(
+        os.environ.get("CORRA_BENCH_LATENCY_ROWS", str(min(bench_rows(), 200_000)))
+    )
+
+
+def latency_vectors() -> int:
+    """Selection vectors per selectivity (the paper uses 10)."""
+    return int(os.environ.get("CORRA_BENCH_VECTORS", "5"))

@@ -1,0 +1,137 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not figures from the paper; they quantify the alternatives the
+paper discusses and rejects (or leaves implicit):
+
+* outlier region vs. widening the code (the §2.3 sentinel discussion);
+* raw/zig-zag difference packing vs. FOR over the differences (DFOR);
+* block-size sensitivity of the hierarchical metadata overhead;
+* greedy configuration search vs. exhaustive enumeration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CompressionPlan,
+    DiffEncodedColumn,
+    DiffEncodingOptimizer,
+    NonHierarchicalEncoding,
+    TableCompressor,
+    optimal_configuration_exhaustive,
+)
+
+
+class TestOutlierRegionAblation:
+    """Outlier region (paper design) vs. one wide code stream."""
+
+    @pytest.fixture(scope="class")
+    def wild_pair(self):
+        rng = np.random.default_rng(77)
+        n = 200_000
+        reference = rng.integers(0, 1 << 20, size=n, dtype=np.int64)
+        target = reference + rng.integers(0, 64, size=n, dtype=np.int64)
+        wild = rng.choice(n, size=n // 500, replace=False)  # 0.2 % wild rows
+        target[wild] += 1 << 34
+        return target, reference
+
+    def test_with_outlier_region(self, benchmark, wild_pair):
+        target, reference = wild_pair
+        column = benchmark(
+            DiffEncodedColumn, target, reference, "ref", 6
+        )
+        assert column.bit_width <= 6
+
+    def test_without_outlier_region(self, benchmark, wild_pair):
+        target, reference = wild_pair
+        column = benchmark(DiffEncodedColumn, target, reference, "ref", None)
+        assert column.bit_width > 30
+
+    def test_outlier_region_is_smaller(self, wild_pair):
+        target, reference = wild_pair
+        with_region = DiffEncodedColumn(target, reference, "ref", outlier_bit_budget=6)
+        without = DiffEncodedColumn(target, reference, "ref")
+        assert with_region.size_bytes < 0.5 * without.size_bytes
+        # And it stays lossless.
+        assert np.array_equal(
+            with_region.decode_with_reference({"ref": reference}), target
+        )
+
+
+class TestFrameAblation:
+    """Raw/zig-zag packing (paper layout) vs. FOR over the differences (DFOR)."""
+
+    def test_raw_packing(self, benchmark, tpch_dates):
+        encoder = NonHierarchicalEncoding(use_frame=False)
+        column = benchmark(
+            encoder.encode,
+            tpch_dates.column("l_commitdate"),
+            tpch_dates.column("l_receiptdate"),
+            "l_receiptdate",
+        )
+        assert column.uses_zigzag  # commit - receipt has both signs
+
+    def test_framed_packing(self, benchmark, tpch_dates):
+        encoder = NonHierarchicalEncoding(use_frame=True)
+        column = benchmark(
+            encoder.encode,
+            tpch_dates.column("l_commitdate"),
+            tpch_dates.column("l_receiptdate"),
+            "l_receiptdate",
+        )
+        assert column.uses_frame
+
+    def test_frame_never_larger(self, tpch_dates):
+        for target, reference in (
+            ("l_commitdate", "l_shipdate"),
+            ("l_shipdate", "l_receiptdate"),
+            ("l_commitdate", "l_receiptdate"),
+        ):
+            framed = NonHierarchicalEncoding(use_frame=True).encode(
+                tpch_dates.column(target), tpch_dates.column(reference), reference
+            )
+            raw = NonHierarchicalEncoding(use_frame=False).encode(
+                tpch_dates.column(target), tpch_dates.column(reference), reference
+            )
+            assert framed.size_bytes <= raw.size_bytes
+
+
+class TestBlockSizeAblation:
+    """Hierarchical metadata is per block; smaller blocks repeat it more often."""
+
+    @pytest.mark.parametrize("block_size", [25_000, 100_000, 1_000_000])
+    def test_block_size_compression(self, benchmark, dmv, block_size):
+        plan = (
+            CompressionPlan.builder(dmv.schema)
+            .hierarchical_encode("zip_code", reference="city")
+            .build()
+        )
+        compressor = TableCompressor(plan, block_size=block_size)
+        relation = benchmark(compressor.compress, dmv)
+        assert relation.n_rows == dmv.n_rows
+
+    def test_larger_blocks_compress_better(self, dmv):
+        plan = (
+            CompressionPlan.builder(dmv.schema)
+            .hierarchical_encode("zip_code", reference="city")
+            .build()
+        )
+        small = TableCompressor(plan, block_size=25_000).compress(dmv)
+        large = TableCompressor(plan, block_size=1_000_000).compress(dmv)
+        assert large.column_size("zip_code") <= small.column_size("zip_code")
+
+
+class TestOptimizerAblation:
+    """Greedy selection vs. exhaustive enumeration (validated equal in tests)."""
+
+    def test_greedy(self, benchmark, tpch_dates):
+        optimizer = DiffEncodingOptimizer()
+        graph = optimizer.build_graph(tpch_dates)
+        benchmark(optimizer.optimize_graph, graph)
+
+    def test_exhaustive(self, benchmark, tpch_dates):
+        optimizer = DiffEncodingOptimizer()
+        graph = optimizer.build_graph(tpch_dates)
+        benchmark(optimal_configuration_exhaustive, graph)

@@ -1,0 +1,57 @@
+"""Benchmark for Figure 2: the optimal diff-encoding configuration search.
+
+Times (a) building the candidate graph (one size estimate per ordered column
+pair) and (b) the greedy selection itself, and checks that the chosen
+configuration matches the paper: ``l_shipdate`` is the reference for both
+other date columns, and the total saving scales to 82.5 MB at SF 10.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import optimizer_figure2
+from repro.core import DiffEncodingOptimizer, optimal_configuration_exhaustive
+from repro.datasets import TpchLineitemGenerator
+
+from _bench_config import bench_rows
+
+
+class TestFigure2:
+    def test_graph_construction(self, benchmark, tpch_dates):
+        """Time the pairwise size-estimate graph of Fig. 2."""
+        optimizer = DiffEncodingOptimizer()
+        graph = benchmark(optimizer.build_graph, tpch_dates)
+        assert len(graph.edge_sizes) == 6
+
+    def test_greedy_selection(self, benchmark, tpch_dates):
+        """Time the greedy assignment; it must match the paper's configuration."""
+        optimizer = DiffEncodingOptimizer()
+        graph = optimizer.build_graph(tpch_dates)
+        config = benchmark(optimizer.optimize_graph, graph)
+        assert config.assignments == {
+            "l_commitdate": "l_shipdate",
+            "l_receiptdate": "l_shipdate",
+        }
+
+    def test_greedy_matches_exhaustive(self, benchmark, tpch_dates):
+        """The greedy result must equal the exhaustive optimum on this workload."""
+        optimizer = DiffEncodingOptimizer()
+        graph = optimizer.build_graph(tpch_dates)
+        exhaustive = benchmark(optimal_configuration_exhaustive, graph)
+        greedy = optimizer.optimize_graph(graph)
+        assert greedy.total_size == exhaustive.total_size
+
+    def test_saving_scales_to_paper(self, tpch_dates, n_rows):
+        generator = TpchLineitemGenerator()
+        _, config = DiffEncodingOptimizer().optimize(tpch_dates)
+        scaled_mb = config.total_saving * (generator.paper_rows / n_rows) / 1e6
+        assert scaled_mb == pytest.approx(82.5, rel=0.03)
+
+
+def test_print_full_figure2():
+    """Regenerate and print the Fig. 2 graph and chosen configuration."""
+    result = optimizer_figure2(n_rows=min(bench_rows(), 300_000))
+    print()
+    print(result.render())
+    assert result.metrics["total_saving_scaled_mb"] == pytest.approx(82.5, rel=0.05)

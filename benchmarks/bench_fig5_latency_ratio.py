@@ -1,0 +1,95 @@
+"""Benchmark for Figure 5: query latency ratio over the single-column baseline.
+
+Four series, as in the paper: {non-hierarchical, hierarchical} x {query on the
+diff-encoded column only, query on both columns}, swept over the paper's
+selectivities.  The timed benchmark targets are the individual materialisation
+calls; the ratio series is printed by the final reporting test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import (
+    PAPER_SELECTIVITIES,
+    generate_selection_vectors,
+    latency_ratio,
+    materialize_columns,
+    sweep_query_latency,
+)
+
+from _bench_config import latency_vectors
+
+
+def _vector(relation, selectivity):
+    return generate_selection_vectors(relation.n_rows, selectivity, 1, seed=11)[0]
+
+
+class TestNonHierarchicalMaterialisation:
+    """Fig. 5 left panels: TPC-H (l_shipdate, l_receiptdate)."""
+
+    @pytest.mark.parametrize("selectivity", [0.01, 0.1, 1.0])
+    def test_diff_encoded_column(self, benchmark, tpch_latency_relations, selectivity):
+        _, corra, _ = tpch_latency_relations
+        vector = _vector(corra, selectivity)
+        benchmark(materialize_columns, corra, ["l_receiptdate"], vector)
+
+    @pytest.mark.parametrize("selectivity", [0.01, 0.1, 1.0])
+    def test_both_columns(self, benchmark, tpch_latency_relations, selectivity):
+        _, corra, _ = tpch_latency_relations
+        vector = _vector(corra, selectivity)
+        benchmark(
+            materialize_columns, corra, ["l_shipdate", "l_receiptdate"], vector
+        )
+
+    @pytest.mark.parametrize("selectivity", [0.01, 0.1, 1.0])
+    def test_baseline_diff_encoded_column(self, benchmark, tpch_latency_relations, selectivity):
+        baseline, _, _ = tpch_latency_relations
+        vector = _vector(baseline, selectivity)
+        benchmark(materialize_columns, baseline, ["l_receiptdate"], vector)
+
+
+class TestHierarchicalMaterialisation:
+    """Fig. 5 right panels: LDBC (countryid, ip)."""
+
+    @pytest.mark.parametrize("selectivity", [0.01, 0.1])
+    def test_diff_encoded_column(self, benchmark, ldbc_latency_relations, selectivity):
+        _, corra, _ = ldbc_latency_relations
+        vector = _vector(corra, selectivity)
+        benchmark(materialize_columns, corra, ["ip"], vector)
+
+    @pytest.mark.parametrize("selectivity", [0.01, 0.1])
+    def test_both_columns(self, benchmark, ldbc_latency_relations, selectivity):
+        _, corra, _ = ldbc_latency_relations
+        vector = _vector(corra, selectivity)
+        benchmark(materialize_columns, corra, ["countryid", "ip"], vector)
+
+    @pytest.mark.parametrize("selectivity", [0.01, 0.1])
+    def test_baseline_diff_encoded_column(self, benchmark, ldbc_latency_relations, selectivity):
+        baseline, _, _ = ldbc_latency_relations
+        vector = _vector(baseline, selectivity)
+        benchmark(materialize_columns, baseline, ["ip"], vector)
+
+
+def test_print_figure5_ratios(tpch_latency_relations, ldbc_latency_relations):
+    """Print the full ratio series and sanity-check its shape against the paper."""
+    n_vectors = latency_vectors()
+    print()
+    series = (
+        ("non-hierarchical", tpch_latency_relations, ["l_receiptdate"],
+         ["l_shipdate", "l_receiptdate"]),
+        ("hierarchical", ldbc_latency_relations, ["ip"], ["countryid", "ip"]),
+    )
+    for name, (baseline, corra, _), diff_columns, both_columns in series:
+        for label, columns in (("diff-encoded column", diff_columns),
+                               ("both columns", both_columns)):
+            ours = sweep_query_latency(corra, columns, PAPER_SELECTIVITIES, n_vectors)
+            base = sweep_query_latency(baseline, columns, PAPER_SELECTIVITIES, n_vectors)
+            ratios = latency_ratio(ours, base)
+            rendered = ", ".join(f"{s}:{r:.2f}x" for s, r in ratios.items())
+            print(f"[figure5] {name} / {label}: {rendered}")
+            # Shape checks: overhead bounded, and querying both columns costs
+            # at most about as much as querying the diff-encoded column alone.
+            assert max(ratios.values()) < 4.0
+            if label == "both columns":
+                assert min(ratios.values()) < 1.5

@@ -1,0 +1,73 @@
+"""Benchmark for Figure 6: absolute latency zoom-in, non-hierarchical encoding.
+
+Three configurations (uncompressed, single-column compression, Corra) at the
+paper's four zoom selectivities {0.005, 0.01, 0.05, 0.1}, for the
+diff-encoded column alone and for both columns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import (
+    PAPER_ZOOM_SELECTIVITIES,
+    generate_selection_vectors,
+    materialize_columns,
+    sweep_query_latency,
+)
+
+from _bench_config import latency_vectors
+
+CONFIGURATIONS = ("uncompressed", "single_column", "corra")
+
+
+def _relation(relations, configuration):
+    baseline, corra, uncompressed = relations
+    return {
+        "uncompressed": uncompressed,
+        "single_column": baseline,
+        "corra": corra,
+    }[configuration]
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@pytest.mark.parametrize("selectivity", [0.005, 0.1])
+def test_diff_encoded_column(benchmark, tpch_latency_relations, configuration, selectivity):
+    relation = _relation(tpch_latency_relations, configuration)
+    vector = generate_selection_vectors(relation.n_rows, selectivity, 1, seed=23)[0]
+    benchmark(materialize_columns, relation, ["l_receiptdate"], vector)
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@pytest.mark.parametrize("selectivity", [0.005, 0.1])
+def test_both_columns(benchmark, tpch_latency_relations, configuration, selectivity):
+    relation = _relation(tpch_latency_relations, configuration)
+    vector = generate_selection_vectors(relation.n_rows, selectivity, 1, seed=23)[0]
+    benchmark(
+        materialize_columns, relation, ["l_shipdate", "l_receiptdate"], vector
+    )
+
+
+def test_print_figure6(tpch_latency_relations):
+    """Print the absolute-latency bars of Fig. 6 for all three configurations."""
+    baseline, corra, uncompressed = tpch_latency_relations
+    n_vectors = latency_vectors()
+    print()
+    for query_label, columns in (
+        ("diff-enc. column", ["l_receiptdate"]),
+        ("both columns", ["l_shipdate", "l_receiptdate"]),
+    ):
+        for config_label, relation in (
+            ("Uncompressed", uncompressed),
+            ("Single-column compression", baseline),
+            ("Non-hierarchical encoding (ours)", corra),
+        ):
+            sweep = sweep_query_latency(
+                relation, columns, PAPER_ZOOM_SELECTIVITIES, n_vectors
+            )
+            rendered = ", ".join(
+                f"{s}:{sweep.measurement(s).mean_milliseconds():.2f}ms"
+                for s in sweep.selectivities
+            )
+            print(f"[figure6] {query_label} / {config_label}: {rendered}")
+    assert True

@@ -1,0 +1,72 @@
+"""Benchmark for Figure 7: absolute latency zoom-in, hierarchical encoding.
+
+Same structure as Fig. 6 but for the LDBC (countryid, ip) pair: the paper's
+point is that hierarchical decoding pays an extra (un-prefetchable) lookup
+into the group-values array, so — unlike non-hierarchical encoding — the
+overhead is not fully hidden even when both columns are queried.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import (
+    PAPER_ZOOM_SELECTIVITIES,
+    generate_selection_vectors,
+    materialize_columns,
+    sweep_query_latency,
+)
+
+from _bench_config import latency_vectors
+
+CONFIGURATIONS = ("uncompressed", "single_column", "corra")
+
+
+def _relation(relations, configuration):
+    baseline, corra, uncompressed = relations
+    return {
+        "uncompressed": uncompressed,
+        "single_column": baseline,
+        "corra": corra,
+    }[configuration]
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@pytest.mark.parametrize("selectivity", [0.005, 0.1])
+def test_diff_encoded_column(benchmark, ldbc_latency_relations, configuration, selectivity):
+    relation = _relation(ldbc_latency_relations, configuration)
+    vector = generate_selection_vectors(relation.n_rows, selectivity, 1, seed=29)[0]
+    benchmark(materialize_columns, relation, ["ip"], vector)
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@pytest.mark.parametrize("selectivity", [0.005, 0.1])
+def test_both_columns(benchmark, ldbc_latency_relations, configuration, selectivity):
+    relation = _relation(ldbc_latency_relations, configuration)
+    vector = generate_selection_vectors(relation.n_rows, selectivity, 1, seed=29)[0]
+    benchmark(materialize_columns, relation, ["countryid", "ip"], vector)
+
+
+def test_print_figure7(ldbc_latency_relations):
+    """Print the absolute-latency bars of Fig. 7 for all three configurations."""
+    baseline, corra, uncompressed = ldbc_latency_relations
+    n_vectors = latency_vectors()
+    print()
+    for query_label, columns in (
+        ("diff-enc. column", ["ip"]),
+        ("both columns", ["countryid", "ip"]),
+    ):
+        for config_label, relation in (
+            ("Uncompressed", uncompressed),
+            ("Single-column compression", baseline),
+            ("Hierarchical encoding (ours)", corra),
+        ):
+            sweep = sweep_query_latency(
+                relation, columns, PAPER_ZOOM_SELECTIVITIES, n_vectors
+            )
+            rendered = ", ".join(
+                f"{s}:{sweep.measurement(s).mean_milliseconds():.2f}ms"
+                for s in sweep.selectivities
+            )
+            print(f"[figure7] {query_label} / {config_label}: {rendered}")
+    assert True

@@ -1,0 +1,48 @@
+"""Benchmark for Table 1: the arithmetic-rule mixture of Taxi ``total_amount``.
+
+Times the rule-matching pass of the multi-reference encoder and checks that
+the observed mixture reproduces the paper's probabilities (31.19 % / 62.44 % /
+2.69 % / 3.33 % plus 0.32 % outliers) within sampling error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import rule_mixture_table1
+from repro.core import MultiReferenceEncoding
+from repro.datasets import taxi_multi_reference_config
+
+from _bench_config import bench_rows
+
+PAPER_MIXTURE = {
+    "A": 0.3119,
+    "A + B": 0.6244,
+    "A + C": 0.0269,
+    "A + B + C": 0.0333,
+}
+
+
+def test_rule_matching_benchmark(benchmark, taxi_monetary):
+    """Time the full rule-matching + outlier-extraction encode pass."""
+    config = taxi_multi_reference_config()
+    references = {
+        name: taxi_monetary.column(name) for name in config.reference_columns
+    }
+    encoder = MultiReferenceEncoding(config)
+    column = benchmark(encoder.encode, taxi_monetary.column("total_amount"), references)
+
+    statistics = column.rule_statistics()
+    observed = dict(zip(statistics.labels, statistics.probabilities))
+    for label, probability in PAPER_MIXTURE.items():
+        assert observed[label] == pytest.approx(probability, abs=0.02)
+    assert statistics.outlier_probability == pytest.approx(0.0032, abs=0.002)
+    assert statistics.codes == ["00", "01", "10", "11"]
+
+
+def test_print_full_table1():
+    """Regenerate and print the complete Table 1 (not a timed benchmark)."""
+    result = rule_mixture_table1(n_rows=min(bench_rows(), 300_000))
+    print()
+    print(result.render())
+    assert len(result.rows) == 5

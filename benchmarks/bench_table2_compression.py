@@ -1,0 +1,120 @@
+"""Benchmark for Table 2: space saving over single-column encoding schemes.
+
+Each benchmark times one row of Table 2 (encoding the diff-encoded column
+with its Corra scheme) and asserts that the measured saving rate over the
+best single-column baseline reproduces the paper's direction and rough
+magnitude.  The full reproduced table is printed once at the end of the
+module so a ``--benchmark-only`` run also shows the paper-style rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SingleColumnBaseline
+from repro.bench import compression_table2
+from repro.core import (
+    HierarchicalEncoding,
+    MultiReferenceEncoding,
+    NonHierarchicalEncoding,
+)
+from repro.datasets import taxi_multi_reference_config
+
+from _bench_config import bench_rows
+
+
+def _saving(baseline_bytes: int, corra_bytes: int) -> float:
+    return 1.0 - corra_bytes / baseline_bytes
+
+
+def _baseline(table, column):
+    return SingleColumnBaseline().select_column(table, column).size_bytes
+
+
+class TestTable2NonHierarchical:
+    def test_lineitem_receiptdate(self, benchmark, tpch_dates):
+        """Row 1: l_receiptdate w.r.t. l_shipdate (paper: 58.3 %)."""
+        baseline = _baseline(tpch_dates, "l_receiptdate")
+        encoder = NonHierarchicalEncoding()
+        column = benchmark(
+            encoder.encode,
+            tpch_dates.column("l_receiptdate"),
+            tpch_dates.column("l_shipdate"),
+            "l_shipdate",
+        )
+        assert _saving(baseline, column.size_bytes) == pytest.approx(0.583, abs=0.02)
+
+    def test_lineitem_commitdate(self, benchmark, tpch_dates):
+        """Row 2: l_commitdate w.r.t. l_shipdate (paper: 33.3 %)."""
+        baseline = _baseline(tpch_dates, "l_commitdate")
+        encoder = NonHierarchicalEncoding()
+        column = benchmark(
+            encoder.encode,
+            tpch_dates.column("l_commitdate"),
+            tpch_dates.column("l_shipdate"),
+            "l_shipdate",
+        )
+        assert _saving(baseline, column.size_bytes) == pytest.approx(0.333, abs=0.02)
+
+    def test_taxi_dropoff(self, benchmark, taxi):
+        """Row 3: dropoff w.r.t. pickup (paper: 30.6 %)."""
+        baseline = _baseline(taxi, "dropoff")
+        encoder = NonHierarchicalEncoding()
+        column = benchmark(
+            encoder.encode, taxi.column("dropoff"), taxi.column("pickup"), "pickup"
+        )
+        assert _saving(baseline, column.size_bytes) == pytest.approx(0.306, abs=0.08)
+
+
+class TestTable2Hierarchical:
+    def test_dmv_zip_code(self, benchmark, dmv):
+        """Row 4: zip_code grouped by city (paper: 53.7 %)."""
+        baseline = _baseline(dmv, "zip_code")
+        encoder = HierarchicalEncoding()
+        column = benchmark(
+            encoder.encode, dmv.column("zip_code"), dmv.column("city"), "city"
+        )
+        saving = _saving(baseline, column.size_bytes)
+        assert 0.30 < saving < 0.70
+
+    def test_dmv_city(self, benchmark, dmv):
+        """Row 5: city grouped by state (paper: 1.8 % — essentially no saving)."""
+        baseline = _baseline(dmv, "city")
+        encoder = HierarchicalEncoding()
+        column = benchmark(
+            encoder.encode, dmv.column("city"), dmv.column("state"), "state"
+        )
+        assert abs(_saving(baseline, column.size_bytes)) < 0.10
+
+    def test_message_ip(self, benchmark, ldbc):
+        """Row 6: ip grouped by countryid (paper: 17.1 %)."""
+        baseline = _baseline(ldbc, "ip")
+        encoder = HierarchicalEncoding()
+        column = benchmark(
+            encoder.encode, ldbc.column("ip"), ldbc.column("countryid"), "countryid"
+        )
+        saving = _saving(baseline, column.size_bytes)
+        assert 0.05 < saving < 0.35
+
+
+class TestTable2MultiReference:
+    def test_taxi_total_amount(self, benchmark, taxi_monetary):
+        """Row 7: total_amount w.r.t. groups A/B/C (paper: 85.16 %)."""
+        config = taxi_multi_reference_config()
+        references = {
+            name: taxi_monetary.column(name) for name in config.reference_columns
+        }
+        baseline = _baseline(taxi_monetary, "total_amount")
+        encoder = MultiReferenceEncoding(config)
+        column = benchmark(
+            encoder.encode, taxi_monetary.column("total_amount"), references
+        )
+        assert _saving(baseline, column.size_bytes) == pytest.approx(0.8516, abs=0.06)
+
+
+def test_print_full_table2():
+    """Regenerate and print the complete Table 2 (not a timed benchmark)."""
+    result = compression_table2(n_rows=min(bench_rows(), 300_000))
+    print()
+    print(result.render())
+    assert len(result.rows) == 7

@@ -1,0 +1,72 @@
+"""Benchmark for Table 3: Corra vs the independent C3 comparator.
+
+Times C3's scheme-selection pass per column pair and checks the comparison's
+shape: Corra and C3 land within a few percentage points of each other on the
+pairs where the paper reports them to be on par.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import C3Selector, SingleColumnBaseline
+from repro.bench import c3_comparison_table3
+from repro.core import NonHierarchicalEncoding
+
+from _bench_config import bench_rows
+
+
+def _rates(table, reference, target):
+    baseline = SingleColumnBaseline().select_column(table, target).size_bytes
+    corra = NonHierarchicalEncoding().encode(
+        table.column(target), table.column(reference), reference
+    ).size_bytes
+    c3 = C3Selector().best(table, target, reference).size_bytes
+    return 1 - corra / baseline, 1 - c3 / baseline
+
+
+class TestTable3Pairs:
+    def test_commitdate_pair(self, benchmark, tpch_dates):
+        """(shipdate, commitdate): paper reports 33.3 % vs 31.5 %."""
+        selector = C3Selector()
+        best = benchmark(selector.best, tpch_dates, "l_commitdate", "l_shipdate")
+        corra_rate, c3_rate = _rates(tpch_dates, "l_shipdate", "l_commitdate")
+        assert corra_rate == pytest.approx(0.333, abs=0.02)
+        assert c3_rate == pytest.approx(corra_rate, abs=0.05)
+        assert best.scheme in {"DFOR", "Numerical"}
+
+    def test_receiptdate_pair(self, benchmark, tpch_dates):
+        """(shipdate, receiptdate): paper reports 58.3 % vs 56.1 %."""
+        selector = C3Selector()
+        benchmark(selector.best, tpch_dates, "l_receiptdate", "l_shipdate")
+        corra_rate, c3_rate = _rates(tpch_dates, "l_shipdate", "l_receiptdate")
+        assert corra_rate == pytest.approx(0.583, abs=0.02)
+        assert c3_rate == pytest.approx(corra_rate, abs=0.05)
+
+    def test_taxi_timestamp_pair(self, benchmark, taxi):
+        """(pickup, dropoff): paper reports 30.6 % vs 52.9 %."""
+        pair = taxi.select(["pickup", "dropoff"])
+        selector = C3Selector()
+        benchmark(selector.best, pair, "dropoff", "pickup")
+        corra_rate, c3_rate = _rates(pair, "pickup", "dropoff")
+        assert corra_rate > 0.2
+        # Our affine-fit Numerical cannot recover the paper's 52.9 %, but C3
+        # must never lose to Corra on this pair (it can always fall back to DFOR).
+        assert c3_rate >= corra_rate - 0.01
+
+    def test_dmv_city_zip_pair(self, benchmark, dmv):
+        """(city, zip-code): paper reports 53.7 % vs 59.1 %."""
+        selector = C3Selector()
+        best = benchmark(selector.best, dmv, "zip_code", "city")
+        baseline = SingleColumnBaseline().select_column(dmv, "zip_code").size_bytes
+        c3_rate = 1 - best.size_bytes / baseline
+        assert c3_rate > 0.25
+        assert best.scheme in {"1-to-1", "Hierarchical"}
+
+
+def test_print_full_table3():
+    """Regenerate and print the complete Table 3 (not a timed benchmark)."""
+    result = c3_comparison_table3(n_rows=min(bench_rows(), 300_000))
+    print()
+    print(result.render())
+    assert len(result.rows) == 4

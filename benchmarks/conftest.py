@@ -1,0 +1,127 @@
+"""Shared fixtures and configuration for the benchmark suite.
+
+Every table and figure of the paper has one ``bench_*.py`` file here (see the
+per-experiment index in DESIGN.md).  The row count is controlled by the
+``CORRA_BENCH_ROWS`` environment variable (default 200,000) so the same
+targets can be run at laptop scale or cranked up towards the paper's dataset
+sizes; saving rates are row-count independent, latency results are reported
+as ratios.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import SingleColumnBaseline, UncompressedBaseline
+from repro.core import CompressionPlan, TableCompressor
+from repro.datasets import (
+    DmvGenerator,
+    LdbcMessageGenerator,
+    TaxiGenerator,
+    TpchLineitemGenerator,
+    taxi_multi_reference_config,
+)
+
+# Make the sibling _bench_config module importable regardless of how pytest
+# was invoked (rootdir vs. benchmarks/ as the working directory).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _bench_config import bench_rows, latency_rows, latency_vectors  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def n_rows() -> int:
+    return bench_rows()
+
+
+@pytest.fixture(scope="session")
+def n_latency_rows() -> int:
+    return latency_rows()
+
+
+@pytest.fixture(scope="session")
+def n_vectors() -> int:
+    return latency_vectors()
+
+
+# -- dataset fixtures (generated once per session) ------------------------------
+
+@pytest.fixture(scope="session")
+def tpch_dates(n_rows):
+    return TpchLineitemGenerator().generate_dates_only(n_rows, seed=42)
+
+
+@pytest.fixture(scope="session")
+def taxi(n_rows):
+    return TaxiGenerator().generate(n_rows, seed=42)
+
+
+@pytest.fixture(scope="session")
+def taxi_monetary(taxi):
+    columns = list(taxi_multi_reference_config().reference_columns) + ["total_amount"]
+    return taxi.select(columns)
+
+
+@pytest.fixture(scope="session")
+def dmv(n_rows):
+    return DmvGenerator().generate_pair_only(n_rows, seed=42)
+
+
+@pytest.fixture(scope="session")
+def ldbc(n_rows):
+    return LdbcMessageGenerator().generate_pair_only(n_rows, seed=42)
+
+
+# -- relation fixtures for the latency figures -----------------------------------
+
+@pytest.fixture(scope="session")
+def tpch_latency_relations(n_latency_rows):
+    """(baseline, corra, uncompressed) relations for the TPC-H date pair."""
+    table = TpchLineitemGenerator().generate(n_latency_rows, seed=42).select(
+        ["l_shipdate", "l_receiptdate"]
+    )
+    baseline = SingleColumnBaseline().compress(table)
+    plan = (
+        CompressionPlan.builder(table.schema)
+        .diff_encode("l_receiptdate", reference="l_shipdate")
+        .build()
+    )
+    corra = TableCompressor(plan).compress(table)
+    uncompressed = UncompressedBaseline().compress(table)
+    return baseline, corra, uncompressed
+
+
+@pytest.fixture(scope="session")
+def ldbc_latency_relations(n_latency_rows):
+    """(baseline, corra, uncompressed) relations for the LDBC (countryid, ip) pair."""
+    table = LdbcMessageGenerator().generate_pair_only(n_latency_rows, seed=42)
+    baseline = SingleColumnBaseline().compress(table)
+    plan = (
+        CompressionPlan.builder(table.schema)
+        .hierarchical_encode("ip", reference="countryid")
+        .build()
+    )
+    corra = TableCompressor(plan).compress(table)
+    uncompressed = UncompressedBaseline().compress(table)
+    return baseline, corra, uncompressed
+
+
+@pytest.fixture(scope="session")
+def taxi_latency_relations(n_latency_rows):
+    """(baseline, corra) relations for the Taxi monetary columns (Fig. 8)."""
+    table = TaxiGenerator().generate_monetary_only(n_latency_rows, seed=42)
+    baseline = SingleColumnBaseline().compress(table)
+    plan = (
+        CompressionPlan.builder(table.schema)
+        .multi_reference_encode("total_amount", taxi_multi_reference_config())
+        .build()
+    )
+    corra = TableCompressor(plan).compress(table)
+    return baseline, corra

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Reproduce Fig. 2: find the optimal diff-encoding configuration.
+
+The optimizer measures, for every ordered pair of date columns, how large the
+first column would be if diff-encoded w.r.t. the second (the edge weights of
+Fig. 2), then greedily picks reference assignments.  On TPC-H's lineitem the
+result is the paper's configuration: ``l_shipdate`` stays vertical and serves
+as the reference for both ``l_commitdate`` (60 MB at SF 10) and
+``l_receiptdate`` (37.5 MB), saving 82.5 MB over bit-packing each column
+individually.
+
+Run with::
+
+    python examples/optimal_configuration.py [n_rows]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import DiffEncodingOptimizer, TpchLineitemGenerator
+from repro.core.optimizer import optimal_configuration_exhaustive
+
+
+def main(n_rows: int = 200_000) -> None:
+    generator = TpchLineitemGenerator()
+    dates = generator.generate_dates_only(n_rows)
+    scale = generator.paper_rows / n_rows  # report sizes scaled to SF 10
+
+    optimizer = DiffEncodingOptimizer()
+    graph, config = optimizer.optimize(dates)
+
+    print("candidate graph (sizes scaled to SF 10, as in Fig. 2):")
+    for column in graph.columns:
+        print(f"  vertex {column:<15} {graph.vertical_sizes[column] * scale / 1e6:6.1f} MB")
+    for diff_column, reference, size, saving in graph.as_rows():
+        print(
+            f"  edge   {diff_column:>13} -> {reference:<13} "
+            f"{size * scale / 1e6:6.1f} MB (saves {saving * scale / 1e6:5.1f} MB)"
+        )
+
+    print("\ngreedy configuration:")
+    print("  " + config.describe().replace("\n", "\n  "))
+    print(f"\ntotal saving scaled to SF 10: {config.total_saving * scale / 1e6:.1f} MB "
+          "(paper: 82.5 MB)")
+
+    exhaustive = optimal_configuration_exhaustive(graph)
+    assert exhaustive.total_size == config.total_size
+    print("greedy result verified optimal by exhaustive enumeration")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200_000)

@@ -1,0 +1,12 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in fully
+offline environments where the ``wheel`` package (needed by PEP 660 editable
+builds on older setuptools) is unavailable: pip then falls back to the legacy
+``setup.py develop`` code path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Baselines: best single-column configuration, uncompressed storage, and C3."""
+
+from .c3 import C3SchemeEstimate, C3Selector, dfor_size, numerical_size, one_to_one_size
+from .single_column import BaselineReport, SingleColumnBaseline
+from .uncompressed import UncompressedBaseline
+
+__all__ = [
+    "SingleColumnBaseline",
+    "BaselineReport",
+    "UncompressedBaseline",
+    "C3Selector",
+    "C3SchemeEstimate",
+    "dfor_size",
+    "numerical_size",
+    "one_to_one_size",
+]

@@ -1,0 +1,76 @@
+"""The paper's baseline: best single-column scheme per column.
+
+"We compare Corra to a baseline that employs the best single-column encoding
+scheme for each column.  We use FOR- or Dict-encoding schemes, followed by a
+bit-packing."  This module wraps that policy into a convenient object that
+compresses whole tables into relations and reports per-column sizes, so the
+benchmarks can put baseline and Corra numbers side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.plan import CompressionPlan, TableCompressor
+from ..encodings.selector import BestOfSelector, SelectionResult
+from ..storage.block import DEFAULT_BLOCK_SIZE
+from ..storage.relation import Relation
+from ..storage.table import Table
+
+__all__ = ["SingleColumnBaseline", "BaselineReport"]
+
+
+@dataclass
+class BaselineReport:
+    """Per-column baseline sizes plus the chosen scheme names."""
+
+    column_sizes: dict[str, int]
+    scheme_names: dict[str, str]
+    n_rows: int
+
+    @property
+    def total_size(self) -> int:
+        return sum(self.column_sizes.values())
+
+    def size_of(self, column: str) -> int:
+        return self.column_sizes[column]
+
+    def scheme_of(self, column: str) -> str:
+        return self.scheme_names[column]
+
+
+class SingleColumnBaseline:
+    """Best-of FOR/Dict (+bit-packing) baseline over whole tables."""
+
+    def __init__(self, selector: BestOfSelector | None = None,
+                 block_size: int = DEFAULT_BLOCK_SIZE):
+        self._selector = selector if selector is not None else BestOfSelector()
+        self._block_size = block_size
+
+    @property
+    def selector(self) -> BestOfSelector:
+        return self._selector
+
+    def select_column(self, table: Table, column: str) -> SelectionResult:
+        """Best vertical encoding of one column (whole-table granularity)."""
+        return self._selector.select(table.column(column), table.dtype(column))
+
+    def report(self, table: Table) -> BaselineReport:
+        """Baseline sizes and scheme choices for every column of ``table``."""
+        sizes = {}
+        schemes = {}
+        for spec in table.schema:
+            result = self.select_column(table, spec.name)
+            sizes[spec.name] = result.size_bytes
+            schemes[spec.name] = result.scheme_name
+        return BaselineReport(
+            column_sizes=sizes, scheme_names=schemes, n_rows=table.n_rows
+        )
+
+    def compress(self, table: Table) -> Relation:
+        """Compress ``table`` with the baseline policy, block by block."""
+        plan = CompressionPlan.vertical_only(table.schema)
+        compressor = TableCompressor(
+            plan, selector=self._selector, block_size=self._block_size
+        )
+        return compressor.compress(table)

@@ -1,0 +1,38 @@
+"""The "uncompressed" configuration of the paper's latency experiments.
+
+Figures 6 and 7 include a bar where "the query is directly executed over the
+uncompressed column(s)": values are stored verbatim (plain encoding), so a
+positional fetch needs no decoding work at all.  This module builds such a
+relation so the latency benchmarks can include that third configuration.
+"""
+
+from __future__ import annotations
+
+from ..core.plan import CompressionPlan, PlanBuilder, TableCompressor
+from ..storage.block import DEFAULT_BLOCK_SIZE
+from ..storage.relation import Relation
+from ..storage.table import Table
+
+__all__ = ["UncompressedBaseline"]
+
+
+class UncompressedBaseline:
+    """Store every column with the plain (verbatim) encoding."""
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE):
+        self._block_size = block_size
+
+    def plan(self, table: Table) -> CompressionPlan:
+        builder = PlanBuilder(table.schema)
+        for name in table.schema.names:
+            builder.vertical(name, "plain")
+        return builder.build()
+
+    def compress(self, table: Table) -> Relation:
+        """Build a relation whose blocks hold plain-encoded columns."""
+        compressor = TableCompressor(self.plan(table), block_size=self._block_size)
+        return compressor.compress(table)
+
+    def report_sizes(self, table: Table) -> dict[str, int]:
+        """Uncompressed per-column sizes (what Table 2 calls the raw size)."""
+        return {name: table.uncompressed_size(name) for name in table.schema.names}

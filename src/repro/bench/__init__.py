@@ -1,0 +1,36 @@
+"""Experiment harness: one function per table/figure, plus text reporting."""
+
+from .experiments import (
+    DEFAULT_COMPRESSION_ROWS,
+    DEFAULT_LATENCY_ROWS,
+    Table2Row,
+    c3_comparison_table3,
+    compression_table2,
+    latency_figure5,
+    latency_figure8,
+    latency_zoom_figure6,
+    latency_zoom_figure7,
+    optimizer_figure2,
+    rule_mixture_table1,
+)
+from .harness import ExperimentResult, format_saving_rate, format_table
+from .report import all_experiments, run_experiments
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "format_saving_rate",
+    "Table2Row",
+    "compression_table2",
+    "rule_mixture_table1",
+    "c3_comparison_table3",
+    "optimizer_figure2",
+    "latency_figure5",
+    "latency_zoom_figure6",
+    "latency_zoom_figure7",
+    "latency_figure8",
+    "all_experiments",
+    "run_experiments",
+    "DEFAULT_COMPRESSION_ROWS",
+    "DEFAULT_LATENCY_ROWS",
+]

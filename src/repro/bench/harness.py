@@ -1,0 +1,61 @@
+"""Shared infrastructure for the experiment harness.
+
+The benchmark targets in ``benchmarks/`` and the runnable examples both go
+through this module: experiment functions in :mod:`repro.bench.experiments`
+return plain dataclasses, and the helpers here render them as aligned text
+tables that mirror the rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["format_table", "ExperimentResult", "format_saving_rate"]
+
+
+def format_saving_rate(rate: float) -> str:
+    """Render a fractional saving rate the way the paper prints it (58.3 %)."""
+    return f"{rate * 100:.1f}%"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for row_index, row in enumerate(cells):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if row_index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """A named experiment outcome: a headline table plus free-form metrics."""
+
+    experiment_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def add_row(self, *values) -> None:
+        self.rows.append(tuple(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Readable text block: title, table, notes."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

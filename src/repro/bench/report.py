@@ -1,0 +1,78 @@
+"""Rendering experiment results into paper-style text reports.
+
+``python -m repro.bench.report`` runs every experiment at a modest scale and
+prints the reproduced tables and figure series, which is the quickest way to
+eyeball the reproduction against the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Sequence
+
+from .experiments import (
+    c3_comparison_table3,
+    compression_table2,
+    latency_figure5,
+    latency_figure8,
+    latency_zoom_figure6,
+    latency_zoom_figure7,
+    optimizer_figure2,
+    rule_mixture_table1,
+)
+from .harness import ExperimentResult
+
+__all__ = ["all_experiments", "run_experiments", "main"]
+
+
+def all_experiments() -> dict[str, Callable[..., ExperimentResult]]:
+    """Mapping from experiment id to the function that regenerates it."""
+    return {
+        "table1": rule_mixture_table1,
+        "table2": compression_table2,
+        "table3": c3_comparison_table3,
+        "figure2": optimizer_figure2,
+        "figure5": latency_figure5,
+        "figure6": latency_zoom_figure6,
+        "figure7": latency_zoom_figure7,
+        "figure8": latency_figure8,
+    }
+
+
+def run_experiments(ids: Sequence[str] | None = None,
+                    n_rows: int | None = None) -> list[ExperimentResult]:
+    """Run the selected experiments (all of them by default)."""
+    registry = all_experiments()
+    selected = list(registry) if ids is None else list(ids)
+    results = []
+    for experiment_id in selected:
+        function = registry[experiment_id]
+        if n_rows is None:
+            results.append(function())
+        else:
+            results.append(function(n_rows=n_rows))
+    return results
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures on synthetic data"
+    )
+    parser.add_argument(
+        "experiments", nargs="*", default=None,
+        help="experiment ids to run (default: all); e.g. table2 figure5",
+    )
+    parser.add_argument(
+        "--rows", type=int, default=None,
+        help="row count per dataset (default: each experiment's default)",
+    )
+    args = parser.parse_args(argv)
+    ids = args.experiments if args.experiments else None
+    for result in run_experiments(ids, args.rows):
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,237 @@
+"""Command-line interface for the Corra reproduction.
+
+Four subcommands cover the workflows a downstream user needs without writing
+Python:
+
+``datasets``
+    List the synthetic datasets or export one as CSV.
+``compress``
+    Generate a dataset, apply a compression plan (vertical baseline,
+    hand-picked horizontal encodings, or fully automatic detection), and print
+    per-column sizes and saving rates.
+``detect``
+    Print the ranked correlation suggestions for a dataset.
+``experiments``
+    Regenerate the paper's tables and figures (delegates to
+    :mod:`repro.bench.report`).
+
+Invoke as ``python -m repro.cli <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Sequence
+
+from .baselines import SingleColumnBaseline
+from .bench.harness import format_table
+from .bench.report import main as experiments_main
+from .core import CompressionPlan, CorrelationDetector, TableCompressor
+from .core.rule_mining import mine_multi_reference_config
+from .datasets import available_datasets, dataset_by_name
+from .errors import CorraError
+from .storage import DEFAULT_BLOCK_SIZE
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="corra",
+        description="Corra: correlation-aware column compression (reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets = subparsers.add_parser(
+        "datasets", help="list the synthetic datasets or export one as CSV"
+    )
+    datasets.add_argument("name", nargs="?", help="dataset to export (omit to list)")
+    datasets.add_argument("--rows", type=int, default=None, help="rows to generate")
+    datasets.add_argument("--seed", type=int, default=42)
+    datasets.add_argument("--output", default="-", help="CSV output path (default stdout)")
+    datasets.add_argument("--limit", type=int, default=20,
+                          help="rows to write when exporting to stdout")
+
+    compress = subparsers.add_parser(
+        "compress", help="compress a dataset and report per-column sizes"
+    )
+    compress.add_argument("name", help="dataset name (see `datasets`)")
+    compress.add_argument("--rows", type=int, default=None)
+    compress.add_argument("--seed", type=int, default=42)
+    compress.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
+    compress.add_argument(
+        "--plan", choices=("baseline", "auto"), default="auto",
+        help="'baseline' = best single-column scheme per column; "
+             "'auto' = correlation detection + mined horizontal encodings",
+    )
+    compress.add_argument(
+        "--diff-encode", action="append", default=[], metavar="TARGET:REFERENCE",
+        help="add an explicit non-hierarchical encoding (may be repeated)",
+    )
+    compress.add_argument(
+        "--hierarchical", action="append", default=[], metavar="TARGET:REFERENCE",
+        help="add an explicit hierarchical encoding (may be repeated)",
+    )
+    compress.add_argument(
+        "--mine-rules-for", default=None, metavar="TARGET",
+        help="mine a multi-reference configuration for TARGET and use it",
+    )
+
+    detect = subparsers.add_parser(
+        "detect", help="print ranked correlation suggestions for a dataset"
+    )
+    detect.add_argument("name", help="dataset name (see `datasets`)")
+    detect.add_argument("--rows", type=int, default=None)
+    detect.add_argument("--seed", type=int, default=42)
+    detect.add_argument("--min-saving-rate", type=float, default=0.05)
+    detect.add_argument("--top", type=int, default=15, help="suggestions to print")
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument("ids", nargs="*", default=None,
+                             help="experiment ids (e.g. table2 figure5); default all")
+    experiments.add_argument("--rows", type=int, default=None)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# subcommand implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    if args.name is None:
+        rows = [
+            (name, f"{generator.paper_rows:,}", generator.default_rows)
+            for name, generator in sorted(available_datasets().items())
+        ]
+        print(format_table(("dataset", "paper rows", "default rows"), rows))
+        return 0
+
+    generator = dataset_by_name(args.name)
+    table = generator.generate(args.rows, seed=args.seed)
+    if args.output == "-":
+        writer = csv.writer(sys.stdout)
+        limit = min(args.limit, table.n_rows)
+    else:
+        handle = open(args.output, "w", newline="")
+        writer = csv.writer(handle)
+        limit = table.n_rows
+    writer.writerow(table.column_names)
+    columns = [table.column(name) for name in table.column_names]
+    for i in range(limit):
+        writer.writerow([column[i] for column in columns])
+    if args.output != "-":
+        handle.close()
+        print(f"wrote {limit:,} rows to {args.output}")
+    return 0
+
+
+def _parse_pair(spec: str) -> tuple[str, str]:
+    if ":" not in spec:
+        raise CorraError(
+            f"expected TARGET:REFERENCE, got {spec!r}"
+        )
+    target, reference = spec.split(":", 1)
+    return target, reference
+
+
+def _build_plan(args: argparse.Namespace, table) -> CompressionPlan:
+    explicit = args.diff_encode or args.hierarchical or args.mine_rules_for
+    if args.plan == "baseline" and not explicit:
+        return CompressionPlan.vertical_only(table.schema)
+
+    if explicit:
+        builder = CompressionPlan.builder(table.schema)
+        for spec in args.diff_encode:
+            target, reference = _parse_pair(spec)
+            builder.diff_encode(target, reference)
+        for spec in args.hierarchical:
+            target, reference = _parse_pair(spec)
+            builder.hierarchical_encode(target, reference)
+        if args.mine_rules_for:
+            config, result = mine_multi_reference_config(table, args.mine_rules_for)
+            print("mined multi-reference configuration:")
+            print("  " + result.describe().replace("\n", "\n  "))
+            builder.multi_reference_encode(args.mine_rules_for, config)
+        return builder.build()
+
+    suggestions = CorrelationDetector().suggest(table)
+    return CompressionPlan.from_suggestions(table.schema, suggestions)
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    generator = dataset_by_name(args.name)
+    table = generator.generate(args.rows, seed=args.seed)
+    baseline = SingleColumnBaseline().report(table)
+    plan = _build_plan(args, table)
+
+    compressor = TableCompressor(plan, block_size=args.block_size)
+    relation = compressor.compress(table)
+
+    rows = []
+    for name in table.column_names:
+        corra = relation.column_size(name)
+        base = baseline.size_of(name)
+        saving = 1 - corra / base
+        column_plan = plan.column_plan(name)
+        encoding = column_plan.encoding
+        if column_plan.is_horizontal:
+            encoding += f" ({', '.join(column_plan.references)})"
+        rows.append((name, f"{base:,}", f"{corra:,}", f"{saving:.1%}", encoding))
+    print(format_table(
+        ("column", "baseline bytes", "corra bytes", "saving", "encoding"), rows
+    ))
+    total_saving = 1 - relation.size_bytes / max(baseline.total_size, 1)
+    print(f"\ntotal: {baseline.total_size:,} -> {relation.size_bytes:,} bytes "
+          f"({total_saving:.1%} saving), {relation.n_blocks} block(s) of "
+          f"{args.block_size:,} tuples")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    generator = dataset_by_name(args.name)
+    table = generator.generate(args.rows, seed=args.seed)
+    detector = CorrelationDetector(min_saving_rate=args.min_saving_rate)
+    suggestions = detector.suggest(table)
+    if not suggestions:
+        print("no exploitable correlations found")
+        return 0
+    rows = [
+        (s.target, s.kind, ", ".join(s.references),
+         f"{s.estimated_saving_rate:.1%}", f"{s.estimated_saving_bytes:,}", s.detail)
+        for s in suggestions[: args.top]
+    ]
+    print(format_table(
+        ("target", "encoding", "references", "saving", "bytes saved", "detail"), rows
+    ))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "datasets":
+            return _cmd_datasets(args)
+        if args.command == "compress":
+            return _cmd_compress(args)
+        if args.command == "detect":
+            return _cmd_detect(args)
+        if args.command == "experiments":
+            return experiments_main(
+                (args.ids or []) + (["--rows", str(args.rows)] if args.rows else [])
+            )
+    except CorraError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Corra core: horizontal, correlation-aware column encodings.
+
+This package contains the paper's contribution:
+
+* :mod:`~repro.core.diff_encoding` — non-hierarchical encoding (§2.1)
+* :mod:`~repro.core.hierarchical` — hierarchical encoding (§2.2)
+* :mod:`~repro.core.multi_reference` — multiple reference columns (§2.3)
+* :mod:`~repro.core.outliers` — the outlier storage architecture (Fig. 4)
+* :mod:`~repro.core.optimizer` — the optimal diff-encoding configuration
+  search (Fig. 2)
+* :mod:`~repro.core.correlation` — automatic correlation detection
+  (future-work extension)
+* :mod:`~repro.core.plan` — compression plans and the table compressor that
+  ties horizontal and vertical encodings together
+"""
+
+from .base import HorizontalEncodedColumn
+from .correlation import (
+    CorrelationDetector,
+    EncodingSuggestion,
+    arithmetic_rule_coverage,
+    bounded_difference_score,
+    hierarchy_score,
+)
+from .diff_encoding import (
+    DiffEncodedColumn,
+    DiffEncodingStats,
+    NonHierarchicalEncoding,
+    estimate_diff_encoded_size,
+)
+from .hierarchical import HierarchicalEncodedColumn, HierarchicalEncoding, HierarchicalStats
+from .multi_reference import (
+    ArithmeticRule,
+    MultiReferenceConfig,
+    MultiReferenceEncodedColumn,
+    MultiReferenceEncoding,
+    ReferenceGroup,
+    RuleStatistics,
+)
+from .optimizer import (
+    CandidateGraph,
+    DiffEncodingConfiguration,
+    DiffEncodingOptimizer,
+    optimal_configuration_exhaustive,
+)
+from .outliers import OutlierStore
+from .plan import ColumnPlan, CompressionPlan, PlanBuilder, TableCompressor
+from .rule_mining import (
+    MinedRule,
+    RuleMiningResult,
+    discover_groups,
+    mine_multi_reference_config,
+    mine_rules,
+)
+
+__all__ = [
+    "HorizontalEncodedColumn",
+    "DiffEncodedColumn",
+    "DiffEncodingStats",
+    "NonHierarchicalEncoding",
+    "estimate_diff_encoded_size",
+    "HierarchicalEncodedColumn",
+    "HierarchicalEncoding",
+    "HierarchicalStats",
+    "MultiReferenceEncodedColumn",
+    "MultiReferenceEncoding",
+    "MultiReferenceConfig",
+    "ReferenceGroup",
+    "ArithmeticRule",
+    "RuleStatistics",
+    "OutlierStore",
+    "CandidateGraph",
+    "DiffEncodingConfiguration",
+    "DiffEncodingOptimizer",
+    "optimal_configuration_exhaustive",
+    "CorrelationDetector",
+    "EncodingSuggestion",
+    "bounded_difference_score",
+    "hierarchy_score",
+    "arithmetic_rule_coverage",
+    "ColumnPlan",
+    "CompressionPlan",
+    "PlanBuilder",
+    "TableCompressor",
+    "MinedRule",
+    "RuleMiningResult",
+    "discover_groups",
+    "mine_rules",
+    "mine_multi_reference_config",
+]

@@ -1,0 +1,83 @@
+"""Interfaces for horizontal (correlation-aware) encodings.
+
+A horizontal encoding stores a *diff-encoded* (target) column in terms of one
+or more *reference* columns (§2 of the paper).  Decoding therefore needs the
+reference values for the requested rows, which the storage layer provides —
+see :meth:`repro.storage.block.CompressedBlock.gather_column`, which
+implements Algorithm 1's "fetch the reference, then resolve the target".
+
+:class:`HorizontalEncodedColumn` extends the vertical
+:class:`~repro.encodings.base.EncodedColumn` interface with
+``gather_with_reference``/``decode_with_reference``; calling the plain
+``gather``/``decode`` raises, because the information simply is not there.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..encodings.base import EncodedColumn
+from ..errors import DecodingError
+
+__all__ = ["HorizontalEncodedColumn", "ReferenceValues"]
+
+#: Decoded reference values keyed by reference column name.
+ReferenceValues = Mapping[str, "np.ndarray | Sequence[str]"]
+
+
+class HorizontalEncodedColumn(EncodedColumn):
+    """An encoded column whose decoding requires reference column values."""
+
+    #: Names of the reference columns, in the order the encoding expects them.
+    reference_names: tuple[str, ...] = ()
+
+    @abc.abstractmethod
+    def gather_with_reference(self, positions: np.ndarray,
+                              reference_values: ReferenceValues):
+        """Decode the values at ``positions`` given the reference values there.
+
+        ``reference_values`` maps each name in :attr:`reference_names` to the
+        decoded reference values *at the same positions* (i.e. arrays of the
+        same length as ``positions``).
+        """
+
+    def decode_with_reference(self, reference_values: ReferenceValues):
+        """Decode the whole column given full decoded reference columns."""
+        return self.gather_with_reference(
+            np.arange(self.n_values, dtype=np.int64), reference_values
+        )
+
+    # A horizontal column cannot decode itself in isolation.
+
+    def decode(self):
+        raise DecodingError(
+            f"column encoded with {self.encoding_name!r} needs its reference "
+            f"column(s) {list(self.reference_names)} to decode; use "
+            "decode_with_reference() or access it through a CompressedBlock"
+        )
+
+    def gather(self, positions: np.ndarray):
+        raise DecodingError(
+            f"column encoded with {self.encoding_name!r} needs its reference "
+            f"column(s) {list(self.reference_names)} to decode; use "
+            "gather_with_reference() or access it through a CompressedBlock"
+        )
+
+    def _check_reference_values(self, positions: np.ndarray,
+                                reference_values: ReferenceValues) -> None:
+        """Validate that the caller supplied every reference at the right length."""
+        n = int(np.asarray(positions).size)
+        for name in self.reference_names:
+            if name not in reference_values:
+                raise DecodingError(
+                    f"missing reference column {name!r}; required references: "
+                    f"{list(self.reference_names)}"
+                )
+            if len(reference_values[name]) != n:
+                raise DecodingError(
+                    f"reference column {name!r} has {len(reference_values[name])} "
+                    f"values but {n} positions were requested"
+                )

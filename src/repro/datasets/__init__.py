@@ -1,0 +1,38 @@
+"""Synthetic stand-ins for the paper's four evaluation datasets.
+
+Each generator reproduces the correlation structure that drives Corra's
+results (see DESIGN.md for the substitution rationale): TPC-H ``lineitem``
+date offsets, LDBC ``message`` country/IP hierarchy, DMV state/city/zip
+hierarchy, and the Taxi monetary rule mixture of Table 1.
+"""
+
+from .base import DatasetGenerator, DatasetInfo
+from .dmv import DmvGenerator
+from .ldbc import LdbcMessageGenerator
+from .registry import available_datasets, dataset_by_name
+from .taxi import (
+    TAXI_GROUP_A_COLUMNS,
+    TAXI_GROUP_B_COLUMNS,
+    TAXI_GROUP_C_COLUMNS,
+    TAXI_RULE_MIXTURE,
+    TaxiGenerator,
+    taxi_multi_reference_config,
+)
+from .tpch import TpchLineitemGenerator, rows_for_scale_factor
+
+__all__ = [
+    "DatasetGenerator",
+    "DatasetInfo",
+    "TpchLineitemGenerator",
+    "rows_for_scale_factor",
+    "LdbcMessageGenerator",
+    "DmvGenerator",
+    "TaxiGenerator",
+    "taxi_multi_reference_config",
+    "TAXI_GROUP_A_COLUMNS",
+    "TAXI_GROUP_B_COLUMNS",
+    "TAXI_GROUP_C_COLUMNS",
+    "TAXI_RULE_MIXTURE",
+    "available_datasets",
+    "dataset_by_name",
+]

@@ -1,0 +1,78 @@
+"""Common infrastructure for the synthetic dataset generators.
+
+The paper evaluates on four datasets: TPC-H ``lineitem`` (SF 10), LDBC SNB
+``message`` (SF 30), the NYS DMV registration table, and one year of NYC
+Yellow-Taxi trips.  None of the real files are redistributable here, so each
+generator synthesises data whose *correlation structure* matches the real
+dataset's — the value ranges, per-group fan-outs and arithmetic-rule mixtures
+that determine Corra's compressed sizes (see DESIGN.md, "Substitutions").
+
+Generators are deterministic given a seed, scale linearly in ``n_rows``, and
+report the row count of the paper's full-size dataset so results can be
+rescaled for comparison.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..storage.table import Table
+
+__all__ = ["DatasetGenerator", "DatasetInfo"]
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Descriptive metadata about a (synthetic stand-in for a) dataset."""
+
+    name: str
+    paper_rows: int
+    description: str
+
+
+class DatasetGenerator(abc.ABC):
+    """Base class for deterministic synthetic dataset generators."""
+
+    #: Registry name of the dataset (e.g. ``"tpch_lineitem"``).
+    name: str = "abstract"
+
+    #: Row count of the dataset as used in the paper's evaluation.
+    paper_rows: int = 0
+
+    #: Default row count for local runs (tests and examples).
+    default_rows: int = 100_000
+
+    @abc.abstractmethod
+    def generate(self, n_rows: int | None = None, seed: int = 42) -> Table:
+        """Generate ``n_rows`` rows (default :attr:`default_rows`)."""
+
+    def info(self) -> DatasetInfo:
+        return DatasetInfo(
+            name=self.name,
+            paper_rows=self.paper_rows,
+            description=(self.__doc__ or "").strip().splitlines()[0] if self.__doc__ else "",
+        )
+
+    def _resolve_rows(self, n_rows: int | None) -> int:
+        rows = self.default_rows if n_rows is None else int(n_rows)
+        if rows < 0:
+            raise ValidationError("n_rows must be non-negative")
+        return rows
+
+    @staticmethod
+    def _rng(seed: int) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    def scale_to_paper(self, size_bytes: int, n_rows: int) -> float:
+        """Linearly extrapolate a measured size to the paper's row count.
+
+        Valid because every per-row payload in this library scales linearly
+        in the number of rows while metadata stays (near-)constant.
+        """
+        if n_rows <= 0:
+            raise ValidationError("n_rows must be positive to rescale")
+        return size_bytes * (self.paper_rows / n_rows)

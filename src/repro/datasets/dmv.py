@@ -1,0 +1,182 @@
+"""Synthetic DMV registrations generator (state, city, zip code).
+
+The NYS "Vehicle, Snowmobile, and Boat Registrations" table records the
+registrant's state, city and zip code.  Two hierarchical correlations matter
+for the paper:
+
+* (``city``, ``zip_code``): zip codes span the whole US range, so a vertical
+  baseline needs ~16–17 bits per row, while one city only ever uses a few
+  dozen zip codes, so the hierarchical local code fits in ~7–8 bits — the
+  53.7 % saving of Table 2.  Most place names map to a single zip code
+  (villages, hamlets); a handful of metropolises have up to ~200.
+* (``state``, ``city``): most registrations are from New York, and New York
+  alone contains the vast majority of the distinct city strings, so grouping
+  cities by state barely narrows the code width — the paper's 1.8 % saving.
+  The generator reproduces that skew (≈85 % of all distinct city names belong
+  to NY).
+
+Because the real table has 12.2 M rows, its value domains (tens of thousands
+of distinct city strings and zip codes) would swamp a 100 k-row sample with
+metadata that the full-size dataset amortises.  The generator therefore
+scales the domain with the requested row count by default (keeping the
+rows-per-distinct-value ratios of the real data) so that saving rates remain
+representative at laptop-friendly sizes; pass explicit ``n_cities`` /
+``n_zip_codes`` to pin the domain instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dtypes import INT64, STRING
+from ..storage.table import Table
+from .base import DatasetGenerator
+
+__all__ = ["DmvGenerator"]
+
+#: Two-letter codes of the 50 US states plus DC; NY is listed first because
+#: the registration table is overwhelmingly New-York-based.
+_STATES = (
+    "NY", "NJ", "CT", "PA", "MA", "FL", "VT", "CA", "TX", "OH", "VA", "NC",
+    "MD", "IL", "MI", "GA", "NH", "RI", "SC", "AZ", "WA", "CO", "ME", "MN",
+    "TN", "IN", "MO", "WI", "AL", "LA", "KY", "OR", "OK", "IA", "KS", "AR",
+    "MS", "NM", "NE", "WV", "ID", "HI", "NV", "UT", "MT", "DE", "SD", "ND",
+    "AK", "WY", "DC",
+)
+
+#: Rows per distinct city when scaling the domain with the row count.  The
+#: real table has ~500 rows per distinct city string; using a smaller ratio at
+#: laptop scale keeps the *code-width regime* of the full dataset (a city
+#: dictionary of >= 2^12 entries) without needing millions of rows.
+_ROWS_PER_CITY = 55
+
+#: Rows per distinct zip code when scaling the domain.  Chosen so the vertical
+#: baseline for ``zip_code`` stays at ~16-17 bits per row (as in the real
+#: 45 k-zip domain) while hierarchical metadata stays amortised.
+_ROWS_PER_ZIP = 22
+
+#: Domain bounds so tiny/huge requests stay sensible.
+_MIN_CITIES, _MAX_CITIES = 300, 28_000
+_MIN_ZIPS, _MAX_ZIPS = 600, 46_000
+
+
+class DmvGenerator(DatasetGenerator):
+    """DMV registrations with hierarchical (state, city, zip) columns."""
+
+    name = "dmv"
+    paper_rows = 12_176_621
+    default_rows = 100_000
+
+    def __init__(self, n_cities: int | None = None, n_zip_codes: int | None = None,
+                 ny_city_share: float = 0.85, ny_row_share: float = 0.92,
+                 max_zips_per_city: int = 200):
+        self.n_cities = n_cities
+        self.n_zip_codes = n_zip_codes
+        self.ny_city_share = float(ny_city_share)
+        self.ny_row_share = float(ny_row_share)
+        self.max_zips_per_city = int(max_zips_per_city)
+
+    # -- domain sizing -------------------------------------------------------------
+
+    def _domain_sizes(self, rows: int) -> tuple[int, int]:
+        """Distinct city and zip counts for a given row count."""
+        if self.n_cities is not None:
+            n_cities = int(self.n_cities)
+        else:
+            n_cities = int(np.clip(rows // _ROWS_PER_CITY, _MIN_CITIES, _MAX_CITIES))
+        if self.n_zip_codes is not None:
+            n_zips = int(self.n_zip_codes)
+        else:
+            n_zips = int(np.clip(rows // _ROWS_PER_ZIP, _MIN_ZIPS, _MAX_ZIPS))
+        return n_cities, max(n_zips, n_cities)
+
+    # -- hierarchy construction --------------------------------------------------
+
+    def _build_hierarchy(self, rng: np.random.Generator, n_cities: int, n_zips: int):
+        """Assign cities to states and carve disjoint zip pools per city."""
+        n_ny_cities = int(n_cities * self.ny_city_share)
+        n_other_cities = n_cities - n_ny_cities
+
+        city_state = np.zeros(n_cities, dtype=np.int64)
+        city_state[n_ny_cities:] = 1 + rng.integers(
+            0, len(_STATES) - 1, size=n_other_cities, dtype=np.int64
+        )
+        city_names = [
+            f"{_STATES[int(state)]} CITY {index:05d}"
+            for index, state in enumerate(city_state)
+        ]
+
+        # Zip fan-out: most cities have exactly one zip code; the extra zip
+        # codes beyond one-per-city are concentrated in a few metropolises.
+        fanout = np.ones(n_cities, dtype=np.int64)
+        extra = n_zips - n_cities
+        n_metros = max(1, n_cities // 50)
+        metro_indices = np.arange(n_metros)
+        metro_weights = 1.0 / np.arange(1, n_metros + 1, dtype=np.float64)
+        metro_weights /= metro_weights.sum()
+        extra_per_metro = np.minimum(
+            np.round(metro_weights * extra).astype(np.int64),
+            self.max_zips_per_city - 1,
+        )
+        fanout[metro_indices] += extra_per_metro
+
+        zip_offsets = np.concatenate([[0], np.cumsum(fanout)])
+        total_zips = int(zip_offsets[-1])
+        # Disjoint zip values spread over the realistic 00501..99500 range.
+        zip_values = 501 + (np.arange(total_zips, dtype=np.int64) * 99_000) // max(total_zips, 1)
+        return city_state, city_names, fanout, zip_offsets, zip_values
+
+    # -- generation ----------------------------------------------------------------
+
+    def generate(self, n_rows: int | None = None, seed: int = 42) -> Table:
+        rows = self._resolve_rows(n_rows)
+        rng = self._rng(seed)
+        n_cities, n_zips = self._domain_sizes(rows)
+        city_state, city_names, fanout, zip_offsets, zip_values = self._build_hierarchy(
+            rng, n_cities, n_zips
+        )
+        n_ny_cities = int(n_cities * self.ny_city_share)
+
+        # Pick a city per row: NY rows choose among NY cities (Zipf-ish so the
+        # metropolises dominate), out-of-state rows choose among the rest.
+        is_ny = rng.random(rows) < self.ny_row_share
+        ny_weights = 1.0 / np.arange(1, n_ny_cities + 1, dtype=np.float64) ** 0.7
+        ny_weights /= ny_weights.sum()
+        other_count = n_cities - n_ny_cities
+        other_weights = 1.0 / np.arange(1, other_count + 1, dtype=np.float64) ** 0.7
+        other_weights /= other_weights.sum()
+
+        city_index = np.empty(rows, dtype=np.int64)
+        n_ny_rows = int(is_ny.sum())
+        city_index[is_ny] = rng.choice(n_ny_cities, size=n_ny_rows, p=ny_weights)
+        city_index[~is_ny] = n_ny_cities + rng.choice(
+            other_count, size=rows - n_ny_rows, p=other_weights
+        )
+
+        # Pick a zip within the chosen city's pool, skewed so the first zip of
+        # each pool dominates (the "main" zip of the place).
+        skew = rng.random(rows) ** 3
+        within = (skew * fanout[city_index]).astype(np.int64)
+        zip_codes = zip_values[zip_offsets[city_index] + within]
+
+        states = [_STATES[int(s)] for s in city_state[city_index]]
+        cities = [city_names[int(c)] for c in city_index]
+
+        record_types = rng.choice(
+            np.array([1, 2, 3], dtype=np.int64), size=rows, p=[0.93, 0.05, 0.02]
+        )
+        model_years = rng.integers(1960, 2021, size=rows, dtype=np.int64)
+
+        return Table.from_columns(
+            [
+                ("record_type", INT64, record_types),
+                ("state", STRING, states),
+                ("city", STRING, cities),
+                ("zip_code", INT64, zip_codes),
+                ("model_year", INT64, model_years),
+            ]
+        )
+
+    def generate_pair_only(self, n_rows: int | None = None, seed: int = 42) -> Table:
+        """Only the (state, city, zip_code) columns used in Table 2."""
+        return self.generate(n_rows, seed).select(["state", "city", "zip_code"])

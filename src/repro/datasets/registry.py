@@ -1,0 +1,33 @@
+"""Registry of the synthetic dataset generators used by the experiments."""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from .base import DatasetGenerator
+from .dmv import DmvGenerator
+from .ldbc import LdbcMessageGenerator
+from .taxi import TaxiGenerator
+from .tpch import TpchLineitemGenerator
+
+__all__ = ["available_datasets", "dataset_by_name"]
+
+
+def available_datasets() -> dict[str, DatasetGenerator]:
+    """Fresh generator instances for every dataset of the paper."""
+    generators = (
+        TpchLineitemGenerator(),
+        LdbcMessageGenerator(),
+        DmvGenerator(),
+        TaxiGenerator(),
+    )
+    return {g.name: g for g in generators}
+
+
+def dataset_by_name(name: str) -> DatasetGenerator:
+    """Look up a dataset generator by its registry name."""
+    datasets = available_datasets()
+    if name not in datasets:
+        raise ValidationError(
+            f"unknown dataset {name!r}; available: {sorted(datasets)}"
+        )
+    return datasets[name]

@@ -1,0 +1,175 @@
+"""Logical column types used by the storage layer.
+
+The paper's prototype distinguishes integer-like columns (dates are stored as
+day numbers, timestamps as epoch seconds, monetary values as fixed-point
+cents) from string columns.  We mirror that with a small logical type system:
+every :class:`DataType` knows its uncompressed width in bytes, whether it is
+integer-valued, and how to convert between the user-facing representation and
+the physical ``numpy`` representation used by the encodings.
+
+The types are deliberately simple.  The compression kernels only ever see
+``int64`` arrays (for integer-like types) or Python string sequences (for
+:data:`STRING`); the logical type records how to interpret them.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import ValidationError
+
+__all__ = [
+    "DataType",
+    "TypeKind",
+    "INT32",
+    "INT64",
+    "DATE",
+    "TIMESTAMP",
+    "DECIMAL",
+    "STRING",
+    "BOOLEAN",
+    "type_from_name",
+    "date_to_days",
+    "days_to_date",
+    "decimal_to_cents",
+    "cents_to_decimal",
+]
+
+#: Unix epoch used as day zero for :data:`DATE` columns.
+EPOCH_DATE = _dt.date(1970, 1, 1)
+
+
+class TypeKind:
+    """Enumeration of the logical kinds a :class:`DataType` can have."""
+
+    INTEGER = "integer"
+    DATE = "date"
+    TIMESTAMP = "timestamp"
+    DECIMAL = "decimal"
+    STRING = "string"
+    BOOLEAN = "boolean"
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A logical column type.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name, also used in serialised schemas.
+    kind:
+        One of the :class:`TypeKind` constants.
+    byte_width:
+        Width of one uncompressed value in bytes.  For strings this is the
+        width of an offset/pointer (8 bytes); the character payload is
+        accounted for separately by the encodings.
+    numpy_dtype:
+        The physical ``numpy`` dtype used to hold values of this type.
+    """
+
+    name: str
+    kind: str
+    byte_width: int
+    numpy_dtype: str = "int64"
+
+    @property
+    def is_integer_like(self) -> bool:
+        """Whether values are physically stored as integers."""
+        return self.kind in (
+            TypeKind.INTEGER,
+            TypeKind.DATE,
+            TypeKind.TIMESTAMP,
+            TypeKind.DECIMAL,
+            TypeKind.BOOLEAN,
+        )
+
+    @property
+    def is_string(self) -> bool:
+        """Whether values are variable-length strings."""
+        return self.kind == TypeKind.STRING
+
+    def uncompressed_size(self, n_values: int) -> int:
+        """Size in bytes of ``n_values`` uncompressed values of this type."""
+        if n_values < 0:
+            raise ValidationError("n_values must be non-negative")
+        return n_values * self.byte_width
+
+    def validate_array(self, values: np.ndarray | Sequence) -> None:
+        """Raise :class:`ValidationError` if ``values`` does not fit the type."""
+        if self.is_string:
+            if isinstance(values, np.ndarray) and values.dtype.kind in "iuf":
+                raise ValidationError(
+                    f"column of type {self.name} expects strings, got numeric array"
+                )
+            return
+        arr = np.asarray(values)
+        if arr.dtype.kind not in "iu":
+            raise ValidationError(
+                f"column of type {self.name} expects integer values, "
+                f"got dtype {arr.dtype}"
+            )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: 32-bit integer column (stored physically as int64 for simplicity).
+INT32 = DataType("int32", TypeKind.INTEGER, 4)
+#: 64-bit integer column.
+INT64 = DataType("int64", TypeKind.INTEGER, 8)
+#: Calendar date stored as days since the Unix epoch (4 bytes uncompressed).
+DATE = DataType("date", TypeKind.DATE, 4)
+#: Timestamp stored as seconds since the Unix epoch (8 bytes uncompressed).
+TIMESTAMP = DataType("timestamp", TypeKind.TIMESTAMP, 8)
+#: Fixed-point decimal stored as integer cents (8 bytes uncompressed).
+DECIMAL = DataType("decimal", TypeKind.DECIMAL, 8)
+#: Variable-length string; 8 bytes per value for the offset plus payload.
+STRING = DataType("string", TypeKind.STRING, 8, numpy_dtype="object")
+#: Boolean column (1 byte uncompressed).
+BOOLEAN = DataType("boolean", TypeKind.BOOLEAN, 1)
+
+_TYPES_BY_NAME = {
+    t.name: t for t in (INT32, INT64, DATE, TIMESTAMP, DECIMAL, STRING, BOOLEAN)
+}
+
+
+def type_from_name(name: str) -> DataType:
+    """Look up a :class:`DataType` by its :attr:`DataType.name`."""
+    try:
+        return _TYPES_BY_NAME[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown data type {name!r}; known types: {sorted(_TYPES_BY_NAME)}"
+        ) from None
+
+
+def date_to_days(dates: Iterable[_dt.date]) -> np.ndarray:
+    """Convert an iterable of :class:`datetime.date` to epoch-day integers."""
+    return np.array([(d - EPOCH_DATE).days for d in dates], dtype=np.int64)
+
+
+def days_to_date(days: np.ndarray | Iterable[int]) -> list[_dt.date]:
+    """Convert epoch-day integers back to :class:`datetime.date` objects."""
+    return [EPOCH_DATE + _dt.timedelta(days=int(d)) for d in np.asarray(days)]
+
+
+def decimal_to_cents(values: Iterable[float], scale: int = 2) -> np.ndarray:
+    """Convert floating-point monetary values to fixed-point integers.
+
+    ``scale`` is the number of decimal digits kept (2 for cents).  Rounding is
+    half-away-from-zero, matching how monetary CSV values are normally parsed.
+    """
+    factor = 10**scale
+    arr = np.asarray(list(values), dtype=np.float64)
+    return np.round(arr * factor).astype(np.int64)
+
+
+def cents_to_decimal(values: np.ndarray | Iterable[int], scale: int = 2) -> np.ndarray:
+    """Convert fixed-point integers back to floats (inverse of above)."""
+    factor = 10**scale
+    return np.asarray(values, dtype=np.float64) / factor

@@ -1,0 +1,57 @@
+"""Single-column (vertical) encoding schemes.
+
+These are the substrate the paper builds on and compares against: Plain,
+FOR + bit-packing, Dictionary (with a flattened string heap), Delta, RLE,
+Frequency, and an FSST-style string codec, plus :class:`BestOfSelector`,
+which reproduces the paper's "best single-column scheme per column" baseline.
+"""
+
+from .base import ColumnEncoding, EncodedColumn
+from .bitpacked import ForBitPackEncoding, ForBitPackedColumn
+from .delta import DeltaEncoding, DeltaEncodedColumn
+from .dictionary import (
+    DictEncodedIntColumn,
+    DictEncodedStringColumn,
+    DictionaryEncoding,
+    StringHeap,
+)
+from .frequency import FrequencyEncoding, FrequencyEncodedColumn
+from .fsst import FsstEncodedColumn, FsstEncoding, SymbolTable, train_symbol_table
+from .plain import PlainEncodedColumn, PlainEncoding, PlainStringColumn
+from .rle import RleEncodedColumn, RleEncoding
+from .selector import (
+    BestOfSelector,
+    SelectionResult,
+    all_schemes,
+    default_random_access_schemes,
+    scheme_by_name,
+)
+
+__all__ = [
+    "ColumnEncoding",
+    "EncodedColumn",
+    "PlainEncoding",
+    "PlainEncodedColumn",
+    "PlainStringColumn",
+    "ForBitPackEncoding",
+    "ForBitPackedColumn",
+    "DictionaryEncoding",
+    "DictEncodedIntColumn",
+    "DictEncodedStringColumn",
+    "StringHeap",
+    "DeltaEncoding",
+    "DeltaEncodedColumn",
+    "RleEncoding",
+    "RleEncodedColumn",
+    "FrequencyEncoding",
+    "FrequencyEncodedColumn",
+    "FsstEncoding",
+    "FsstEncodedColumn",
+    "SymbolTable",
+    "train_symbol_table",
+    "BestOfSelector",
+    "SelectionResult",
+    "all_schemes",
+    "default_random_access_schemes",
+    "scheme_by_name",
+]

@@ -1,0 +1,150 @@
+"""Delta encoding with periodic checkpoints.
+
+Stores each value as the difference to its predecessor, zig-zag mapped to an
+unsigned domain and bit-packed.  Because reconstructing position ``i``
+requires a prefix sum, Delta is *not* random-access friendly — the paper
+explicitly excludes it from its baseline for this reason ("both RLE and Delta
+require checkpoints").  We implement the checkpointed variant anyway so the
+baseline selector can demonstrate *why* FOR/Dict wins for the latency
+experiments, and so the size comparison is honest when Delta happens to be
+smaller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitpack import BitPackedArray, required_bits
+from ..dtypes import DataType
+from ..errors import EncodingError
+from .base import ColumnEncoding, EncodedColumn, ensure_int_array
+
+__all__ = ["DeltaEncoding", "DeltaEncodedColumn", "zigzag_encode", "zigzag_decode"]
+
+#: Default distance between checkpoints (absolute values stored verbatim).
+DEFAULT_CHECKPOINT_INTERVAL = 1024
+
+#: Fixed metadata: counts, bit width, checkpoint interval.
+_METADATA_BYTES = 16
+
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Map signed integers to unsigned ones: 0,-1,1,-2,2 -> 0,1,2,3,4."""
+    vals = np.asarray(values, dtype=np.int64)
+    return ((vals << 1) ^ (vals >> 63)).astype(np.int64)
+
+
+def zigzag_decode(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode`."""
+    vals = np.asarray(values, dtype=np.int64)
+    return (vals >> 1) ^ -(vals & 1)
+
+
+class DeltaEncodedColumn(EncodedColumn):
+    """Delta-encoded column with checkpoints every ``checkpoint_interval`` rows."""
+
+    encoding_name = "delta"
+
+    def __init__(self, values: np.ndarray, checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL):
+        if checkpoint_interval < 1:
+            raise EncodingError("checkpoint interval must be at least 1")
+        vals = ensure_int_array(values)
+        self._interval = int(checkpoint_interval)
+        self._n = int(vals.size)
+
+        if self._n:
+            deltas = np.diff(vals, prepend=vals[:1])
+            deltas[0] = 0
+            zz = zigzag_encode(deltas)
+            width = required_bits(int(zz.max())) if zz.size else 0
+            self._deltas = BitPackedArray.from_values(zz, width)
+            self._checkpoints = vals[:: self._interval].copy()
+        else:
+            self._deltas = BitPackedArray.from_values(np.zeros(0, dtype=np.int64), 0)
+            self._checkpoints = np.zeros(0, dtype=np.int64)
+
+    @property
+    def checkpoint_interval(self) -> int:
+        return self._interval
+
+    @property
+    def bit_width(self) -> int:
+        return self._deltas.bit_width
+
+    @property
+    def n_values(self) -> int:
+        return self._n
+
+    @property
+    def size_bytes(self) -> int:
+        return (
+            self._deltas.size_bytes
+            + self._checkpoints.size * 8
+            + _METADATA_BYTES
+        )
+
+    def decode(self) -> np.ndarray:
+        if self._n == 0:
+            return np.zeros(0, dtype=np.int64)
+        deltas = zigzag_decode(self._deltas.to_numpy())
+        return self._decode_segmented(deltas)
+
+    def _decode_segmented(self, deltas: np.ndarray) -> np.ndarray:
+        out = np.empty(self._n, dtype=np.int64)
+        for seg_index, start in enumerate(range(0, self._n, self._interval)):
+            end = min(start + self._interval, self._n)
+            seg = deltas[start:end].copy()
+            seg[0] = self._checkpoints[seg_index]
+            out[start:end] = np.cumsum(seg)
+        return out
+
+    def gather(self, positions: np.ndarray) -> np.ndarray:
+        """Positional access by decoding from the nearest checkpoint.
+
+        This is intentionally more expensive than FOR/Dict access — each
+        lookup decodes up to ``checkpoint_interval`` deltas — which is the
+        cost the paper's baseline avoids.
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if pos.min() < 0 or pos.max() >= self._n:
+            raise EncodingError("gather positions out of range")
+        out = np.empty(pos.size, dtype=np.int64)
+        # Group positions by checkpoint segment so each segment is decoded once.
+        segments = pos // self._interval
+        order = np.argsort(segments, kind="stable")
+        sorted_pos = pos[order]
+        sorted_seg = segments[order]
+        boundaries = np.flatnonzero(np.diff(sorted_seg)) + 1
+        for chunk in np.split(np.arange(pos.size)[order], boundaries):
+            seg_index = int(segments[chunk[0]])
+            start = seg_index * self._interval
+            end = min(start + self._interval, self._n)
+            zz = self._deltas.gather(np.arange(start, end))
+            seg = zigzag_decode(zz)
+            seg[0] = self._checkpoints[seg_index]
+            decoded = np.cumsum(seg)
+            out[chunk] = decoded[pos[chunk] - start]
+        # Preserve caller order (chunks were built from the original indices).
+        del sorted_pos
+        return out
+
+
+class DeltaEncoding(ColumnEncoding):
+    """Scheme wrapper for checkpointed delta encoding on integer-like columns."""
+
+    name = "delta"
+
+    def __init__(self, checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL):
+        self.checkpoint_interval = checkpoint_interval
+
+    def encode(self, values, dtype: DataType) -> EncodedColumn:
+        if not self.supports(dtype):
+            raise EncodingError(f"delta encoding does not support {dtype.name} columns")
+        column = DeltaEncodedColumn(values, self.checkpoint_interval)
+        column.encoding_name = self.name
+        return column
+
+    def supports(self, dtype: DataType) -> bool:
+        return dtype.is_integer_like

@@ -1,0 +1,91 @@
+"""Plain (uncompressed) encoding.
+
+Stores values verbatim.  This is the "uncompressed" configuration of the
+paper's latency experiments (Figs. 6 and 7): no decoding work at query time,
+but also no size reduction.  Integer-like values occupy the logical type's
+byte width; strings occupy one offset per row plus the character payload.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..dtypes import DataType
+from ..errors import DecodingError
+from .base import ColumnEncoding, EncodedColumn, ensure_int_array, ensure_strings
+
+__all__ = ["PlainEncoding", "PlainEncodedColumn", "PlainStringColumn"]
+
+
+class PlainEncodedColumn(EncodedColumn):
+    """Uncompressed integer-like column."""
+
+    encoding_name = "plain"
+
+    def __init__(self, values: np.ndarray, dtype: DataType):
+        self._values = ensure_int_array(values)
+        self._dtype = dtype
+
+    @property
+    def n_values(self) -> int:
+        return int(self._values.size)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._dtype.uncompressed_size(self.n_values)
+
+    def decode(self) -> np.ndarray:
+        return self._values.copy()
+
+    def gather(self, positions: np.ndarray) -> np.ndarray:
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size and (pos.min() < 0 or pos.max() >= self.n_values):
+            raise DecodingError("gather positions out of range")
+        return self._values[pos]
+
+
+class PlainStringColumn(EncodedColumn):
+    """Uncompressed string column: offsets plus character payload."""
+
+    encoding_name = "plain"
+
+    def __init__(self, values: Sequence[str]):
+        self._values = ensure_strings(values)
+        self._payload_bytes = sum(len(s.encode("utf-8")) for s in self._values)
+
+    @property
+    def n_values(self) -> int:
+        return len(self._values)
+
+    @property
+    def size_bytes(self) -> int:
+        # One 8-byte offset per value plus the UTF-8 payload.
+        return 8 * self.n_values + self._payload_bytes
+
+    def decode(self) -> list[str]:
+        return list(self._values)
+
+    def gather(self, positions: np.ndarray) -> list[str]:
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size and (pos.min() < 0 or pos.max() >= self.n_values):
+            raise DecodingError("gather positions out of range")
+        return [self._values[int(p)] for p in pos]
+
+
+class PlainEncoding(ColumnEncoding):
+    """Scheme wrapper producing plain columns for any logical type."""
+
+    name = "plain"
+
+    def encode(self, values, dtype: DataType) -> EncodedColumn:
+        if dtype.is_string:
+            column = PlainStringColumn(values)
+        else:
+            column = PlainEncodedColumn(values, dtype)
+        column.encoding_name = self.name
+        return column
+
+    def supports(self, dtype: DataType) -> bool:
+        return True

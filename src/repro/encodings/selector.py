@@ -1,0 +1,125 @@
+"""Best-of single-column encoding selection.
+
+The paper's baseline is "the best single-column encoding scheme for each
+column … FOR- or Dict-encoding schemes, followed by a bit-packing", chosen
+because they preserve O(1) random access.  :class:`BestOfSelector` implements
+that policy (and, optionally, a wider search over all registered vertical
+schemes for size-only comparisons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..dtypes import DataType
+from ..errors import EncodingError, UnknownEncodingError
+from .base import ColumnEncoding, EncodedColumn
+from .bitpacked import ForBitPackEncoding
+from .delta import DeltaEncoding
+from .dictionary import DictionaryEncoding
+from .frequency import FrequencyEncoding
+from .fsst import FsstEncoding
+from .plain import PlainEncoding
+from .rle import RleEncoding
+
+__all__ = [
+    "BestOfSelector",
+    "SelectionResult",
+    "default_random_access_schemes",
+    "all_schemes",
+    "scheme_by_name",
+]
+
+
+def default_random_access_schemes() -> list[ColumnEncoding]:
+    """The paper's baseline candidates: FOR+bit-pack and Dictionary."""
+    return [ForBitPackEncoding(), DictionaryEncoding()]
+
+
+def all_schemes() -> list[ColumnEncoding]:
+    """Every vertical scheme implemented in this library."""
+    return [
+        PlainEncoding(),
+        ForBitPackEncoding(),
+        DictionaryEncoding(),
+        DeltaEncoding(),
+        RleEncoding(),
+        FrequencyEncoding(),
+        FsstEncoding(),
+    ]
+
+
+def scheme_by_name(name: str) -> ColumnEncoding:
+    """Look up a vertical scheme instance by its registry name."""
+    for scheme in all_schemes():
+        if scheme.name == name:
+            return scheme
+    raise UnknownEncodingError(name, tuple(s.name for s in all_schemes()))
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of a best-of selection for one column."""
+
+    column: EncodedColumn
+    scheme_name: str
+    candidate_sizes: dict[str, int]
+
+    @property
+    def size_bytes(self) -> int:
+        return self.column.size_bytes
+
+
+class BestOfSelector:
+    """Pick the smallest applicable encoding from a candidate set.
+
+    Parameters
+    ----------
+    schemes:
+        Candidate encodings.  Defaults to the paper's random-access-friendly
+        baseline (FOR+bit-pack, Dictionary).
+    """
+
+    def __init__(self, schemes: Iterable[ColumnEncoding] | None = None):
+        self._schemes = list(schemes) if schemes is not None else default_random_access_schemes()
+        if not self._schemes:
+            raise EncodingError("BestOfSelector needs at least one candidate scheme")
+
+    @property
+    def scheme_names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self._schemes)
+
+    def select(self, values: Sequence, dtype: DataType) -> SelectionResult:
+        """Encode ``values`` with every applicable candidate and keep the smallest."""
+        best: EncodedColumn | None = None
+        best_name = ""
+        sizes: dict[str, int] = {}
+        for scheme in self._schemes:
+            if not scheme.supports(dtype):
+                continue
+            encoded = scheme.encode(values, dtype)
+            sizes[scheme.name] = encoded.size_bytes
+            if best is None or encoded.size_bytes < best.size_bytes:
+                best = encoded
+                best_name = scheme.name
+        if best is None:
+            raise EncodingError(
+                f"no candidate scheme supports columns of type {dtype.name}"
+            )
+        return SelectionResult(column=best, scheme_name=best_name, candidate_sizes=sizes)
+
+    def best_size(self, values: Sequence, dtype: DataType) -> int:
+        """Smallest achievable size without keeping the encoded column."""
+        best_size: int | None = None
+        for scheme in self._schemes:
+            if not scheme.supports(dtype):
+                continue
+            size = scheme.estimate_size(values, dtype)
+            if best_size is None or size < best_size:
+                best_size = size
+        if best_size is None:
+            raise EncodingError(
+                f"no candidate scheme supports columns of type {dtype.name}"
+            )
+        return best_size

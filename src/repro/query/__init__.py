@@ -1,0 +1,38 @@
+"""Query engine: selection vectors, scans, a small executor, latency harness."""
+
+from .executor import Predicate, QueryExecutor, QueryResult
+from .latency import (
+    LatencyMeasurement,
+    LatencySweep,
+    latency_ratio,
+    measure_query_latency,
+    sweep_query_latency,
+)
+from .scan import materialize_block_columns, materialize_columns
+from .selection import (
+    PAPER_SELECTIVITIES,
+    PAPER_ZOOM_SELECTIVITIES,
+    SelectionVector,
+    generate_selection_vector,
+    generate_selection_vectors,
+    sweep_selectivities,
+)
+
+__all__ = [
+    "SelectionVector",
+    "generate_selection_vector",
+    "generate_selection_vectors",
+    "sweep_selectivities",
+    "PAPER_SELECTIVITIES",
+    "PAPER_ZOOM_SELECTIVITIES",
+    "materialize_columns",
+    "materialize_block_columns",
+    "QueryExecutor",
+    "QueryResult",
+    "Predicate",
+    "LatencyMeasurement",
+    "LatencySweep",
+    "measure_query_latency",
+    "sweep_query_latency",
+    "latency_ratio",
+]

@@ -1,0 +1,141 @@
+"""Query latency measurement harness.
+
+Times the materialisation workload of :mod:`repro.query.scan` over a sweep of
+selectivities, with several independent selection vectors per selectivity
+(10 in the paper), and reports per-selectivity statistics plus the
+slowdown/speedup *ratio* over a baseline relation — the quantity plotted in
+Figs. 5 and 8.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..storage.relation import Relation
+from .scan import materialize_columns
+from .selection import PAPER_SELECTIVITIES, generate_selection_vectors
+
+__all__ = [
+    "LatencyMeasurement",
+    "LatencySweep",
+    "measure_query_latency",
+    "sweep_query_latency",
+    "latency_ratio",
+]
+
+
+@dataclass(frozen=True)
+class LatencyMeasurement:
+    """Timings (seconds) of one query configuration at one selectivity."""
+
+    selectivity: float
+    columns: tuple[str, ...]
+    timings: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.timings))
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.timings))
+
+    @property
+    def minimum(self) -> float:
+        return float(np.min(self.timings))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.timings))
+
+    def mean_milliseconds(self) -> float:
+        return self.mean * 1e3
+
+
+@dataclass
+class LatencySweep:
+    """Latency measurements across a selectivity sweep."""
+
+    columns: tuple[str, ...]
+    measurements: dict[float, LatencyMeasurement] = field(default_factory=dict)
+
+    @property
+    def selectivities(self) -> tuple[float, ...]:
+        return tuple(sorted(self.measurements))
+
+    def measurement(self, selectivity: float) -> LatencyMeasurement:
+        if selectivity not in self.measurements:
+            raise ValidationError(
+                f"no measurement at selectivity {selectivity}; "
+                f"available: {self.selectivities}"
+            )
+        return self.measurements[selectivity]
+
+    def mean_series(self) -> list[tuple[float, float]]:
+        """(selectivity, mean seconds) pairs sorted by selectivity."""
+        return [(s, self.measurements[s].mean) for s in self.selectivities]
+
+
+def measure_query_latency(relation: Relation, columns: Sequence[str],
+                          selectivity: float, n_vectors: int = 10,
+                          repeats: int = 1, seed: int | None = 42) -> LatencyMeasurement:
+    """Time the materialisation of ``columns`` at one selectivity.
+
+    ``n_vectors`` independent selection vectors are generated (the paper uses
+    10); each is materialised ``repeats`` times and every run contributes one
+    timing sample.
+    """
+    if repeats < 1:
+        raise ValidationError("repeats must be at least 1")
+    vectors = generate_selection_vectors(relation.n_rows, selectivity, n_vectors, seed)
+    # One untimed warm-up run so allocator and cache effects of the very first
+    # materialisation do not distort the first sample.
+    materialize_columns(relation, columns, vectors[0])
+    timings: list[float] = []
+    for vector in vectors:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            materialize_columns(relation, columns, vector)
+            timings.append(time.perf_counter() - start)
+    return LatencyMeasurement(
+        selectivity=selectivity, columns=tuple(columns), timings=tuple(timings)
+    )
+
+
+def sweep_query_latency(relation: Relation, columns: Sequence[str],
+                        selectivities: Sequence[float] = PAPER_SELECTIVITIES,
+                        n_vectors: int = 10, repeats: int = 1,
+                        seed: int | None = 42) -> LatencySweep:
+    """Measure latency for every selectivity in ``selectivities``."""
+    sweep = LatencySweep(columns=tuple(columns))
+    for selectivity in selectivities:
+        sweep.measurements[selectivity] = measure_query_latency(
+            relation, columns, selectivity, n_vectors, repeats, seed
+        )
+    return sweep
+
+
+def latency_ratio(corra: LatencySweep, baseline: LatencySweep) -> dict[float, float]:
+    """Per-selectivity ratio of Corra latency over the baseline latency.
+
+    Values above 1.0 are slowdowns, below 1.0 speedups — the y-axis of the
+    paper's Fig. 5 and Fig. 8.
+    """
+    shared = set(corra.selectivities) & set(baseline.selectivities)
+    if not shared:
+        raise ValidationError("sweeps share no selectivities")
+    ratios = {}
+    for selectivity in sorted(shared):
+        # Medians: a single noisy sample (GC pause, page fault) should not
+        # distort the plotted ratio the way it would distort a mean.
+        base = baseline.measurement(selectivity).median
+        ours = corra.measurement(selectivity).median
+        if base <= 0:
+            raise ValidationError("baseline latency must be positive")
+        ratios[selectivity] = ours / base
+    return ratios

@@ -1,0 +1,27 @@
+"""Columnar storage layer: schemas, tables, data blocks, relations, serialisation."""
+
+from .block import DEFAULT_BLOCK_SIZE, ColumnDependency, CompressedBlock
+from .relation import Relation, split_into_blocks
+from .schema import ColumnSpec, Schema
+from .serialization import (
+    BlockSerializer,
+    deserialize_block,
+    register_column_class,
+    serialize_block,
+)
+from .table import Table
+
+__all__ = [
+    "ColumnSpec",
+    "Schema",
+    "Table",
+    "CompressedBlock",
+    "ColumnDependency",
+    "DEFAULT_BLOCK_SIZE",
+    "Relation",
+    "split_into_blocks",
+    "BlockSerializer",
+    "serialize_block",
+    "deserialize_block",
+    "register_column_class",
+]

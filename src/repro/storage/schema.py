@@ -1,0 +1,97 @@
+"""Schemas: ordered, typed column definitions for tables and blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..dtypes import DataType, type_from_name
+from ..errors import SchemaError, UnknownColumnError
+
+__all__ = ["ColumnSpec", "Schema"]
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Name and logical type of one column."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "dtype": self.dtype.name}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ColumnSpec":
+        return cls(name=data["name"], dtype=type_from_name(data["dtype"]))
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`ColumnSpec` with unique names."""
+
+    columns: tuple[ColumnSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names in schema: {sorted(duplicates)}")
+
+    @classmethod
+    def of(cls, *specs: ColumnSpec) -> "Schema":
+        return cls(columns=tuple(specs))
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[str, DataType]]) -> "Schema":
+        return cls(columns=tuple(ColumnSpec(name, dtype) for name, dtype in pairs))
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[ColumnSpec]:
+        return iter(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names
+
+    def column(self, name: str) -> ColumnSpec:
+        """Look up a column spec by name."""
+        for spec in self.columns:
+            if spec.name == name:
+                return spec
+        raise UnknownColumnError(name, self.names)
+
+    def dtype(self, name: str) -> DataType:
+        """Logical type of the named column."""
+        return self.column(name).dtype
+
+    def index_of(self, name: str) -> int:
+        """Ordinal position of the named column."""
+        for i, spec in enumerate(self.columns):
+            if spec.name == name:
+                return i
+        raise UnknownColumnError(name, self.names)
+
+    def select(self, names: Iterable[str]) -> "Schema":
+        """Project the schema onto a subset of columns (keeping given order)."""
+        return Schema(columns=tuple(self.column(n) for n in names))
+
+    def with_column(self, spec: ColumnSpec) -> "Schema":
+        """Return a new schema with one extra column appended."""
+        return Schema(columns=self.columns + (spec,))
+
+    def to_dict(self) -> dict:
+        return {"columns": [c.to_dict() for c in self.columns]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schema":
+        return cls(columns=tuple(ColumnSpec.from_dict(c) for c in data["columns"]))

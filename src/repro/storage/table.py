@@ -1,0 +1,152 @@
+"""In-memory tables: named, typed columns of equal length.
+
+A :class:`Table` is the uncompressed input to the compression pipeline and
+the output of query materialisation.  Integer-like columns are ``int64``
+NumPy arrays; string columns are Python lists.  Tables can be sliced into
+row ranges, which is how :class:`repro.storage.relation.Relation` cuts them
+into 1 M-tuple data blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..dtypes import DataType
+from ..errors import SchemaError, UnknownColumnError, ValidationError
+from .schema import ColumnSpec, Schema
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A schema plus one value container per column."""
+
+    def __init__(self, schema: Schema, columns: Mapping[str, Sequence]):
+        self._schema = schema
+        self._columns: dict[str, np.ndarray | list] = {}
+        lengths = set()
+        for spec in schema:
+            if spec.name not in columns:
+                raise SchemaError(f"missing data for column {spec.name!r}")
+            values = columns[spec.name]
+            if spec.dtype.is_string:
+                data: np.ndarray | list = list(values)
+            else:
+                arr = np.asarray(values)
+                if arr.dtype.kind not in "iu":
+                    raise ValidationError(
+                        f"column {spec.name!r} of type {spec.dtype.name} expects "
+                        f"integers, got dtype {arr.dtype}"
+                    )
+                data = arr.astype(np.int64, copy=False)
+            self._columns[spec.name] = data
+            lengths.add(len(data))
+        extra = set(columns) - set(schema.names)
+        if extra:
+            raise SchemaError(f"data provided for columns not in schema: {sorted(extra)}")
+        if len(lengths) > 1:
+            raise SchemaError(f"columns have differing lengths: {sorted(lengths)}")
+        self._n_rows = lengths.pop() if lengths else 0
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_columns(cls, pairs: Iterable[tuple[str, DataType, Sequence]]) -> "Table":
+        """Build a table from ``(name, dtype, values)`` triples."""
+        pairs = list(pairs)
+        schema = Schema.from_pairs([(name, dtype) for name, dtype, _ in pairs])
+        return cls(schema, {name: values for name, _, values in pairs})
+
+    # -- basic accessors ------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self._schema.names
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schema
+
+    def column(self, name: str) -> np.ndarray | list:
+        """Raw values of the named column."""
+        if name not in self._columns:
+            raise UnknownColumnError(name, self._schema.names)
+        return self._columns[name]
+
+    def dtype(self, name: str) -> DataType:
+        return self._schema.dtype(name)
+
+    def uncompressed_size(self, name: str | None = None) -> int:
+        """Uncompressed byte size of one column, or of the whole table."""
+        if name is not None:
+            spec = self._schema.column(name)
+            values = self._columns[name]
+            if spec.dtype.is_string:
+                return 8 * len(values) + sum(len(s.encode("utf-8")) for s in values)
+            return spec.dtype.uncompressed_size(len(values))
+        return sum(self.uncompressed_size(n) for n in self._schema.names)
+
+    # -- manipulation ---------------------------------------------------------
+
+    def slice(self, start: int, stop: int) -> "Table":
+        """Return rows ``[start, stop)`` as a new table (copy)."""
+        if start < 0 or stop < start or stop > self._n_rows:
+            raise ValidationError(
+                f"invalid slice [{start}, {stop}) for table of {self._n_rows} rows"
+            )
+        data = {}
+        for name, values in self._columns.items():
+            if isinstance(values, list):
+                data[name] = values[start:stop]
+            else:
+                data[name] = values[start:stop].copy()
+        return Table(self._schema, data)
+
+    def select(self, names: Iterable[str]) -> "Table":
+        """Project onto a subset of columns."""
+        names = list(names)
+        schema = self._schema.select(names)
+        return Table(schema, {n: self._columns[n] for n in names})
+
+    def with_column(self, name: str, dtype: DataType, values: Sequence) -> "Table":
+        """Return a new table with one extra column appended."""
+        schema = self._schema.with_column(ColumnSpec(name, dtype))
+        data = dict(self._columns)
+        data[name] = values
+        return Table(schema, data)
+
+    def head(self, n: int = 5) -> "Table":
+        """First ``n`` rows (useful in examples and doctests)."""
+        return self.slice(0, min(n, self._n_rows))
+
+    def equals(self, other: "Table") -> bool:
+        """Deep equality on schema and values (used by round-trip tests)."""
+        if self._schema != other._schema or self._n_rows != other._n_rows:
+            return False
+        for name in self._schema.names:
+            a, b = self._columns[name], other._columns[name]
+            if isinstance(a, list):
+                if list(a) != list(b):
+                    return False
+            else:
+                if not np.array_equal(a, np.asarray(b)):
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        cols = ", ".join(
+            f"{spec.name}:{spec.dtype.name}" for spec in self._schema
+        )
+        return f"Table({self._n_rows} rows; {cols})"

@@ -1,0 +1,134 @@
+"""Unit tests for the baselines: single-column best-of, uncompressed, and C3."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    C3Selector,
+    SingleColumnBaseline,
+    UncompressedBaseline,
+    dfor_size,
+    numerical_size,
+    one_to_one_size,
+)
+from repro.core import NonHierarchicalEncoding
+from repro.datasets import TpchLineitemGenerator
+from repro.dtypes import INT64, STRING
+from repro.errors import EncodingError
+from repro.storage import Table
+
+
+class TestSingleColumnBaseline:
+    def test_report_covers_every_column(self, tpch_dates):
+        report = SingleColumnBaseline().report(tpch_dates)
+        assert set(report.column_sizes) == set(tpch_dates.column_names)
+        assert report.total_size == sum(report.column_sizes.values())
+        assert report.n_rows == tpch_dates.n_rows
+
+    def test_scheme_choice_is_for_or_dict(self, tpch_dates):
+        report = SingleColumnBaseline().report(tpch_dates)
+        assert set(report.scheme_names.values()) <= {"for_bitpack", "dictionary"}
+
+    def test_compress_roundtrip(self, tpch_dates):
+        relation = SingleColumnBaseline(block_size=8_000).compress(tpch_dates)
+        restored = np.concatenate(
+            [b.decode_column("l_shipdate") for b in relation]
+        )
+        assert np.array_equal(restored, tpch_dates.column("l_shipdate"))
+
+    def test_baseline_smaller_than_uncompressed(self, tpch_dates):
+        baseline = SingleColumnBaseline().report(tpch_dates).total_size
+        raw = tpch_dates.uncompressed_size()
+        assert baseline < raw
+
+
+class TestUncompressedBaseline:
+    def test_plain_encoding_used(self, tpch_dates):
+        relation = UncompressedBaseline(block_size=8_000).compress(tpch_dates)
+        assert relation.block(0).encoding_of("l_shipdate") == "plain"
+
+    def test_sizes_match_logical_width(self, tpch_dates):
+        sizes = UncompressedBaseline().report_sizes(tpch_dates)
+        assert sizes["l_shipdate"] == 4 * tpch_dates.n_rows
+
+    def test_roundtrip(self, tpch_dates):
+        relation = UncompressedBaseline(block_size=8_000).compress(tpch_dates)
+        restored = np.concatenate(
+            [b.decode_column("l_receiptdate") for b in relation]
+        )
+        assert np.array_equal(restored, tpch_dates.column("l_receiptdate"))
+
+
+class TestC3Schemes:
+    def test_dfor_close_to_corra_on_dates(self, tpch_dates):
+        ship = tpch_dates.column("l_shipdate")
+        receipt = tpch_dates.column("l_receiptdate")
+        corra = NonHierarchicalEncoding().encode(receipt, ship, "ship").size_bytes
+        c3 = dfor_size(receipt, ship)
+        # DFOR pays per-mini-block metadata but packs the same differences.
+        assert c3 == pytest.approx(corra, rel=0.1)
+
+    def test_dfor_length_mismatch(self):
+        with pytest.raises(EncodingError):
+            dfor_size(np.arange(3), np.arange(4))
+
+    def test_numerical_captures_affine_correlation(self, rng):
+        reference = rng.integers(0, 10_000, size=5_000, dtype=np.int64)
+        target = 3 * reference + 17 + rng.integers(0, 4, size=5_000, dtype=np.int64)
+        affine = numerical_size(target, reference)
+        additive = dfor_size(target, reference)
+        assert affine < additive
+
+    def test_numerical_constant_reference(self):
+        reference = np.full(100, 5, dtype=np.int64)
+        target = np.full(100, 42, dtype=np.int64)
+        assert numerical_size(target, reference) > 0
+
+    def test_one_to_one_perfect_dependency(self):
+        reference = ["a", "b", "c"] * 100
+        target = np.array([1, 2, 3] * 100, dtype=np.int64)
+        size = one_to_one_size(target, reference)
+        # No exceptions: only the 3-entry mapping plus metadata.
+        assert size <= 8 * 3 + 16
+
+    def test_one_to_one_with_exceptions(self):
+        reference = ["a"] * 100
+        target = np.array([1] * 90 + list(range(10)), dtype=np.int64)
+        size = one_to_one_size(target, reference)
+        assert size > one_to_one_size(np.array([1] * 100, dtype=np.int64), reference)
+
+    def test_empty_inputs(self):
+        assert dfor_size(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)) > 0
+        assert one_to_one_size([], []) > 0
+
+
+class TestC3Selector:
+    def test_estimates_for_integer_pair(self, tpch_dates):
+        selector = C3Selector()
+        estimates = selector.estimates(tpch_dates, "l_receiptdate", "l_shipdate")
+        schemes = {e.scheme for e in estimates}
+        assert {"DFOR", "Numerical", "1-to-1", "Hierarchical"} == schemes
+
+    def test_estimates_for_string_reference(self, dmv_table):
+        selector = C3Selector()
+        estimates = selector.estimates(dmv_table, "zip_code", "city")
+        schemes = {e.scheme for e in estimates}
+        assert "DFOR" not in schemes  # string reference, no arithmetic schemes
+        assert "Hierarchical" in schemes
+
+    def test_best_picks_minimum(self, tpch_dates):
+        selector = C3Selector()
+        best = selector.best(tpch_dates, "l_receiptdate", "l_shipdate")
+        assert best.size_bytes == min(
+            e.size_bytes
+            for e in selector.estimates(tpch_dates, "l_receiptdate", "l_shipdate")
+        )
+
+    def test_corra_and_c3_on_par_for_dates(self, tpch_dates):
+        """Table 3's takeaway: the two systems are on par for the date pairs."""
+        ship = tpch_dates.column("l_shipdate")
+        receipt = tpch_dates.column("l_receiptdate")
+        baseline = SingleColumnBaseline().select_column(tpch_dates, "l_receiptdate").size_bytes
+        corra_rate = 1 - NonHierarchicalEncoding().encode(receipt, ship, "s").size_bytes / baseline
+        c3_rate = 1 - C3Selector().best(tpch_dates, "l_receiptdate", "l_shipdate").size_bytes / baseline
+        assert corra_rate == pytest.approx(c3_rate, abs=0.05)

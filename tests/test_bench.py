@@ -1,0 +1,112 @@
+"""Unit tests for the experiment harness and the per-figure experiments."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    all_experiments,
+    c3_comparison_table3,
+    compression_table2,
+    format_saving_rate,
+    format_table,
+    latency_figure5,
+    latency_figure8,
+    latency_zoom_figure6,
+    latency_zoom_figure7,
+    optimizer_figure2,
+    rule_mixture_table1,
+    run_experiments,
+)
+
+# Small row counts: these tests check wiring and result shape, not final numbers.
+ROWS = 20_000
+LATENCY_KWARGS = dict(n_rows=10_000, n_vectors=1, block_size=10_000)
+
+
+class TestHarness:
+    def test_format_table_aligns_columns(self):
+        text = format_table(("a", "bb"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_format_saving_rate(self):
+        assert format_saving_rate(0.583) == "58.3%"
+        assert format_saving_rate(-0.02) == "-2.0%"
+
+    def test_experiment_result_render(self):
+        result = ExperimentResult("t", "Title", ("x",))
+        result.add_row(1)
+        result.add_note("a note")
+        text = result.render()
+        assert "Title" in text and "a note" in text
+
+
+class TestCompressionExperiments:
+    def test_table2_has_all_seven_rows(self):
+        result = compression_table2(n_rows=ROWS)
+        assert len(result.rows) == 7
+        datasets = {row[0] for row in result.rows}
+        assert datasets == {"lineitem", "taxi", "dmv", "message"}
+
+    def test_table2_headline_savings(self):
+        result = compression_table2(n_rows=ROWS)
+        metrics = result.metrics
+        assert metrics["lineitem.l_receiptdate.saving_rate"] == pytest.approx(0.583, abs=0.01)
+        assert metrics["lineitem.l_commitdate.saving_rate"] == pytest.approx(0.333, abs=0.01)
+        assert metrics["taxi.total_amount.saving_rate"] > 0.7
+        assert metrics["taxi.dropoff.saving_rate"] > 0.2
+
+    def test_table1_mixture(self):
+        result = rule_mixture_table1(n_rows=ROWS)
+        assert [row[0] for row in result.rows] == ["A", "A + B", "A + C", "A + B + C", "None"]
+        assert result.metrics["outlier_fraction"] == pytest.approx(0.0032, abs=0.003)
+
+    def test_table3_has_four_pairs(self):
+        result = c3_comparison_table3(n_rows=ROWS)
+        assert len(result.rows) == 4
+        for pair in ("l_commitdate", "l_receiptdate", "dropoff", "zip_code"):
+            assert f"corra.{pair}" in result.metrics
+
+    def test_figure2_reproduces_configuration(self):
+        result = optimizer_figure2(n_rows=ROWS)
+        notes = " ".join(result.notes)
+        assert "diff-encode l_receiptdate w.r.t. l_shipdate" in notes
+        assert "diff-encode l_commitdate w.r.t. l_shipdate" in notes
+        assert result.metrics["total_saving_scaled_mb"] == pytest.approx(82.5, rel=0.05)
+
+
+class TestLatencyExperiments:
+    def test_figure5_shape(self):
+        result = latency_figure5(selectivities=[0.01, 0.1], **LATENCY_KWARGS)
+        assert len(result.rows) == 2 * 2 * 2  # encodings x query types x selectivities
+        assert all(ratio > 0 for ratio in result.metrics.values())
+
+    def test_figure6_shape(self):
+        result = latency_zoom_figure6(selectivities=[0.01], **LATENCY_KWARGS)
+        configurations = {row[2] for row in result.rows}
+        assert configurations == {
+            "Uncompressed", "Single-column compression", "Corra"
+        }
+
+    def test_figure7_shape(self):
+        result = latency_zoom_figure7(selectivities=[0.01], **LATENCY_KWARGS)
+        assert len(result.rows) == 6  # 1 selectivity x 2 queries x 3 configurations
+
+    def test_figure8_shape(self):
+        result = latency_figure8(selectivities=[0.01, 0.1], **LATENCY_KWARGS)
+        assert len(result.rows) == 2
+        assert all(ratio > 0 for ratio in result.metrics.values())
+
+
+class TestRunner:
+    def test_registry_lists_all_eight_experiments(self):
+        assert set(all_experiments()) == {
+            "table1", "table2", "table3", "figure2",
+            "figure5", "figure6", "figure7", "figure8",
+        }
+
+    def test_run_selected_experiments(self):
+        results = run_experiments(["table1", "figure2"], n_rows=ROWS)
+        assert [r.experiment_id for r in results] == ["table1", "figure2"]

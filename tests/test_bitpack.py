@@ -1,0 +1,154 @@
+"""Unit tests for the bit-packing kernel."""
+
+import numpy as np
+import pytest
+
+from repro.bitpack import (
+    BitPackedArray,
+    gather,
+    pack,
+    packed_size_bytes,
+    required_bits,
+    unpack,
+)
+from repro.errors import DecodingError, ValidationError
+
+
+class TestRequiredBits:
+    def test_zero_needs_no_bits(self):
+        assert required_bits(0) == 0
+
+    def test_small_values(self):
+        assert required_bits(1) == 1
+        assert required_bits(2) == 2
+        assert required_bits(3) == 2
+        assert required_bits(4) == 3
+
+    def test_powers_of_two_boundaries(self):
+        for k in range(1, 63):
+            assert required_bits(2**k - 1) == k
+            assert required_bits(2**k) == k + 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            required_bits(-1)
+
+
+class TestPackedSize:
+    def test_rounds_up_to_bytes(self):
+        assert packed_size_bytes(3, 5) == 2  # 15 bits -> 2 bytes
+        assert packed_size_bytes(8, 8) == 8
+        assert packed_size_bytes(0, 13) == 0
+
+    def test_zero_width(self):
+        assert packed_size_bytes(1000, 0) == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValidationError):
+            packed_size_bytes(10, 65)
+
+    def test_negative_count(self):
+        with pytest.raises(ValidationError):
+            packed_size_bytes(-1, 8)
+
+
+class TestPackUnpackRoundTrip:
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 7, 8, 12, 13, 16, 24, 31, 33, 48, 63, 64])
+    def test_roundtrip_random(self, width):
+        rng = np.random.default_rng(width)
+        high = (1 << width) - 1 if width < 64 else (1 << 63) - 1
+        values = rng.integers(0, high + 1, size=257, dtype=np.uint64).astype(np.int64)
+        values = np.abs(values)
+        words = pack(values, width)
+        assert np.array_equal(unpack(words, width, len(values)), values)
+
+    def test_roundtrip_zero_width(self):
+        values = np.zeros(100, dtype=np.int64)
+        words = pack(values, 0)
+        assert words.size == 0
+        assert np.array_equal(unpack(words, 0, 100), values)
+
+    def test_empty_input(self):
+        words = pack(np.zeros(0, dtype=np.int64), 7)
+        assert unpack(words, 7, 0).size == 0
+
+    def test_values_straddling_word_boundary(self):
+        # Width 5: value index 12 straddles bits 60..64.
+        values = np.arange(32, dtype=np.int64)
+        words = pack(values, 5)
+        assert np.array_equal(unpack(words, 5, 32), values)
+
+    def test_value_too_large_rejected(self):
+        with pytest.raises(ValidationError):
+            pack(np.array([8], dtype=np.int64), 3)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValidationError):
+            pack(np.array([-1], dtype=np.int64), 8)
+
+    def test_nonzero_values_with_zero_width_rejected(self):
+        with pytest.raises(ValidationError):
+            pack(np.array([1], dtype=np.int64), 0)
+
+    def test_float_input_rejected(self):
+        with pytest.raises(ValidationError):
+            pack(np.array([1.5]), 8)
+
+
+class TestGather:
+    def test_gather_matches_unpack(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 1000, size=500, dtype=np.int64)
+        words = pack(values, 10)
+        positions = rng.integers(0, 500, size=64, dtype=np.int64)
+        assert np.array_equal(gather(words, 10, positions), values[positions])
+
+    def test_gather_preserves_order_and_duplicates(self):
+        values = np.arange(100, dtype=np.int64)
+        words = pack(values, 7)
+        positions = np.array([5, 5, 3, 99, 0, 3], dtype=np.int64)
+        assert np.array_equal(gather(words, 7, positions), values[positions])
+
+    def test_gather_empty_positions(self):
+        words = pack(np.arange(10, dtype=np.int64), 4)
+        assert gather(words, 4, np.array([], dtype=np.int64)).size == 0
+
+    def test_gather_out_of_range(self):
+        words = pack(np.arange(10, dtype=np.int64), 4)
+        with pytest.raises(DecodingError):
+            gather(words, 4, np.array([100], dtype=np.int64))
+
+    def test_gather_negative_position(self):
+        words = pack(np.arange(10, dtype=np.int64), 4)
+        with pytest.raises(DecodingError):
+            gather(words, 4, np.array([-1], dtype=np.int64))
+
+
+class TestBitPackedArray:
+    def test_from_values_minimal_width(self):
+        packed = BitPackedArray.from_values(np.array([0, 5, 7], dtype=np.int64))
+        assert packed.bit_width == 3
+        assert len(packed) == 3
+
+    def test_explicit_width(self):
+        packed = BitPackedArray.from_values(np.array([1, 2, 3], dtype=np.int64), 16)
+        assert packed.bit_width == 16
+
+    def test_to_numpy_roundtrip(self):
+        values = np.array([3, 1, 4, 1, 5, 9, 2, 6], dtype=np.int64)
+        packed = BitPackedArray.from_values(values)
+        assert np.array_equal(packed.to_numpy(), values)
+
+    def test_gather_bounds_checked(self):
+        packed = BitPackedArray.from_values(np.arange(16, dtype=np.int64))
+        with pytest.raises(DecodingError):
+            packed.gather(np.array([16], dtype=np.int64))
+
+    def test_size_bytes_is_logical(self):
+        packed = BitPackedArray.from_values(np.arange(8, dtype=np.int64), 3)
+        assert packed.size_bytes == 3  # 24 bits
+
+    def test_empty_array(self):
+        packed = BitPackedArray.from_values(np.zeros(0, dtype=np.int64))
+        assert packed.size_bytes == 0
+        assert packed.to_numpy().size == 0

@@ -1,0 +1,114 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("datasets", "compress", "detect", "experiments"):
+            args = parser.parse_args([command] + (["taxi"] if command in ("compress", "detect") else []))
+            assert args.command == command
+
+
+class TestDatasetsCommand:
+    def test_list_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("tpch_lineitem", "ldbc_message", "dmv", "taxi"):
+            assert name in out
+
+    def test_export_to_stdout(self, capsys):
+        assert main(["datasets", "taxi", "--rows", "50", "--limit", "5"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out[0].startswith("pickup,")
+        assert len(out) == 6  # header + 5 rows
+
+    def test_export_to_file(self, tmp_path, capsys):
+        path = tmp_path / "dmv.csv"
+        assert main(["datasets", "dmv", "--rows", "100", "--output", str(path)]) == 0
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 101
+        assert "zip_code" in lines[0]
+
+    def test_unknown_dataset(self, capsys):
+        assert main(["datasets", "imdb"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompressCommand:
+    def test_baseline_plan(self, capsys):
+        assert main(["compress", "tpch_lineitem", "--rows", "5000",
+                     "--plan", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "l_shipdate" in out
+        assert "total:" in out
+
+    def test_explicit_diff_encoding(self, capsys):
+        assert main([
+            "compress", "tpch_lineitem", "--rows", "5000",
+            "--diff-encode", "l_receiptdate:l_shipdate",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "non_hierarchical (l_shipdate)" in out
+
+    def test_explicit_hierarchical_encoding(self, capsys):
+        assert main([
+            "compress", "dmv", "--rows", "5000",
+            "--hierarchical", "zip_code:city",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hierarchical (city)" in out
+
+    def test_mined_multi_reference(self, capsys):
+        assert main([
+            "compress", "taxi", "--rows", "5000",
+            "--mine-rules-for", "total_amount",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mined multi-reference configuration" in out
+        assert "multi_reference" in out
+
+    def test_auto_plan(self, capsys):
+        assert main(["compress", "tpch_lineitem", "--rows", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "saving" in out
+
+    def test_bad_pair_spec(self, capsys):
+        assert main([
+            "compress", "tpch_lineitem", "--rows", "2000",
+            "--diff-encode", "no-colon-here",
+        ]) == 1
+        assert "TARGET:REFERENCE" in capsys.readouterr().err
+
+    def test_unknown_reference_column(self, capsys):
+        assert main([
+            "compress", "tpch_lineitem", "--rows", "2000",
+            "--diff-encode", "l_receiptdate:nope",
+        ]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestDetectCommand:
+    def test_detect_taxi(self, capsys):
+        assert main(["detect", "taxi", "--rows", "5000", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "dropoff" in out
+
+    def test_detect_nothing_found(self, capsys):
+        assert main(["detect", "taxi", "--rows", "500",
+                     "--min-saving-rate", "0.99"]) == 0
+        assert "no exploitable correlations" in capsys.readouterr().out
+
+
+class TestExperimentsCommand:
+    def test_single_experiment(self, capsys):
+        assert main(["experiments", "table1", "--rows", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "Binary encoding" in out

@@ -1,0 +1,116 @@
+"""Unit tests for automatic correlation detection (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CorrelationDetector,
+    arithmetic_rule_coverage,
+    bounded_difference_score,
+    hierarchy_score,
+)
+from repro.datasets import TaxiGenerator, TpchLineitemGenerator, taxi_multi_reference_config
+from repro.errors import ValidationError
+
+
+class TestBoundedDifferenceScore:
+    def test_correlated_pair_saves_bits(self, rng):
+        base = rng.integers(10**6, 2 * 10**6, size=2_000, dtype=np.int64)
+        target = base + rng.integers(0, 30, size=2_000, dtype=np.int64)
+        score = bounded_difference_score(target, base)
+        assert score["diff_bits"] <= 5
+        assert score["bits_saved_per_row"] > 10
+
+    def test_uncorrelated_pair_saves_nothing(self, rng):
+        a = rng.integers(0, 2**20, size=2_000, dtype=np.int64)
+        b = rng.integers(0, 2**20, size=2_000, dtype=np.int64)
+        score = bounded_difference_score(a, b)
+        assert score["bits_saved_per_row"] <= 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            bounded_difference_score(np.arange(3), np.arange(4))
+
+    def test_empty_input(self):
+        score = bounded_difference_score(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        assert score["bits_saved_per_row"] == 0
+
+
+class TestHierarchyScore:
+    def test_city_zip_pair(self, city_zip_table):
+        score = hierarchy_score(
+            city_zip_table.column("zip_code"), city_zip_table.column("city")
+        )
+        assert score["global_distinct"] == 5
+        assert score["max_group_distinct"] == 2
+        assert score["n_groups"] == 3
+        assert score["bits_saved_per_row"] == 2  # 3 bits -> 1 bit
+
+    def test_no_hierarchy(self, rng):
+        a = rng.integers(0, 1_000, size=2_000, dtype=np.int64)
+        b = rng.integers(0, 3, size=2_000, dtype=np.int64)
+        score = hierarchy_score(a, b)
+        assert score["bits_saved_per_row"] <= 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            hierarchy_score([1, 2], [1])
+
+
+class TestArithmeticRuleCoverage:
+    def test_taxi_coverage(self):
+        taxi = TaxiGenerator().generate_monetary_only(20_000, seed=5)
+        config = taxi_multi_reference_config()
+        references = {name: taxi.column(name) for name in config.reference_columns}
+        coverage = arithmetic_rule_coverage(
+            taxi.column("total_amount"), references, config
+        )
+        assert coverage["outlier_fraction"] == pytest.approx(0.0032, abs=0.003)
+        assert sum(coverage["rule_coverage"].values()) == pytest.approx(
+            1.0 - coverage["outlier_fraction"]
+        )
+
+
+class TestCorrelationDetector:
+    def test_detects_tpch_date_correlations(self):
+        dates = TpchLineitemGenerator().generate_dates_only(20_000, seed=9)
+        detector = CorrelationDetector()
+        best = detector.best_per_target(dates)
+        assert "l_receiptdate" in best
+        assert best["l_receiptdate"].kind == "non_hierarchical"
+        assert best["l_receiptdate"].references == ("l_shipdate",)
+
+    def test_detects_hierarchy(self, city_zip_table):
+        detector = CorrelationDetector(min_saving_rate=0.01)
+        suggestions = detector.suggest(city_zip_table)
+        kinds = {(s.kind, s.target) for s in suggestions}
+        assert ("hierarchical", "zip_code") in kinds
+
+    def test_suggestions_sorted_by_saving(self, small_int_table):
+        detector = CorrelationDetector(min_saving_rate=0.0)
+        suggestions = detector.suggest(small_int_table)
+        savings = [s.estimated_saving_bytes for s in suggestions]
+        assert savings == sorted(savings, reverse=True)
+
+    def test_no_suggestions_for_uncorrelated_data(self, rng):
+        from repro.dtypes import INT64
+        from repro.storage import Table
+
+        table = Table.from_columns(
+            [
+                ("a", INT64, rng.integers(0, 2**30, size=3_000, dtype=np.int64)),
+                ("b", INT64, rng.integers(0, 2**30, size=3_000, dtype=np.int64)),
+            ]
+        )
+        suggestions = CorrelationDetector(min_saving_rate=0.05).suggest(table)
+        assert all(s.kind != "non_hierarchical" for s in suggestions)
+
+    def test_sampling_caps_inspected_rows(self, small_int_table):
+        detector = CorrelationDetector(sample_rows=100, min_saving_rate=0.0)
+        suggestions = detector.suggest(small_int_table)
+        assert suggestions  # still finds the shifted/base correlation
+
+    def test_suggestion_str(self, small_int_table):
+        detector = CorrelationDetector(min_saving_rate=0.0)
+        suggestions = detector.suggest(small_int_table)
+        assert any("non_hierarchical" in str(s) for s in suggestions)

@@ -1,0 +1,163 @@
+"""Unit tests for the non-hierarchical (single-reference) diff-encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core import DiffEncodedColumn, NonHierarchicalEncoding, estimate_diff_encoded_size
+from repro.errors import DecodingError, EncodingError
+
+
+@pytest.fixture
+def ship_receipt(rng):
+    ship = rng.integers(8_000, 10_500, size=5_000, dtype=np.int64)
+    receipt = ship + rng.integers(1, 31, size=5_000, dtype=np.int64)
+    return ship, receipt
+
+
+class TestEncoding:
+    def test_roundtrip(self, ship_receipt):
+        ship, receipt = ship_receipt
+        column = NonHierarchicalEncoding().encode(receipt, ship, "ship")
+        decoded = column.decode_with_reference({"ship": ship})
+        assert np.array_equal(decoded, receipt)
+
+    def test_gather_with_reference(self, ship_receipt, rng):
+        ship, receipt = ship_receipt
+        column = NonHierarchicalEncoding().encode(receipt, ship, "ship")
+        pos = rng.integers(0, 5_000, size=200, dtype=np.int64)
+        out = column.gather_with_reference(pos, {"ship": ship[pos]})
+        assert np.array_equal(out, receipt[pos])
+
+    def test_bit_width_is_diff_width(self, ship_receipt):
+        ship, receipt = ship_receipt
+        column = NonHierarchicalEncoding().encode(receipt, ship, "ship")
+        # Differences are 1..30 -> 5 bits, far below the 12+ bits of the raw column.
+        assert column.bit_width == 5
+        assert not column.uses_zigzag
+
+    def test_negative_differences_use_zigzag(self, ship_receipt):
+        ship, receipt = ship_receipt
+        # Encode ship w.r.t. receipt: differences are -30..-1.
+        column = NonHierarchicalEncoding().encode(ship, receipt, "receipt")
+        assert column.uses_zigzag
+        assert column.bit_width == 6  # one extra sign bit
+        assert np.array_equal(
+            column.decode_with_reference({"receipt": receipt}), ship
+        )
+
+    def test_frame_mode_ablation(self, ship_receipt):
+        ship, receipt = ship_receipt
+        framed = NonHierarchicalEncoding(use_frame=True).encode(ship, receipt, "receipt")
+        unframed = NonHierarchicalEncoding().encode(ship, receipt, "receipt")
+        # FOR over the differences removes the sign bit again.
+        assert framed.bit_width == 5
+        assert framed.size_bytes <= unframed.size_bytes
+        assert np.array_equal(
+            framed.decode_with_reference({"receipt": receipt}), ship
+        )
+
+    def test_size_beats_vertical_when_correlated(self, ship_receipt):
+        ship, receipt = ship_receipt
+        column = NonHierarchicalEncoding().encode(receipt, ship, "ship")
+        vertical_bits = 12  # receipt spans ~2500 values
+        assert column.size_bytes < vertical_bits * len(receipt) / 8
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(EncodingError):
+            NonHierarchicalEncoding().encode(
+                np.arange(10, dtype=np.int64), np.arange(9, dtype=np.int64), "r"
+            )
+
+    def test_decode_without_reference_raises(self, ship_receipt):
+        ship, receipt = ship_receipt
+        column = NonHierarchicalEncoding().encode(receipt, ship, "ship")
+        with pytest.raises(DecodingError):
+            column.decode()
+        with pytest.raises(DecodingError):
+            column.gather(np.array([0]))
+
+    def test_missing_reference_values_raises(self, ship_receipt):
+        ship, receipt = ship_receipt
+        column = NonHierarchicalEncoding().encode(receipt, ship, "ship")
+        with pytest.raises(DecodingError):
+            column.gather_with_reference(np.array([0]), {"other": ship[:1]})
+
+    def test_wrong_length_reference_values_raises(self, ship_receipt):
+        ship, receipt = ship_receipt
+        column = NonHierarchicalEncoding().encode(receipt, ship, "ship")
+        with pytest.raises(DecodingError):
+            column.gather_with_reference(np.array([0, 1]), {"ship": ship[:1]})
+
+    def test_stats(self, ship_receipt):
+        ship, receipt = ship_receipt
+        column = NonHierarchicalEncoding().encode(receipt, ship, "ship")
+        stats = column.stats()
+        assert stats.min_difference >= 1
+        assert stats.max_difference <= 30
+        assert stats.n_outliers == 0
+        assert stats.size_bytes == column.size_bytes
+
+    def test_empty_columns(self):
+        column = NonHierarchicalEncoding().encode(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), "r"
+        )
+        assert column.n_values == 0
+        assert column.size_bytes > 0  # metadata only
+
+
+class TestOutlierHandling:
+    def test_outliers_diverted_and_reconstructed(self, rng):
+        reference = rng.integers(0, 100, size=2_000, dtype=np.int64)
+        target = reference + rng.integers(0, 16, size=2_000, dtype=np.int64)
+        # Inject 1% wild rows whose difference cannot fit the usual width.
+        wild = rng.choice(2_000, size=20, replace=False)
+        target[wild] += 1_000_000
+        column = DiffEncodedColumn(target, reference, "ref", outlier_bit_budget=4)
+        assert column.outliers.n_outliers == 20
+        assert column.bit_width <= 4
+        decoded = column.decode_with_reference({"ref": reference})
+        assert np.array_equal(decoded, target)
+
+    def test_no_outliers_when_budget_suffices(self, rng):
+        reference = rng.integers(0, 100, size=500, dtype=np.int64)
+        target = reference + rng.integers(0, 8, size=500, dtype=np.int64)
+        column = DiffEncodedColumn(target, reference, "ref", outlier_bit_budget=8)
+        assert column.outliers.n_outliers == 0
+
+    def test_outliers_increase_size_accounting(self, rng):
+        reference = np.zeros(1_000, dtype=np.int64)
+        target = np.zeros(1_000, dtype=np.int64)
+        target[::100] = 10**9
+        with_outliers = DiffEncodedColumn(target, reference, "ref", outlier_bit_budget=0)
+        assert with_outliers.outliers.n_outliers == 10
+        assert with_outliers.size_bytes > DiffEncodedColumn(
+            np.zeros(1_000, dtype=np.int64), reference, "ref"
+        ).size_bytes
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(EncodingError):
+            DiffEncodedColumn(
+                np.array([0, 10], dtype=np.int64),
+                np.array([0, 0], dtype=np.int64),
+                "ref",
+                outlier_bit_budget=-1,
+            )
+
+
+class TestSizeEstimate:
+    def test_estimate_matches_encoding(self, ship_receipt):
+        ship, receipt = ship_receipt
+        estimated = estimate_diff_encoded_size(receipt, ship)
+        actual = NonHierarchicalEncoding().encode(receipt, ship, "ship").size_bytes
+        assert estimated == actual
+
+    def test_estimate_asymmetry_matches_figure2(self, ship_receipt):
+        """Fig. 2: a -> b and b -> a can differ by the sign bit."""
+        ship, receipt = ship_receipt
+        forward = estimate_diff_encoded_size(receipt, ship)   # diffs in [1, 30]
+        backward = estimate_diff_encoded_size(ship, receipt)  # diffs in [-30, -1]
+        assert backward > forward
+
+    def test_estimate_length_mismatch(self):
+        with pytest.raises(EncodingError):
+            estimate_diff_encoded_size(np.arange(3), np.arange(4))

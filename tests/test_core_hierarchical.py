@@ -1,0 +1,131 @@
+"""Unit tests for the hierarchical encoding (paper §2.2, Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import HierarchicalEncodedColumn, HierarchicalEncoding
+from repro.errors import DecodingError, EncodingError
+
+
+class TestPaperFigure3Example:
+    """The exact example from Fig. 3 of the paper."""
+
+    CITIES = ["Cortland", "Naples", "Naples", "Naples", "NYC", "NYC"]
+    ZIPS = np.array([13045, 34102, 34112, 34102, 10016, 10001], dtype=np.int64)
+
+    def _column(self):
+        return HierarchicalEncoding().encode(self.ZIPS, self.CITIES, "city")
+
+    def test_roundtrip(self):
+        column = self._column()
+        decoded = column.decode_with_reference({"city": self.CITIES})
+        assert np.array_equal(decoded, self.ZIPS)
+
+    def test_group_structure(self):
+        column = self._column()
+        assert column.n_groups == 3            # Cortland, Naples, NYC
+        assert column.n_distinct_targets == 5  # the "zip_codes" array of Fig. 3
+        assert column.max_group_fanout == 2    # Naples and NYC have two zips each
+
+    def test_code_width_is_group_local(self):
+        column = self._column()
+        # Two zips per city at most -> 1 bit per row instead of 3+ bits.
+        assert column.code_bit_width == 1
+
+    def test_gather_subset(self):
+        column = self._column()
+        pos = np.array([1, 3, 5], dtype=np.int64)
+        cities = [self.CITIES[i] for i in pos]
+        assert np.array_equal(
+            column.gather_with_reference(pos, {"city": cities}), self.ZIPS[pos]
+        )
+
+
+class TestIntegerReference:
+    def test_country_ip_style_pair(self, rng):
+        countries = rng.integers(0, 20, size=3_000, dtype=np.int64)
+        ips = countries * 1_000 + rng.integers(0, 50, size=3_000, dtype=np.int64)
+        column = HierarchicalEncoding().encode(ips, countries, "country")
+        decoded = column.decode_with_reference({"country": countries})
+        assert np.array_equal(decoded, ips)
+        assert column.code_bit_width <= 6  # <= 50 distinct per group
+        assert column.n_groups == len(np.unique(countries))
+
+    def test_unseen_reference_value_rejected(self, rng):
+        countries = rng.integers(0, 5, size=100, dtype=np.int64)
+        ips = countries * 10
+        column = HierarchicalEncoding().encode(ips, countries, "country")
+        with pytest.raises(DecodingError):
+            column.gather_with_reference(
+                np.array([0]), {"country": np.array([99], dtype=np.int64)}
+            )
+
+
+class TestStringTarget:
+    def test_string_dependent_values(self, rng):
+        countries = rng.integers(0, 4, size=400, dtype=np.int64)
+        ips = [f"10.{c}.0.{i % 8}" for i, c in enumerate(countries)]
+        column = HierarchicalEncoding().encode(ips, countries, "countryid")
+        decoded = column.decode_with_reference({"countryid": countries})
+        assert decoded == ips
+
+    def test_string_target_size_includes_heap(self, rng):
+        countries = rng.integers(0, 4, size=400, dtype=np.int64)
+        ips = [f"10.{c}.0.{i % 8}" for i, c in enumerate(countries)]
+        column = HierarchicalEncoding().encode(ips, countries, "countryid")
+        assert column.metadata_size_bytes > 0
+        assert column.size_bytes > column.metadata_size_bytes
+
+
+class TestValidationAndEdgeCases:
+    def test_length_mismatch(self):
+        with pytest.raises(EncodingError):
+            HierarchicalEncoding().encode([1, 2, 3], ["a", "b"], "ref")
+
+    def test_decode_without_reference_raises(self, city_zip_table):
+        column = HierarchicalEncoding().encode(
+            city_zip_table.column("zip_code"), city_zip_table.column("city"), "city"
+        )
+        with pytest.raises(DecodingError):
+            column.decode()
+
+    def test_unseen_string_reference_rejected(self):
+        column = HierarchicalEncoding().encode(
+            [1, 2], ["a", "b"], "ref"
+        )
+        with pytest.raises(DecodingError):
+            column.gather_with_reference(np.array([0]), {"ref": ["zzz"]})
+
+    def test_empty_columns(self):
+        column = HierarchicalEncoding().encode([], [], "ref")
+        assert column.n_values == 0
+        assert column.n_groups == 0
+
+    def test_single_group(self, rng):
+        zips = rng.integers(0, 100, size=500, dtype=np.int64)
+        cities = ["OnlyCity"] * 500
+        column = HierarchicalEncoding().encode(zips, cities, "city")
+        assert column.n_groups == 1
+        assert np.array_equal(
+            column.decode_with_reference({"city": cities}), zips
+        )
+
+    def test_functional_dependency_needs_zero_code_bits(self):
+        cities = ["a", "b", "c", "a", "b"] * 20
+        zips = np.array([1, 2, 3, 1, 2] * 20, dtype=np.int64)
+        column = HierarchicalEncoding().encode(zips, cities, "city")
+        assert column.max_group_fanout == 1
+        assert column.code_bit_width == 0
+
+    def test_stats(self, city_zip_table):
+        column = HierarchicalEncoding().encode(
+            city_zip_table.column("zip_code"), city_zip_table.column("city"), "city"
+        )
+        stats = column.stats()
+        assert stats.n_values == city_zip_table.n_rows
+        assert stats.n_groups == 3
+        assert stats.average_fanout == pytest.approx(5 / 3)
+
+    def test_float_target_rejected(self):
+        with pytest.raises(EncodingError):
+            HierarchicalEncoding().encode(np.array([1.5, 2.5]), ["a", "b"], "ref")

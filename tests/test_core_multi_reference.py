@@ -1,0 +1,233 @@
+"""Unit tests for multi-reference encoding and the outlier store (paper §2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArithmeticRule,
+    MultiReferenceConfig,
+    MultiReferenceEncoding,
+    OutlierStore,
+    ReferenceGroup,
+)
+from repro.datasets import TaxiGenerator, taxi_multi_reference_config
+from repro.errors import ConfigurationError, DecodingError, EncodingError, ValidationError
+
+
+@pytest.fixture
+def simple_config():
+    groups = (
+        ReferenceGroup("A", ("a1", "a2")),
+        ReferenceGroup("B", ("b",)),
+    )
+    rules = (ArithmeticRule(("A",)), ArithmeticRule(("A", "B")))
+    return MultiReferenceConfig(groups=groups, rules=rules)
+
+
+@pytest.fixture
+def simple_data(rng):
+    n = 2_000
+    a1 = rng.integers(0, 100, size=n, dtype=np.int64)
+    a2 = rng.integers(0, 100, size=n, dtype=np.int64)
+    b = rng.integers(1, 50, size=n, dtype=np.int64)
+    choose_b = rng.random(n) < 0.6
+    outlier = rng.random(n) < 0.01
+    total = np.where(choose_b, a1 + a2 + b, a1 + a2)
+    total[outlier] += 10_000
+    return {"a1": a1, "a2": a2, "b": b}, total, outlier
+
+
+class TestConfig:
+    def test_reference_columns_in_order(self, simple_config):
+        assert simple_config.reference_columns == ("a1", "a2", "b")
+
+    def test_code_width(self, simple_config):
+        assert simple_config.code_bit_width == 1
+
+    def test_four_rules_need_two_bits(self):
+        config = taxi_multi_reference_config()
+        assert config.code_bit_width == 2
+        assert [r.label for r in config.rules] == ["A", "A + B", "A + C", "A + B + C"]
+
+    def test_duplicate_group_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiReferenceConfig(
+                groups=(ReferenceGroup("A", ("x",)), ReferenceGroup("A", ("y",))),
+                rules=(ArithmeticRule(("A",)),),
+            )
+
+    def test_rule_referencing_unknown_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiReferenceConfig(
+                groups=(ReferenceGroup("A", ("x",)),),
+                rules=(ArithmeticRule(("A", "Z")),),
+            )
+
+    def test_empty_rules_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiReferenceConfig(groups=(ReferenceGroup("A", ("x",)),), rules=())
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReferenceGroup("A", ())
+
+    def test_duplicate_groups_in_rule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArithmeticRule(("A", "A"))
+
+
+class TestEncoding:
+    def test_roundtrip(self, simple_config, simple_data):
+        references, total, _ = simple_data
+        column = MultiReferenceEncoding(simple_config).encode(total, references)
+        decoded = column.decode_with_reference(references)
+        assert np.array_equal(decoded, total)
+
+    def test_gather_subset(self, simple_config, simple_data, rng):
+        references, total, _ = simple_data
+        column = MultiReferenceEncoding(simple_config).encode(total, references)
+        pos = rng.integers(0, len(total), size=100, dtype=np.int64)
+        subset_refs = {name: values[pos] for name, values in references.items()}
+        assert np.array_equal(
+            column.gather_with_reference(pos, subset_refs), total[pos]
+        )
+
+    def test_outlier_fraction_matches_injection(self, simple_config, simple_data):
+        references, total, outlier_mask = simple_data
+        column = MultiReferenceEncoding(simple_config).encode(total, references)
+        assert column.outliers.n_outliers == int(outlier_mask.sum())
+
+    def test_code_width_stays_minimal_despite_outliers(self, simple_config, simple_data):
+        """The paper's point: outliers do not force a wider code (no sentinel)."""
+        references, total, _ = simple_data
+        column = MultiReferenceEncoding(simple_config).encode(total, references)
+        assert column.code_bit_width == 1
+
+    def test_rule_statistics_sum_to_one(self, simple_config, simple_data):
+        references, total, _ = simple_data
+        column = MultiReferenceEncoding(simple_config).encode(total, references)
+        stats = column.rule_statistics()
+        assert sum(stats.probabilities) + stats.outlier_probability == pytest.approx(1.0)
+        assert stats.codes == ["0", "1"]
+
+    def test_first_matching_rule_wins(self):
+        """When B is zero, A and A+B coincide; the first rule must be chosen."""
+        config = MultiReferenceConfig(
+            groups=(ReferenceGroup("A", ("a",)), ReferenceGroup("B", ("b",))),
+            rules=(ArithmeticRule(("A",)), ArithmeticRule(("A", "B"))),
+        )
+        references = {
+            "a": np.array([10, 10], dtype=np.int64),
+            "b": np.array([0, 5], dtype=np.int64),
+        }
+        total = np.array([10, 15], dtype=np.int64)
+        column = MultiReferenceEncoding(config).encode(total, references)
+        stats = column.rule_statistics()
+        assert stats.probabilities == [0.5, 0.5]
+
+    def test_missing_reference_column_rejected(self, simple_config):
+        with pytest.raises(EncodingError):
+            MultiReferenceEncoding(simple_config).encode(
+                np.array([1], dtype=np.int64), {"a1": np.array([1], dtype=np.int64)}
+            )
+
+    def test_reference_length_mismatch_rejected(self, simple_config):
+        with pytest.raises(EncodingError):
+            MultiReferenceEncoding(simple_config).encode(
+                np.array([1, 2], dtype=np.int64),
+                {
+                    "a1": np.array([1, 2], dtype=np.int64),
+                    "a2": np.array([1, 2], dtype=np.int64),
+                    "b": np.array([1], dtype=np.int64),
+                },
+            )
+
+    def test_decode_without_reference_raises(self, simple_config, simple_data):
+        references, total, _ = simple_data
+        column = MultiReferenceEncoding(simple_config).encode(total, references)
+        with pytest.raises(DecodingError):
+            column.decode()
+
+
+class TestTaxiConfiguration:
+    def test_taxi_mixture_close_to_paper(self):
+        taxi = TaxiGenerator().generate_monetary_only(50_000, seed=11)
+        config = taxi_multi_reference_config()
+        references = {name: taxi.column(name) for name in config.reference_columns}
+        column = MultiReferenceEncoding(config).encode(
+            taxi.column("total_amount"), references
+        )
+        stats = column.rule_statistics()
+        observed = dict(zip(stats.labels, stats.probabilities))
+        assert observed["A"] == pytest.approx(0.3119, abs=0.02)
+        assert observed["A + B"] == pytest.approx(0.6244, abs=0.02)
+        assert stats.outlier_probability == pytest.approx(0.0032, abs=0.002)
+
+    def test_taxi_roundtrip(self):
+        taxi = TaxiGenerator().generate_monetary_only(20_000, seed=11)
+        config = taxi_multi_reference_config()
+        references = {name: taxi.column(name) for name in config.reference_columns}
+        column = MultiReferenceEncoding(config).encode(
+            taxi.column("total_amount"), references
+        )
+        assert np.array_equal(
+            column.decode_with_reference(references), taxi.column("total_amount")
+        )
+
+    def test_taxi_saving_is_large(self):
+        taxi = TaxiGenerator().generate_monetary_only(20_000, seed=11)
+        config = taxi_multi_reference_config()
+        references = {name: taxi.column(name) for name in config.reference_columns}
+        column = MultiReferenceEncoding(config).encode(
+            taxi.column("total_amount"), references
+        )
+        # Vertical FOR needs ~13-14 bits per row; the rule codes need 2.
+        vertical_bytes = 13 * taxi.n_rows / 8
+        assert column.size_bytes < 0.35 * vertical_bytes
+
+
+class TestOutlierStore:
+    def test_apply_overrides_positions(self):
+        store = OutlierStore(np.array([2, 5]), np.array([100, 200]))
+        reconstructed = np.zeros(8, dtype=np.int64)
+        out = store.apply(np.arange(8), reconstructed)
+        assert out[2] == 100 and out[5] == 200
+        assert out[[0, 1, 3, 4, 6, 7]].sum() == 0
+
+    def test_apply_on_subset_positions(self):
+        store = OutlierStore(np.array([10]), np.array([7]))
+        out = store.apply(np.array([9, 10, 11]), np.array([1, 2, 3], dtype=np.int64))
+        assert out.tolist() == [1, 7, 3]
+
+    def test_membership(self):
+        store = OutlierStore(np.array([1, 4]), np.array([11, 44]))
+        is_outlier, values = store.membership(np.array([0, 1, 4, 9]))
+        assert is_outlier.tolist() == [False, True, True, False]
+        assert values[1] == 11 and values[2] == 44
+
+    def test_from_mask(self):
+        values = np.array([5, 6, 7, 8], dtype=np.int64)
+        store = OutlierStore.from_mask(np.array([False, True, False, True]), values)
+        assert store.positions.tolist() == [1, 3]
+        assert store.values.tolist() == [6, 8]
+
+    def test_empty_store(self):
+        store = OutlierStore.empty()
+        assert not store
+        assert store.size_bytes > 0  # header only
+        out = store.apply(np.array([0, 1]), np.array([9, 9], dtype=np.int64))
+        assert out.tolist() == [9, 9]
+
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(ValidationError):
+            OutlierStore(np.array([1, 1]), np.array([2, 3]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            OutlierStore(np.array([1, 2]), np.array([3]))
+
+    def test_fraction(self):
+        store = OutlierStore(np.array([0, 1, 2]), np.array([0, 0, 0]))
+        assert store.fraction_of(1_000) == pytest.approx(0.003)
+        with pytest.raises(ValidationError):
+            store.fraction_of(0)

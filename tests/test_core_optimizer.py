@@ -1,0 +1,134 @@
+"""Unit tests for the diff-encoding configuration optimizer (paper Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DiffEncodingOptimizer, optimal_configuration_exhaustive
+from repro.core.optimizer import CandidateGraph
+from repro.datasets import TpchLineitemGenerator
+from repro.dtypes import INT64, STRING
+from repro.errors import ConfigurationError
+from repro.storage import Table
+
+
+class TestGraphConstruction:
+    def test_graph_has_all_edges(self, dates_schema_table):
+        graph = DiffEncodingOptimizer().build_graph(dates_schema_table)
+        assert set(graph.columns) == {"ship", "commit", "receipt"}
+        assert len(graph.edge_sizes) == 6  # ordered pairs
+
+    def test_vertex_weights_are_baseline_sizes(self, dates_schema_table):
+        graph = DiffEncodingOptimizer().build_graph(dates_schema_table)
+        for column in graph.columns:
+            assert graph.vertical_sizes[column] > 0
+
+    def test_string_columns_excluded_by_default(self):
+        table = Table.from_columns(
+            [("x", INT64, np.arange(100)), ("s", STRING, ["a"] * 100)]
+        )
+        graph = DiffEncodingOptimizer().build_graph(table)
+        assert graph.columns == ("x",)
+
+    def test_string_column_explicitly_requested_rejected(self):
+        table = Table.from_columns(
+            [("x", INT64, np.arange(100)), ("s", STRING, ["a"] * 100)]
+        )
+        with pytest.raises(ConfigurationError):
+            DiffEncodingOptimizer().build_graph(table, ["x", "s"])
+
+    def test_saving_and_edge_lookup(self, dates_schema_table):
+        graph = DiffEncodingOptimizer().build_graph(dates_schema_table)
+        assert graph.saving("receipt", "ship") == (
+            graph.vertical_sizes["receipt"] - graph.edge("receipt", "ship")
+        )
+        with pytest.raises(ConfigurationError):
+            graph.edge("ship", "ship")
+
+
+class TestGreedySelection:
+    def test_constant_offsets_make_both_diff_encoded(self, dates_schema_table):
+        _, config = DiffEncodingOptimizer().optimize(dates_schema_table)
+        assert config.assignments == {"commit": "ship", "receipt": "ship"} or (
+            set(config.assignments) == {"commit", "receipt"}
+            and len(config.reference_columns) == 1
+        )
+        assert config.total_saving > 0
+        assert config.total_size < config.baseline_size
+
+    def test_reference_column_stays_vertical(self, dates_schema_table):
+        _, config = DiffEncodingOptimizer().optimize(dates_schema_table)
+        for reference in config.reference_columns:
+            assert reference not in config.assignments
+
+    def test_uncorrelated_columns_stay_vertical(self, rng):
+        table = Table.from_columns(
+            [
+                ("a", INT64, rng.integers(0, 2**30, size=5_000, dtype=np.int64)),
+                ("b", INT64, rng.integers(0, 2**30, size=5_000, dtype=np.int64)),
+            ]
+        )
+        _, config = DiffEncodingOptimizer().optimize(table)
+        assert config.assignments == {}
+        assert config.total_saving == 0
+
+    def test_column_size_accessor(self, dates_schema_table):
+        graph, config = DiffEncodingOptimizer().optimize(dates_schema_table)
+        for column in graph.columns:
+            assert config.column_size(column) > 0
+
+    def test_describe_mentions_choices(self, dates_schema_table):
+        _, config = DiffEncodingOptimizer().optimize(dates_schema_table)
+        text = config.describe()
+        assert "diff-encoded w.r.t." in text
+        assert "total saving" in text
+
+
+class TestAgainstExhaustiveSearch:
+    def test_greedy_is_optimal_on_tpch_dates(self):
+        dates = TpchLineitemGenerator().generate_dates_only(20_000, seed=3)
+        optimizer = DiffEncodingOptimizer()
+        graph, greedy = optimizer.optimize(dates)
+        exhaustive = optimal_configuration_exhaustive(graph)
+        assert greedy.total_size == exhaustive.total_size
+
+    def test_greedy_is_optimal_on_synthetic_chain(self, rng):
+        base = rng.integers(10**6, 2 * 10**6, size=5_000, dtype=np.int64)
+        table = Table.from_columns(
+            [
+                ("a", INT64, base),
+                ("b", INT64, base + rng.integers(0, 16, size=5_000, dtype=np.int64)),
+                ("c", INT64, base + rng.integers(0, 1024, size=5_000, dtype=np.int64)),
+            ]
+        )
+        optimizer = DiffEncodingOptimizer()
+        graph, greedy = optimizer.optimize(table)
+        exhaustive = optimal_configuration_exhaustive(graph)
+        assert greedy.total_size == exhaustive.total_size
+
+    def test_exhaustive_rejects_large_graphs(self):
+        graph = CandidateGraph(
+            columns=tuple(f"c{i}" for i in range(11)),
+            vertical_sizes={f"c{i}": 10 for i in range(11)},
+            edge_sizes={},
+        )
+        with pytest.raises(ConfigurationError):
+            optimal_configuration_exhaustive(graph)
+
+
+class TestPaperFigure2:
+    def test_shipdate_chosen_as_reference(self):
+        """The greedy configuration must match Fig. 2: shipdate is the
+        reference for both commitdate and receiptdate."""
+        dates = TpchLineitemGenerator().generate_dates_only(30_000, seed=5)
+        _, config = DiffEncodingOptimizer().optimize(dates)
+        assert config.assignments["l_receiptdate"] == "l_shipdate"
+        assert config.assignments["l_commitdate"] == "l_shipdate"
+        assert "l_shipdate" not in config.assignments
+
+    def test_saving_scales_to_82_mb_at_sf10(self):
+        generator = TpchLineitemGenerator()
+        n_rows = 30_000
+        dates = generator.generate_dates_only(n_rows, seed=5)
+        _, config = DiffEncodingOptimizer().optimize(dates)
+        scaled_mb = config.total_saving * (generator.paper_rows / n_rows) / 1e6
+        assert scaled_mb == pytest.approx(82.5, rel=0.03)

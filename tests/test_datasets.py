@@ -1,0 +1,176 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DmvGenerator,
+    LdbcMessageGenerator,
+    TaxiGenerator,
+    TpchLineitemGenerator,
+    available_datasets,
+    dataset_by_name,
+    rows_for_scale_factor,
+    taxi_multi_reference_config,
+)
+from repro.errors import ValidationError
+
+
+class TestRegistry:
+    def test_all_four_datasets_registered(self):
+        assert set(available_datasets()) == {
+            "tpch_lineitem", "ldbc_message", "dmv", "taxi"
+        }
+
+    def test_lookup_by_name(self):
+        assert dataset_by_name("dmv").name == "dmv"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            dataset_by_name("imdb")
+
+    def test_info(self):
+        info = dataset_by_name("taxi").info()
+        assert info.paper_rows == 37_891_377
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("generator_cls", [
+        TpchLineitemGenerator, LdbcMessageGenerator, DmvGenerator, TaxiGenerator
+    ])
+    def test_same_seed_same_data(self, generator_cls):
+        a = generator_cls().generate(2_000, seed=5)
+        b = generator_cls().generate(2_000, seed=5)
+        assert a.equals(b)
+
+    def test_different_seed_different_data(self):
+        a = TpchLineitemGenerator().generate(2_000, seed=5)
+        b = TpchLineitemGenerator().generate(2_000, seed=6)
+        assert not a.equals(b)
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValidationError):
+            TaxiGenerator().generate(-1)
+
+
+class TestTpchLineitem:
+    def test_row_count_and_columns(self, tpch_dates):
+        assert tpch_dates.n_rows == 20_000
+        assert set(TpchLineitemGenerator.DATE_COLUMNS) <= set(tpch_dates.column_names)
+
+    def test_date_offsets_follow_the_spec(self):
+        table = TpchLineitemGenerator().generate(30_000, seed=2)
+        ship = table.column("l_shipdate")
+        order = table.column("l_orderdate")
+        commit = table.column("l_commitdate")
+        receipt = table.column("l_receiptdate")
+        assert np.all((ship - order >= 1) & (ship - order <= 121))
+        assert np.all((commit - order >= 30) & (commit - order <= 90))
+        assert np.all((receipt - ship >= 1) & (receipt - ship <= 30))
+
+    def test_scale_factor_rows(self):
+        assert rows_for_scale_factor(1) == 6_001_215
+        assert rows_for_scale_factor(10) == 60_012_150
+
+    def test_scale_to_paper(self):
+        generator = TpchLineitemGenerator()
+        assert generator.scale_to_paper(100, 1_000) == pytest.approx(
+            100 * generator.paper_rows / 1_000
+        )
+
+
+class TestLdbcMessage:
+    def test_hierarchy_holds(self, ldbc_table):
+        """Each IP string must map to exactly one country."""
+        pairs = {}
+        for country, ip in zip(ldbc_table.column("countryid"), ldbc_table.column("ip")):
+            assert pairs.setdefault(ip, country) == country
+
+    def test_per_country_pools_are_much_smaller_than_global(self, ldbc_table):
+        countries = np.asarray(ldbc_table.column("countryid"))
+        ips = np.asarray(ldbc_table.column("ip"), dtype=object)
+        global_distinct = len(set(ips.tolist()))
+        top_country = np.bincount(countries).argmax()
+        in_top = set(ips[countries == top_country].tolist())
+        assert len(in_top) < global_distinct / 3
+
+    def test_ip_format(self, ldbc_table):
+        ip = ldbc_table.column("ip")[0]
+        parts = ip.split(".")
+        assert len(parts) == 4
+        assert all(0 <= int(p) <= 255 for p in parts)
+
+
+class TestDmv:
+    def test_city_determines_state(self, dmv_table):
+        mapping = {}
+        for state, city in zip(dmv_table.column("state"), dmv_table.column("city")):
+            assert mapping.setdefault(city, state) == state
+
+    def test_zip_determines_city(self, dmv_table):
+        mapping = {}
+        for city, zip_code in zip(dmv_table.column("city"), dmv_table.column("zip_code")):
+            assert mapping.setdefault(int(zip_code), city) == city
+
+    def test_ny_dominates(self, dmv_table):
+        states = dmv_table.column("state")
+        assert states.count("NY") / len(states) > 0.85
+
+    def test_zip_range_is_us_wide(self, dmv_table):
+        zips = np.asarray(dmv_table.column("zip_code"))
+        assert zips.min() >= 501
+        assert zips.max() <= 99_999
+        assert zips.max() - zips.min() > 50_000
+
+    def test_per_city_fanout_bounded(self, dmv_table):
+        cities = np.asarray(dmv_table.column("city"), dtype=object)
+        zips = np.asarray(dmv_table.column("zip_code"))
+        fanout = {}
+        for city, zip_code in zip(cities, zips):
+            fanout.setdefault(city, set()).add(int(zip_code))
+        assert max(len(v) for v in fanout.values()) <= 200
+
+    def test_explicit_domain_override(self):
+        table = DmvGenerator(n_cities=50, n_zip_codes=100).generate(5_000, seed=1)
+        assert len(set(table.column("city"))) <= 50
+
+
+class TestTaxi:
+    def test_dropoff_after_pickup(self, taxi_table):
+        assert np.all(taxi_table.column("dropoff") > taxi_table.column("pickup"))
+
+    def test_totals_cleaned_below_100_dollars(self, taxi_table):
+        assert taxi_table.column("total_amount").max() < 10_000
+        assert taxi_table.column("total_amount").min() >= 0
+
+    def test_rule_mixture_close_to_table1(self):
+        table = TaxiGenerator().generate_monetary_only(80_000, seed=13)
+        config = taxi_multi_reference_config()
+        group_a = sum(table.column(c) for c in config.groups[0].columns)
+        group_b = table.column("congestion_surcharge")
+        group_c = table.column("airport_fee")
+        total = table.column("total_amount")
+        share_a = np.mean(total == group_a)
+        share_ab = np.mean(total == group_a + group_b)
+        assert share_a == pytest.approx(0.3119, abs=0.02)
+        assert share_ab == pytest.approx(0.6244, abs=0.02)
+
+    def test_outliers_match_no_rule(self):
+        table = TaxiGenerator().generate_monetary_only(80_000, seed=13)
+        config = taxi_multi_reference_config()
+        references = {name: table.column(name) for name in config.reference_columns}
+        predictions = config.rule_predictions(references)
+        total = table.column("total_amount")
+        matched = np.zeros(len(total), dtype=bool)
+        for prediction in predictions:
+            matched |= prediction == total
+        assert 0.0005 < np.mean(~matched) < 0.01
+
+    def test_monetary_only_projection(self):
+        table = TaxiGenerator().generate_monetary_only(1_000)
+        assert "pickup" not in table.column_names
+        assert "total_amount" in table.column_names
+
+    def test_timestamps_only_projection(self):
+        table = TaxiGenerator().generate_timestamps_only(1_000)
+        assert table.column_names == ("pickup", "dropoff")

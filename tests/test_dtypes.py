@@ -1,0 +1,87 @@
+"""Unit tests for the logical type system."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.dtypes import (
+    BOOLEAN,
+    DATE,
+    DECIMAL,
+    INT32,
+    INT64,
+    STRING,
+    TIMESTAMP,
+    cents_to_decimal,
+    date_to_days,
+    days_to_date,
+    decimal_to_cents,
+    type_from_name,
+)
+from repro.errors import ValidationError
+
+
+class TestDataTypes:
+    def test_integer_like_flags(self):
+        for dtype in (INT32, INT64, DATE, TIMESTAMP, DECIMAL, BOOLEAN):
+            assert dtype.is_integer_like
+            assert not dtype.is_string
+
+    def test_string_flags(self):
+        assert STRING.is_string
+        assert not STRING.is_integer_like
+
+    def test_uncompressed_size(self):
+        assert DATE.uncompressed_size(1_000_000) == 4_000_000
+        assert INT64.uncompressed_size(10) == 80
+        assert BOOLEAN.uncompressed_size(8) == 8
+
+    def test_uncompressed_size_negative(self):
+        with pytest.raises(ValidationError):
+            INT64.uncompressed_size(-1)
+
+    def test_type_from_name(self):
+        assert type_from_name("date") is DATE
+        assert type_from_name("string") is STRING
+
+    def test_type_from_name_unknown(self):
+        with pytest.raises(ValidationError):
+            type_from_name("uuid")
+
+    def test_str(self):
+        assert str(DATE) == "date"
+
+    def test_validate_array_accepts_integers(self):
+        DATE.validate_array(np.array([1, 2, 3]))
+
+    def test_validate_array_rejects_floats(self):
+        with pytest.raises(ValidationError):
+            DECIMAL.validate_array(np.array([1.5, 2.5]))
+
+    def test_validate_string_rejects_numeric(self):
+        with pytest.raises(ValidationError):
+            STRING.validate_array(np.array([1, 2, 3]))
+
+
+class TestConversions:
+    def test_date_roundtrip(self):
+        dates = [datetime.date(1992, 1, 2), datetime.date(1998, 12, 1)]
+        days = date_to_days(dates)
+        assert days_to_date(days) == dates
+
+    def test_epoch_is_day_zero(self):
+        assert date_to_days([datetime.date(1970, 1, 1)])[0] == 0
+
+    def test_decimal_roundtrip(self):
+        values = [12.34, 0.0, 99.99]
+        cents = decimal_to_cents(values)
+        assert np.array_equal(cents, np.array([1234, 0, 9999]))
+        assert np.allclose(cents_to_decimal(cents), values)
+
+    def test_decimal_scale(self):
+        assert decimal_to_cents([1.234], scale=3)[0] == 1234
+
+    def test_decimal_rounding(self):
+        assert decimal_to_cents([0.005])[0] in (0, 1)  # numpy round-half-even
+        assert decimal_to_cents([1.005 + 1e-9])[0] == 101

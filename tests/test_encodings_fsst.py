@@ -1,0 +1,97 @@
+"""Unit tests for the FSST-style string codec."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import INT64, STRING
+from repro.encodings import FsstEncoding, SymbolTable, train_symbol_table
+from repro.errors import DecodingError, EncodingError
+
+
+@pytest.fixture
+def urls():
+    return [
+        f"https://www.example.com/products/item-{i % 100}/details?page={i % 7}"
+        for i in range(500)
+    ]
+
+
+class TestSymbolTable:
+    def test_encode_decode_roundtrip(self):
+        table = SymbolTable([b"http", b"://", b"www.", b"com"])
+        payload = table.encode_bytes(b"http://www.example.com")
+        assert table.decode_bytes(payload) == b"http://www.example.com"
+
+    def test_known_substrings_compress(self):
+        table = SymbolTable([b"abcdefgh"])
+        assert len(table.encode_bytes(b"abcdefgh" * 4)) == 4
+
+    def test_escape_for_unknown_bytes(self):
+        table = SymbolTable([b"xy"])
+        payload = table.encode_bytes(b"zz")
+        assert len(payload) == 4  # two escape pairs
+
+    def test_too_many_symbols_rejected(self):
+        with pytest.raises(EncodingError):
+            SymbolTable([bytes([i % 250, i // 250]) for i in range(300)])
+
+    def test_symbol_length_bounds(self):
+        with pytest.raises(EncodingError):
+            SymbolTable([b"123456789"])  # 9 bytes
+        with pytest.raises(EncodingError):
+            SymbolTable([b""])
+
+    def test_corrupt_payload_raises(self):
+        table = SymbolTable([b"ab"])
+        with pytest.raises(DecodingError):
+            table.decode_bytes(bytes([255]))  # dangling escape
+
+    def test_size_accounting(self):
+        table = SymbolTable([b"ab", b"cde"])
+        assert table.size_bytes == 2 + 5
+
+
+class TestTrainer:
+    def test_trainer_finds_common_substrings(self, urls):
+        table = train_symbol_table(urls)
+        encoded = table.encode_bytes(urls[0].encode())
+        assert len(encoded) < len(urls[0])
+
+    def test_trainer_on_empty_input(self):
+        table = train_symbol_table([])
+        assert len(table) >= 1
+
+
+class TestFsstEncoding:
+    def test_roundtrip(self, urls):
+        column = FsstEncoding().encode(urls, STRING)
+        assert column.decode() == urls
+
+    def test_gather(self, urls):
+        column = FsstEncoding().encode(urls, STRING)
+        pos = np.array([0, 17, 17, 499], dtype=np.int64)
+        assert column.gather(pos) == [urls[0], urls[17], urls[17], urls[499]]
+
+    def test_gather_out_of_range(self, urls):
+        column = FsstEncoding().encode(urls, STRING)
+        with pytest.raises(DecodingError):
+            column.gather(np.array([len(urls)]))
+
+    def test_compresses_repetitive_strings(self, urls):
+        column = FsstEncoding().encode(urls, STRING)
+        raw_payload = sum(len(u.encode()) for u in urls) + 8 * len(urls)
+        assert column.size_bytes < raw_payload
+
+    def test_unicode_roundtrip(self):
+        values = ["München", "Zürich", "北京", "München"] * 20
+        column = FsstEncoding().encode(values, STRING)
+        assert column.decode() == values
+
+    def test_rejects_integer_columns(self):
+        with pytest.raises(EncodingError):
+            FsstEncoding().encode(np.arange(4), INT64)
+
+    def test_empty_strings(self):
+        values = ["", "a", "", "bb"]
+        column = FsstEncoding().encode(values, STRING)
+        assert column.decode() == values

@@ -1,0 +1,82 @@
+"""Unit tests for the best-of single-column selector (the paper's baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import INT64, STRING
+from repro.encodings import (
+    BestOfSelector,
+    DeltaEncoding,
+    ForBitPackEncoding,
+    all_schemes,
+    default_random_access_schemes,
+    scheme_by_name,
+)
+from repro.errors import EncodingError, UnknownEncodingError
+
+
+class TestDefaults:
+    def test_default_candidates_are_for_and_dict(self):
+        names = {s.name for s in default_random_access_schemes()}
+        assert names == {"for_bitpack", "dictionary"}
+
+    def test_all_schemes_cover_the_registry(self):
+        names = {s.name for s in all_schemes()}
+        assert {"plain", "for_bitpack", "dictionary", "delta", "rle",
+                "frequency", "fsst"} <= names
+
+    def test_scheme_by_name(self):
+        assert scheme_by_name("rle").name == "rle"
+
+    def test_scheme_by_name_unknown(self):
+        with pytest.raises(UnknownEncodingError):
+            scheme_by_name("zstd")
+
+
+class TestSelection:
+    def test_narrow_range_prefers_for(self, rng):
+        values = rng.integers(1_000_000, 1_000_100, size=5_000, dtype=np.int64)
+        result = BestOfSelector().select(values, INT64)
+        assert result.scheme_name == "for_bitpack"
+
+    def test_low_cardinality_wide_range_prefers_dictionary(self, rng):
+        values = rng.choice(
+            np.array([1, 10**12, -5 * 10**11], dtype=np.int64), size=5_000
+        )
+        result = BestOfSelector().select(values, INT64)
+        assert result.scheme_name == "dictionary"
+
+    def test_strings_fall_back_to_dictionary(self):
+        result = BestOfSelector().select(["a", "b", "a"] * 100, STRING)
+        assert result.scheme_name == "dictionary"
+
+    def test_candidate_sizes_recorded(self, rng):
+        values = rng.integers(0, 50, size=1_000, dtype=np.int64)
+        result = BestOfSelector().select(values, INT64)
+        assert set(result.candidate_sizes) == {"for_bitpack", "dictionary"}
+        assert result.size_bytes == min(result.candidate_sizes.values())
+
+    def test_roundtrip_of_selected_column(self, rng):
+        values = rng.integers(0, 50, size=1_000, dtype=np.int64)
+        result = BestOfSelector().select(values, INT64)
+        assert np.array_equal(result.column.decode(), values)
+
+    def test_best_size_matches_select(self, rng):
+        values = rng.integers(0, 1_000, size=2_000, dtype=np.int64)
+        selector = BestOfSelector()
+        assert selector.best_size(values, INT64) == selector.select(values, INT64).size_bytes
+
+    def test_custom_candidate_set(self):
+        values = np.arange(10_000, dtype=np.int64)
+        selector = BestOfSelector([ForBitPackEncoding(), DeltaEncoding()])
+        result = selector.select(values, INT64)
+        assert result.scheme_name == "delta"
+
+    def test_no_applicable_scheme_raises(self):
+        selector = BestOfSelector([ForBitPackEncoding()])
+        with pytest.raises(EncodingError):
+            selector.select(["a"], STRING)
+
+    def test_empty_candidate_set_rejected(self):
+        with pytest.raises(EncodingError):
+            BestOfSelector([])

@@ -1,0 +1,250 @@
+"""Unit tests for the single-column (vertical) encodings.
+
+Every scheme is checked for the same core contract — full-decode round trip,
+positional ``gather`` round trip, size accounting — plus scheme-specific
+behaviour (frames, dictionaries, runs, exceptions, checkpoints).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DATE, INT64, STRING
+from repro.encodings import (
+    DeltaEncoding,
+    DictionaryEncoding,
+    ForBitPackEncoding,
+    FrequencyEncoding,
+    PlainEncoding,
+    RleEncoding,
+)
+from repro.errors import DecodingError, EncodingError
+
+
+def _random_positions(n, rng, count=50):
+    return rng.integers(0, n, size=count, dtype=np.int64)
+
+
+@pytest.fixture
+def int_values(rng):
+    return rng.integers(10_000, 10_500, size=2_000, dtype=np.int64)
+
+
+@pytest.fixture
+def string_values(rng):
+    cities = ["Cortland", "Naples", "NYC", "Albany", "Buffalo"]
+    return [cities[i] for i in rng.integers(0, len(cities), size=500)]
+
+
+class TestPlainEncoding:
+    def test_int_roundtrip(self, int_values, rng):
+        column = PlainEncoding().encode(int_values, INT64)
+        assert np.array_equal(column.decode(), int_values)
+        pos = _random_positions(len(int_values), rng)
+        assert np.array_equal(column.gather(pos), int_values[pos])
+
+    def test_string_roundtrip(self, string_values):
+        column = PlainEncoding().encode(string_values, STRING)
+        assert column.decode() == string_values
+        assert column.gather(np.array([0, 3, 3])) == [
+            string_values[0], string_values[3], string_values[3]
+        ]
+
+    def test_int_size_matches_logical_width(self, int_values):
+        column = PlainEncoding().encode(int_values, DATE)
+        assert column.size_bytes == 4 * len(int_values)
+
+    def test_string_size_counts_payload(self):
+        column = PlainEncoding().encode(["ab", "c"], STRING)
+        assert column.size_bytes == 8 * 2 + 3
+
+    def test_gather_out_of_range(self, int_values):
+        column = PlainEncoding().encode(int_values, INT64)
+        with pytest.raises(DecodingError):
+            column.gather(np.array([len(int_values)]))
+
+    def test_supports_everything(self):
+        assert PlainEncoding().supports(STRING)
+        assert PlainEncoding().supports(INT64)
+
+
+class TestForBitPackEncoding:
+    def test_roundtrip(self, int_values, rng):
+        column = ForBitPackEncoding().encode(int_values, INT64)
+        assert np.array_equal(column.decode(), int_values)
+        pos = _random_positions(len(int_values), rng)
+        assert np.array_equal(column.gather(pos), int_values[pos])
+
+    def test_bit_width_uses_range_not_magnitude(self, int_values):
+        column = ForBitPackEncoding().encode(int_values, INT64)
+        assert column.bit_width <= 9  # range < 500
+        assert column.frame == int(int_values.min())
+
+    def test_constant_column_needs_no_payload_bits(self):
+        column = ForBitPackEncoding().encode(np.full(1000, 77, dtype=np.int64), INT64)
+        assert column.bit_width == 0
+        assert column.size_bytes < 32
+
+    def test_negative_values_supported_via_frame(self):
+        values = np.array([-50, -20, -50, -1], dtype=np.int64)
+        column = ForBitPackEncoding().encode(values, INT64)
+        assert np.array_equal(column.decode(), values)
+
+    def test_size_smaller_than_plain(self, int_values):
+        plain = PlainEncoding().encode(int_values, INT64)
+        packed = ForBitPackEncoding().encode(int_values, INT64)
+        assert packed.size_bytes < plain.size_bytes
+
+    def test_rejects_strings(self):
+        with pytest.raises(EncodingError):
+            ForBitPackEncoding().encode(["a"], STRING)
+
+    def test_estimate_matches_actual(self, int_values):
+        scheme = ForBitPackEncoding()
+        assert scheme.estimate_size(int_values, INT64) == scheme.encode(
+            int_values, INT64
+        ).size_bytes
+
+
+class TestDictionaryEncoding:
+    def test_int_roundtrip(self, rng):
+        values = rng.choice(np.array([7, 42, 99, 12345], dtype=np.int64), size=1000)
+        column = DictionaryEncoding().encode(values, INT64)
+        assert np.array_equal(column.decode(), values)
+        pos = _random_positions(1000, rng)
+        assert np.array_equal(column.gather(pos), values[pos])
+
+    def test_int_code_width(self, rng):
+        values = rng.choice(np.array([7, 42, 99], dtype=np.int64), size=1000)
+        column = DictionaryEncoding().encode(values, INT64)
+        assert column.bit_width == 2
+        assert len(column.dictionary) == 3
+
+    def test_string_roundtrip(self, string_values, rng):
+        column = DictionaryEncoding().encode(string_values, STRING)
+        assert column.decode() == string_values
+        pos = _random_positions(len(string_values), rng, 20)
+        assert column.gather(pos) == [string_values[int(p)] for p in pos]
+
+    def test_string_dictionary_sorted_and_distinct(self, string_values):
+        column = DictionaryEncoding().encode(string_values, STRING)
+        assert column.dictionary == sorted(set(string_values))
+
+    def test_gather_codes(self, string_values):
+        column = DictionaryEncoding().encode(string_values, STRING)
+        codes = column.gather_codes(np.array([0, 1]))
+        dictionary = column.dictionary
+        assert dictionary[codes[0]] == string_values[0]
+        assert dictionary[codes[1]] == string_values[1]
+
+    def test_size_beats_plain_on_repetitive_strings(self, string_values):
+        plain = PlainEncoding().encode(string_values, STRING)
+        dictionary = DictionaryEncoding().encode(string_values, STRING)
+        assert dictionary.size_bytes < plain.size_bytes
+
+    def test_single_distinct_value(self):
+        column = DictionaryEncoding().encode(["x"] * 100, STRING)
+        assert column.bit_width == 0
+        assert column.decode() == ["x"] * 100
+
+
+class TestDeltaEncoding:
+    def test_roundtrip_sorted(self):
+        values = np.cumsum(np.ones(5000, dtype=np.int64)) + 1_000_000
+        column = DeltaEncoding(checkpoint_interval=256).encode(values, INT64)
+        assert np.array_equal(column.decode(), values)
+
+    def test_roundtrip_unsorted(self, int_values, rng):
+        column = DeltaEncoding(checkpoint_interval=128).encode(int_values, INT64)
+        assert np.array_equal(column.decode(), int_values)
+        pos = _random_positions(len(int_values), rng)
+        assert np.array_equal(column.gather(pos), int_values[pos])
+
+    def test_sorted_column_is_tiny(self):
+        values = np.arange(10_000, dtype=np.int64)
+        delta = DeltaEncoding().encode(values, INT64)
+        packed = ForBitPackEncoding().encode(values, INT64)
+        assert delta.size_bytes < packed.size_bytes
+
+    def test_gather_across_checkpoints(self):
+        values = np.arange(0, 3000, 3, dtype=np.int64)
+        column = DeltaEncoding(checkpoint_interval=100).encode(values, INT64)
+        pos = np.array([0, 99, 100, 101, 999, 500], dtype=np.int64)
+        assert np.array_equal(column.gather(pos), values[pos])
+
+    def test_invalid_checkpoint_interval(self):
+        with pytest.raises(EncodingError):
+            DeltaEncoding(checkpoint_interval=0).encode(np.arange(10), INT64)
+
+    def test_empty_column(self):
+        column = DeltaEncoding().encode(np.zeros(0, dtype=np.int64), INT64)
+        assert column.decode().size == 0
+        assert column.n_values == 0
+
+
+class TestRleEncoding:
+    def test_roundtrip(self, rng):
+        values = np.repeat(rng.integers(0, 5, size=50, dtype=np.int64), 40)
+        column = RleEncoding().encode(values, INT64)
+        assert np.array_equal(column.decode(), values)
+        pos = _random_positions(len(values), rng)
+        assert np.array_equal(column.gather(pos), values[pos])
+
+    def test_run_count(self):
+        values = np.array([1, 1, 1, 2, 2, 3], dtype=np.int64)
+        column = RleEncoding().encode(values, INT64)
+        assert column.n_runs == 3
+
+    def test_beats_bitpack_on_long_runs(self):
+        values = np.repeat(np.arange(10, dtype=np.int64), 1000)
+        rle = RleEncoding().encode(values, INT64)
+        packed = ForBitPackEncoding().encode(values, INT64)
+        assert rle.size_bytes < packed.size_bytes
+
+    def test_single_run(self):
+        column = RleEncoding().encode(np.full(500, 9, dtype=np.int64), INT64)
+        assert column.n_runs == 1
+        assert np.array_equal(column.decode(), np.full(500, 9))
+
+    def test_alternating_values_degenerate(self):
+        values = np.tile(np.array([0, 1], dtype=np.int64), 100)
+        column = RleEncoding().encode(values, INT64)
+        assert column.n_runs == 200
+        assert np.array_equal(column.decode(), values)
+
+
+class TestFrequencyEncoding:
+    def test_roundtrip_with_exceptions(self, rng):
+        hot = rng.choice(np.array([5, 6, 7], dtype=np.int64), size=950)
+        cold = rng.integers(1_000_000, 2_000_000, size=50, dtype=np.int64)
+        values = np.concatenate([hot, cold])
+        rng.shuffle(values)
+        column = FrequencyEncoding(n_hot=3).encode(values, INT64)
+        assert np.array_equal(column.decode(), values)
+        pos = _random_positions(len(values), rng)
+        assert np.array_equal(column.gather(pos), values[pos])
+
+    def test_exception_count(self, rng):
+        values = np.concatenate(
+            [np.full(990, 1, dtype=np.int64), np.arange(100, 110, dtype=np.int64)]
+        )
+        column = FrequencyEncoding(n_hot=1).encode(values, INT64)
+        assert column.n_exceptions == 10
+
+    def test_no_exceptions_when_cardinality_small(self, rng):
+        values = rng.choice(np.array([1, 2], dtype=np.int64), size=400)
+        column = FrequencyEncoding(n_hot=16).encode(values, INT64)
+        assert column.n_exceptions == 0
+
+    def test_invalid_hot_count(self):
+        with pytest.raises(EncodingError):
+            FrequencyEncoding(n_hot=0).encode(np.arange(5), INT64)
+
+    def test_skewed_column_beats_bitpack(self, rng):
+        values = np.where(
+            rng.random(5000) < 0.99,
+            np.int64(3),
+            rng.integers(0, 1 << 40, size=5000, dtype=np.int64),
+        )
+        frequency = FrequencyEncoding(n_hot=8).encode(values, INT64)
+        packed = ForBitPackEncoding().encode(values, INT64)
+        assert frequency.size_bytes < packed.size_bytes

@@ -1,0 +1,63 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    CorraError,
+    DecodingError,
+    EncodingError,
+    SchemaError,
+    SerializationError,
+    UnknownColumnError,
+    UnknownEncodingError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            EncodingError,
+            DecodingError,
+            SchemaError,
+            UnknownColumnError,
+            UnknownEncodingError,
+            ValidationError,
+            ConfigurationError,
+            SerializationError,
+        ],
+    )
+    def test_all_derive_from_corra_error(self, exc):
+        assert issubclass(exc, CorraError)
+
+    def test_decoding_is_encoding_error(self):
+        assert issubclass(DecodingError, EncodingError)
+
+    def test_validation_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+    def test_unknown_column_is_key_error(self):
+        assert issubclass(UnknownColumnError, KeyError)
+
+
+class TestMessages:
+    def test_unknown_column_lists_available(self):
+        error = UnknownColumnError("foo", ("a", "b"))
+        assert "foo" in str(error)
+        assert "a" in str(error)
+        assert "b" in str(error)
+
+    def test_unknown_column_without_alternatives(self):
+        error = UnknownColumnError("foo")
+        assert str(error) == "unknown column 'foo'"
+
+    def test_unknown_encoding_lists_available(self):
+        error = UnknownEncodingError("zstd", ("plain", "rle"))
+        assert "zstd" in str(error)
+        assert "rle" in str(error)
+
+    def test_catching_base_class(self):
+        with pytest.raises(CorraError):
+            raise UnknownColumnError("x")

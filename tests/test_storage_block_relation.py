@@ -1,0 +1,147 @@
+"""Unit tests for compressed blocks and relations."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionPlan, TableCompressor
+from repro.dtypes import INT64, STRING
+from repro.errors import SchemaError, UnknownColumnError, ValidationError
+from repro.storage import (
+    ColumnDependency,
+    CompressedBlock,
+    Relation,
+    Schema,
+    Table,
+    split_into_blocks,
+)
+from repro.encodings import ForBitPackEncoding, DictionaryEncoding
+
+
+def _simple_block(n=100):
+    values = np.arange(n, dtype=np.int64)
+    strings = [f"s{i % 5}" for i in range(n)]
+    schema = Schema.from_pairs([("x", INT64), ("s", STRING)])
+    columns = {
+        "x": ForBitPackEncoding().encode(values, INT64),
+        "s": DictionaryEncoding().encode(strings, STRING),
+    }
+    return CompressedBlock(schema=schema, n_rows=n, columns=columns), values, strings
+
+
+class TestCompressedBlock:
+    def test_decode_and_gather(self):
+        block, values, strings = _simple_block()
+        assert np.array_equal(block.decode_column("x"), values)
+        pos = np.array([3, 97, 3])
+        assert np.array_equal(block.gather_column("x", pos), values[pos])
+        assert block.gather_column("s", pos) == [strings[3], strings[97], strings[3]]
+
+    def test_size_includes_all_columns(self):
+        block, _, _ = _simple_block()
+        assert block.size_bytes > block.column_size("x")
+        assert block.size_bytes > block.column_size("s")
+
+    def test_encoding_of(self):
+        block, _, _ = _simple_block()
+        assert block.encoding_of("x") == "for_bitpack"
+        assert block.encoding_of("s") == "dictionary"
+
+    def test_unknown_column(self):
+        block, _, _ = _simple_block()
+        with pytest.raises(UnknownColumnError):
+            block.column("nope")
+
+    def test_row_count_mismatch_rejected(self):
+        schema = Schema.from_pairs([("x", INT64)])
+        column = ForBitPackEncoding().encode(np.arange(5, dtype=np.int64), INT64)
+        with pytest.raises(SchemaError):
+            CompressedBlock(schema=schema, n_rows=6, columns={"x": column})
+
+    def test_dependency_on_missing_reference_rejected(self):
+        schema = Schema.from_pairs([("x", INT64)])
+        column = ForBitPackEncoding().encode(np.arange(5, dtype=np.int64), INT64)
+        with pytest.raises(SchemaError):
+            CompressedBlock(
+                schema=schema,
+                n_rows=5,
+                columns={"x": column},
+                dependencies={"x": ColumnDependency(("missing",), "non_hierarchical")},
+            )
+
+    def test_column_not_in_schema_rejected(self):
+        schema = Schema.from_pairs([("x", INT64)])
+        column = ForBitPackEncoding().encode(np.arange(5, dtype=np.int64), INT64)
+        with pytest.raises(SchemaError):
+            CompressedBlock(schema=schema, n_rows=5, columns={"y": column})
+
+
+class TestSplitIntoBlocks:
+    def test_even_split(self):
+        table = Table.from_columns([("x", INT64, np.arange(10))])
+        chunks = list(split_into_blocks(table, block_size=5))
+        assert [c.n_rows for c in chunks] == [5, 5]
+
+    def test_ragged_tail(self):
+        table = Table.from_columns([("x", INT64, np.arange(12))])
+        chunks = list(split_into_blocks(table, block_size=5))
+        assert [c.n_rows for c in chunks] == [5, 5, 2]
+
+    def test_invalid_block_size(self):
+        table = Table.from_columns([("x", INT64, np.arange(3))])
+        with pytest.raises(ValidationError):
+            list(split_into_blocks(table, block_size=0))
+
+
+class TestRelation:
+    def _relation(self, n=2_500, block_size=1_000):
+        table = Table.from_columns(
+            [
+                ("x", INT64, np.arange(n, dtype=np.int64)),
+                ("y", INT64, np.arange(n, dtype=np.int64) * 2),
+            ]
+        )
+        compressor = TableCompressor(
+            CompressionPlan.vertical_only(table.schema), block_size=block_size
+        )
+        return table, compressor.compress(table)
+
+    def test_block_structure(self):
+        table, relation = self._relation()
+        assert relation.n_blocks == 3
+        assert relation.n_rows == table.n_rows
+        assert relation.block(0).n_rows == 1_000
+        assert relation.block(2).n_rows == 500
+
+    def test_column_size_sums_blocks(self):
+        _, relation = self._relation()
+        assert relation.column_size("x") == sum(
+            b.column_size("x") for b in relation
+        )
+
+    def test_locate_groups_by_block(self):
+        _, relation = self._relation()
+        rows = np.array([0, 999, 1_000, 2_400, 1_500], dtype=np.int64)
+        groups = relation.locate(rows)
+        block_ids = [g[0] for g in groups]
+        assert block_ids == [0, 1, 2]
+        # Output positions must cover every requested row exactly once.
+        covered = np.concatenate([g[2] for g in groups])
+        assert sorted(covered.tolist()) == list(range(len(rows)))
+
+    def test_locate_out_of_range(self):
+        _, relation = self._relation()
+        with pytest.raises(ValidationError):
+            relation.locate(np.array([10_000]))
+
+    def test_inconsistent_block_sizes_rejected(self):
+        table = Table.from_columns([("x", INT64, np.arange(10))])
+        compressor = TableCompressor(block_size=4)
+        blocks = [compressor.compress_block(chunk) for chunk in split_into_blocks(table, 4)]
+        with pytest.raises(ValidationError):
+            Relation(table.schema, blocks, block_size=5)
+
+    def test_empty_table(self):
+        table = Table.from_columns([("x", INT64, np.zeros(0, dtype=np.int64))])
+        relation = TableCompressor(block_size=10).compress(table)
+        assert relation.n_rows == 0
+        assert relation.size_bytes >= 0

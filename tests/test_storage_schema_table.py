@@ -1,0 +1,129 @@
+"""Unit tests for schemas and in-memory tables."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DATE, INT64, STRING
+from repro.errors import SchemaError, UnknownColumnError, ValidationError
+from repro.storage import ColumnSpec, Schema, Table
+
+
+class TestSchema:
+    def test_names_and_lookup(self):
+        schema = Schema.from_pairs([("a", INT64), ("b", STRING)])
+        assert schema.names == ("a", "b")
+        assert schema.dtype("b") is STRING
+        assert schema.index_of("b") == 1
+        assert "a" in schema and "z" not in schema
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.from_pairs([("a", INT64), ("a", STRING)])
+
+    def test_empty_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("", INT64)
+
+    def test_unknown_column(self):
+        schema = Schema.from_pairs([("a", INT64)])
+        with pytest.raises(UnknownColumnError):
+            schema.column("b")
+
+    def test_select_preserves_order(self):
+        schema = Schema.from_pairs([("a", INT64), ("b", STRING), ("c", DATE)])
+        assert schema.select(["c", "a"]).names == ("c", "a")
+
+    def test_with_column(self):
+        schema = Schema.from_pairs([("a", INT64)])
+        extended = schema.with_column(ColumnSpec("b", DATE))
+        assert extended.names == ("a", "b")
+        assert schema.names == ("a",)  # original untouched
+
+    def test_dict_roundtrip(self):
+        schema = Schema.from_pairs([("a", INT64), ("b", STRING)])
+        assert Schema.from_dict(schema.to_dict()) == schema
+
+
+class TestTable:
+    def test_from_columns(self):
+        table = Table.from_columns(
+            [("x", INT64, np.arange(5)), ("s", STRING, list("abcde"))]
+        )
+        assert table.n_rows == 5
+        assert list(table.column("s")) == list("abcde")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_columns(
+                [("x", INT64, np.arange(5)), ("y", INT64, np.arange(4))]
+            )
+
+    def test_missing_column_data_rejected(self):
+        schema = Schema.from_pairs([("x", INT64), ("y", INT64)])
+        with pytest.raises(SchemaError):
+            Table(schema, {"x": np.arange(3)})
+
+    def test_extra_column_data_rejected(self):
+        schema = Schema.from_pairs([("x", INT64)])
+        with pytest.raises(SchemaError):
+            Table(schema, {"x": np.arange(3), "y": np.arange(3)})
+
+    def test_float_data_rejected(self):
+        with pytest.raises(ValidationError):
+            Table.from_columns([("x", INT64, np.array([1.5, 2.5]))])
+
+    def test_unknown_column_access(self):
+        table = Table.from_columns([("x", INT64, np.arange(3))])
+        with pytest.raises(UnknownColumnError):
+            table.column("y")
+
+    def test_slice(self):
+        table = Table.from_columns(
+            [("x", INT64, np.arange(10)), ("s", STRING, list("abcdefghij"))]
+        )
+        part = table.slice(2, 5)
+        assert part.n_rows == 3
+        assert np.array_equal(part.column("x"), [2, 3, 4])
+        assert part.column("s") == ["c", "d", "e"]
+
+    def test_slice_bounds_checked(self):
+        table = Table.from_columns([("x", INT64, np.arange(10))])
+        with pytest.raises(ValidationError):
+            table.slice(5, 3)
+        with pytest.raises(ValidationError):
+            table.slice(0, 11)
+
+    def test_select(self):
+        table = Table.from_columns(
+            [("x", INT64, np.arange(3)), ("y", INT64, np.arange(3))]
+        )
+        assert table.select(["y"]).column_names == ("y",)
+
+    def test_with_column(self):
+        table = Table.from_columns([("x", INT64, np.arange(3))])
+        extended = table.with_column("y", INT64, np.arange(3) * 2)
+        assert extended.column_names == ("x", "y")
+        assert table.column_names == ("x",)
+
+    def test_uncompressed_size(self):
+        table = Table.from_columns(
+            [("d", DATE, np.arange(10)), ("s", STRING, ["ab"] * 10)]
+        )
+        assert table.uncompressed_size("d") == 40
+        assert table.uncompressed_size("s") == 10 * 8 + 20
+        assert table.uncompressed_size() == 40 + 100
+
+    def test_equals(self):
+        a = Table.from_columns([("x", INT64, np.arange(4))])
+        b = Table.from_columns([("x", INT64, np.arange(4))])
+        c = Table.from_columns([("x", INT64, np.arange(1, 5))])
+        assert a.equals(b)
+        assert not a.equals(c)
+
+    def test_head(self):
+        table = Table.from_columns([("x", INT64, np.arange(100))])
+        assert table.head(3).n_rows == 3
+
+    def test_repr_mentions_columns(self):
+        table = Table.from_columns([("x", INT64, np.arange(2))])
+        assert "x:int64" in repr(table)

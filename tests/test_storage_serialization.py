@@ -1,0 +1,107 @@
+"""Unit tests for block serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionPlan, TableCompressor
+from repro.datasets import TaxiGenerator, taxi_multi_reference_config
+from repro.dtypes import INT64, STRING
+from repro.errors import SerializationError
+from repro.storage import (
+    BlockSerializer,
+    Table,
+    deserialize_block,
+    serialize_block,
+)
+
+
+def _compress(table, plan=None, block_size=10_000):
+    compressor = TableCompressor(plan, block_size=block_size)
+    return compressor.compress_block(table)
+
+
+class TestVerticalBlockRoundTrip:
+    def test_int_and_string_columns(self):
+        table = Table.from_columns(
+            [
+                ("x", INT64, np.arange(1_000, dtype=np.int64) + 7),
+                ("s", STRING, [f"v{i % 13}" for i in range(1_000)]),
+            ]
+        )
+        block = _compress(table)
+        restored = deserialize_block(serialize_block(block))
+        assert restored.n_rows == block.n_rows
+        assert np.array_equal(restored.decode_column("x"), table.column("x"))
+        assert restored.decode_column("s") == table.column("s")
+
+    def test_sizes_preserved(self):
+        table = Table.from_columns([("x", INT64, np.arange(500, dtype=np.int64))])
+        block = _compress(table)
+        restored = deserialize_block(serialize_block(block))
+        assert restored.size_bytes == block.size_bytes
+        assert restored.encoding_of("x") == block.encoding_of("x")
+
+
+class TestHorizontalBlockRoundTrip:
+    def test_diff_encoded_block(self, dates_schema_table):
+        plan = (
+            CompressionPlan.builder(dates_schema_table.schema)
+            .diff_encode("commit", reference="ship")
+            .diff_encode("receipt", reference="ship")
+            .build()
+        )
+        block = _compress(dates_schema_table, plan)
+        restored = deserialize_block(serialize_block(block))
+        assert restored.is_horizontal("commit")
+        assert np.array_equal(
+            restored.decode_column("commit"), dates_schema_table.column("commit")
+        )
+
+    def test_hierarchical_block(self, city_zip_table):
+        plan = (
+            CompressionPlan.builder(city_zip_table.schema)
+            .hierarchical_encode("zip_code", reference="city")
+            .build()
+        )
+        block = _compress(city_zip_table, plan)
+        restored = deserialize_block(serialize_block(block))
+        assert np.array_equal(
+            restored.decode_column("zip_code"), city_zip_table.column("zip_code")
+        )
+        assert restored.dependency("zip_code").references == ("city",)
+
+    def test_multi_reference_block(self):
+        taxi = TaxiGenerator().generate_monetary_only(5_000, seed=3)
+        config = taxi_multi_reference_config()
+        plan = (
+            CompressionPlan.builder(taxi.schema)
+            .multi_reference_encode("total_amount", config)
+            .build()
+        )
+        block = _compress(taxi, plan)
+        restored = deserialize_block(serialize_block(block))
+        assert np.array_equal(
+            restored.decode_column("total_amount"), taxi.column("total_amount")
+        )
+
+
+class TestSerializerErrors:
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError):
+            deserialize_block(b"NOTABLOCK")
+
+    def test_truncated_payload(self):
+        table = Table.from_columns([("x", INT64, np.arange(100, dtype=np.int64))])
+        payload = serialize_block(_compress(table))
+        with pytest.raises(SerializationError):
+            deserialize_block(payload[: len(payload) // 2])
+
+    def test_file_roundtrip(self, tmp_path):
+        table = Table.from_columns([("x", INT64, np.arange(100, dtype=np.int64))])
+        block = _compress(table)
+        serializer = BlockSerializer()
+        path = tmp_path / "block.corra"
+        written = serializer.dump(block, path)
+        assert path.stat().st_size == written
+        restored = serializer.load(path)
+        assert np.array_equal(restored.decode_column("x"), table.column("x"))
