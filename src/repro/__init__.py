@@ -9,8 +9,9 @@ provides:
   outlier region (:mod:`repro.core`);
 * the single-column encoding substrate they are compared against
   (:mod:`repro.encodings`);
-* a block-based columnar storage layer and a small query engine
-  (:mod:`repro.storage`, :mod:`repro.query`);
+* a block-based columnar storage layer with per-block zone maps and a small
+  query engine with a structured predicate IR and statistics-driven scan
+  pruning (:mod:`repro.storage`, :mod:`repro.query`);
 * synthetic stand-ins for the paper's four datasets (:mod:`repro.datasets`);
 * baselines, including the independent C3 system (:mod:`repro.baselines`);
 * an experiment harness regenerating every table and figure
@@ -27,6 +28,16 @@ Quickstart::
             .build())
     relation = TableCompressor(plan).compress(table)
     print(relation.column_size("l_receiptdate"))
+
+Querying uses the predicate IR; blocks whose zone maps rule out a match are
+skipped without decoding, and :class:`~repro.query.ScanMetrics` reports how
+much work that saved::
+
+    from repro import Between, QueryExecutor
+
+    executor = QueryExecutor(relation)
+    n = executor.count(Between("l_shipdate", 9_000, 9_030))
+    print(n, executor.last_scan_metrics.describe())
 """
 
 from .bitpack import BitPackedArray, pack, required_bits, unpack
@@ -78,15 +89,26 @@ from .errors import (
     ValidationError,
 )
 from .query import (
+    And,
+    Between,
+    ColumnPredicate,
+    Eq,
+    In,
+    Or,
     Predicate,
     QueryExecutor,
+    QueryResult,
+    ScanMetrics,
+    ScanPlanner,
     SelectionVector,
     generate_selection_vectors,
     materialize_columns,
     sweep_query_latency,
 )
 from .storage import (
+    BlockStatistics,
     ColumnSpec,
+    ColumnStatistics,
     CompressedBlock,
     Relation,
     Schema,
@@ -111,6 +133,7 @@ __all__ = [
     "PlainEncoding", "ForBitPackEncoding", "DictionaryEncoding", "BestOfSelector",
     # storage
     "Schema", "ColumnSpec", "Table", "CompressedBlock", "Relation",
+    "BlockStatistics", "ColumnStatistics",
     "serialize_block", "deserialize_block",
     # core
     "NonHierarchicalEncoding", "DiffEncodedColumn", "HierarchicalEncoding",
@@ -121,7 +144,9 @@ __all__ = [
     "PlanBuilder", "ColumnPlan", "TableCompressor",
     # query
     "SelectionVector", "generate_selection_vectors", "materialize_columns",
-    "QueryExecutor", "Predicate", "sweep_query_latency",
+    "QueryExecutor", "QueryResult", "Predicate",
+    "Eq", "Between", "In", "And", "Or", "ColumnPredicate",
+    "ScanMetrics", "ScanPlanner", "sweep_query_latency",
     # datasets
     "TpchLineitemGenerator", "LdbcMessageGenerator", "DmvGenerator",
     "TaxiGenerator", "taxi_multi_reference_config", "available_datasets",

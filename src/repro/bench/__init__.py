@@ -12,6 +12,7 @@ from .experiments import (
     latency_zoom_figure7,
     optimizer_figure2,
     rule_mixture_table1,
+    scan_pruning_experiment,
 )
 from .harness import ExperimentResult, format_saving_rate, format_table
 from .report import all_experiments, run_experiments
@@ -29,6 +30,7 @@ __all__ = [
     "latency_zoom_figure6",
     "latency_zoom_figure7",
     "latency_figure8",
+    "scan_pruning_experiment",
     "all_experiments",
     "run_experiments",
     "DEFAULT_COMPRESSION_ROWS",

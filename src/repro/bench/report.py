@@ -19,6 +19,7 @@ from .experiments import (
     latency_zoom_figure7,
     optimizer_figure2,
     rule_mixture_table1,
+    scan_pruning_experiment,
 )
 from .harness import ExperimentResult
 
@@ -36,6 +37,7 @@ def all_experiments() -> dict[str, Callable[..., ExperimentResult]]:
         "figure6": latency_zoom_figure6,
         "figure7": latency_zoom_figure7,
         "figure8": latency_figure8,
+        "scan": scan_pruning_experiment,
     }
 
 

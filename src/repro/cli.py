@@ -11,6 +11,9 @@ Python:
     per-column sizes and saving rates.
 ``detect``
     Print the ranked correlation suggestions for a dataset.
+``query``
+    Compress a dataset, run a structured predicate over it, and print the
+    matching row count together with the scan-pruning metrics.
 ``experiments``
     Regenerate the paper's tables and figures (delegates to
     :mod:`repro.bench.report`).
@@ -32,6 +35,7 @@ from .core import CompressionPlan, CorrelationDetector, TableCompressor
 from .core.rule_mining import mine_multi_reference_config
 from .datasets import available_datasets, dataset_by_name
 from .errors import CorraError
+from .query import And, Between, Eq, In, Predicate, QueryExecutor
 from .storage import DEFAULT_BLOCK_SIZE
 
 __all__ = ["main", "build_parser"]
@@ -88,6 +92,36 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--seed", type=int, default=42)
     detect.add_argument("--min-saving-rate", type=float, default=0.05)
     detect.add_argument("--top", type=int, default=15, help="suggestions to print")
+
+    query = subparsers.add_parser(
+        "query", help="run a structured predicate over a compressed dataset"
+    )
+    query.add_argument("name", help="dataset name (see `datasets`)")
+    query.add_argument("--rows", type=int, default=None)
+    query.add_argument("--seed", type=int, default=42)
+    query.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
+    query.add_argument(
+        "--plan", choices=("baseline", "auto"), default="auto",
+        help="compression plan used before querying (see `compress`)",
+    )
+    query.add_argument(
+        "--equals", action="append", default=[], metavar="COLUMN:VALUE",
+        help="add an equality predicate (may be repeated; ANDed together)",
+    )
+    query.add_argument(
+        "--between", action="append", default=[], metavar="COLUMN:LOW:HIGH",
+        help="add an inclusive range predicate; leave LOW or HIGH empty for "
+             "an open-ended range (may be repeated; ANDed together)",
+    )
+    query.add_argument(
+        "--in", dest="is_in", action="append", default=[],
+        metavar="COLUMN:V1,V2,...",
+        help="add a membership predicate (may be repeated; ANDed together)",
+    )
+    query.add_argument(
+        "--no-pruning", action="store_true",
+        help="disable zone-map pruning (decode every block; for comparison)",
+    )
 
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the paper's tables and figures"
@@ -212,6 +246,72 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_scalar(text: str):
+    """A CLI predicate operand: int when it parses as one, else string."""
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _build_predicate(args: argparse.Namespace) -> Predicate:
+    terms: list[Predicate] = []
+    for spec in args.equals:
+        column, _, value = spec.partition(":")
+        if not value:
+            raise CorraError(f"expected COLUMN:VALUE, got {spec!r}")
+        terms.append(Eq(column, _parse_scalar(value)))
+    for spec in args.between:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise CorraError(f"expected COLUMN:LOW:HIGH, got {spec!r}")
+        column, low, high = parts
+        terms.append(Between(
+            column,
+            _parse_scalar(low) if low else None,
+            _parse_scalar(high) if high else None,
+        ))
+    for spec in args.is_in:
+        column, _, values = spec.partition(":")
+        if not values:
+            raise CorraError(f"expected COLUMN:V1,V2,..., got {spec!r}")
+        terms.append(In(column, [_parse_scalar(v) for v in values.split(",")]))
+    if not terms:
+        raise CorraError(
+            "no predicate given; use --equals, --between and/or --in"
+        )
+    return terms[0] if len(terms) == 1 else And(*terms)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    generator = dataset_by_name(args.name)
+    table = generator.generate(args.rows, seed=args.seed)
+    if args.plan == "baseline":
+        plan = CompressionPlan.vertical_only(table.schema)
+    else:
+        suggestions = CorrelationDetector().suggest(table)
+        plan = CompressionPlan.from_suggestions(table.schema, suggestions)
+    relation = TableCompressor(plan, block_size=args.block_size).compress(table)
+    predicate = _build_predicate(args)
+
+    executor = QueryExecutor(relation, use_statistics=not args.no_pruning)
+    count = executor.count(predicate)
+    metrics = executor.last_scan_metrics
+    print(f"query: {predicate.describe()}")
+    print(f"count: {count:,} of {relation.n_rows:,} rows "
+          f"({count / max(relation.n_rows, 1):.2%} selectivity)")
+    rows = [
+        ("blocks", f"{metrics.n_blocks:,}"),
+        ("blocks scanned", f"{metrics.blocks_scanned:,}"),
+        ("blocks pruned", f"{metrics.blocks_pruned:,}"),
+        ("blocks fully covered", f"{metrics.blocks_full:,}"),
+        ("rows decoded", f"{metrics.rows_decoded:,}"),
+        ("decoded fraction", f"{metrics.decoded_fraction:.2%}"),
+    ]
+    print(format_table(("scan metric", "value"), rows))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -223,6 +323,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_compress(args)
         if args.command == "detect":
             return _cmd_detect(args)
+        if args.command == "query":
+            return _cmd_query(args)
         if args.command == "experiments":
             return experiments_main(
                 (args.ids or []) + (["--rows", str(args.rows)] if args.rows else [])

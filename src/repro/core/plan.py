@@ -29,6 +29,7 @@ from ..errors import ConfigurationError, UnknownColumnError
 from ..storage.block import DEFAULT_BLOCK_SIZE, ColumnDependency, CompressedBlock
 from ..storage.relation import Relation, split_into_blocks
 from ..storage.schema import Schema
+from ..storage.statistics import BlockStatistics, ColumnStatistics
 from ..storage.table import Table
 from .correlation import EncodingSuggestion
 from .diff_encoding import NonHierarchicalEncoding
@@ -237,10 +238,12 @@ class TableCompressor:
 
     def __init__(self, plan: CompressionPlan | None = None,
                  selector: BestOfSelector | None = None,
-                 block_size: int = DEFAULT_BLOCK_SIZE):
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 collect_statistics: bool = True):
         self._plan = plan
         self._selector = selector if selector is not None else BestOfSelector()
         self._block_size = block_size
+        self._collect_statistics = collect_statistics
 
     def _plan_for(self, table: Table) -> CompressionPlan:
         if self._plan is not None:
@@ -290,12 +293,52 @@ class TableCompressor:
             else:
                 scheme = scheme_by_name(column_plan.encoding)
                 columns[name] = scheme.encode(values, spec.dtype)
+        statistics = (
+            self._block_statistics(chunk, plan, columns)
+            if self._collect_statistics else None
+        )
         return CompressedBlock(
             schema=chunk.schema,
             n_rows=chunk.n_rows,
             columns=columns,
             dependencies=dependencies,
+            statistics=statistics,
         )
+
+    def _block_statistics(self, chunk: Table, plan: CompressionPlan,
+                          columns: Mapping) -> BlockStatistics:
+        """Compute the block's zone map at compression time.
+
+        Vertical, hierarchical and multi-reference columns get exact bounds
+        from the raw chunk values.  Diff-encoded columns get conservative
+        bounds derived from the reference's bounds plus the stored delta
+        range (widened by the outlier region) — the target values themselves
+        are never consulted, mirroring how a reader could rebuild the zone
+        map from block metadata alone.
+        """
+        per_column: dict[str, ColumnStatistics] = {}
+        diff_encoded: list[str] = []
+        for spec in chunk.schema:
+            name = spec.name
+            if plan.column_plan(name).encoding == "non_hierarchical":
+                diff_encoded.append(name)
+                continue
+            per_column[name] = ColumnStatistics.from_values(
+                chunk.column(name), distinct="estimate"
+            )
+        for name in diff_encoded:
+            encoded = columns[name]
+            reference = plan.column_plan(name).references[0]
+            diff_stats = encoded.stats()
+            outliers = encoded.outliers
+            per_column[name] = ColumnStatistics.from_reference_and_deltas(
+                per_column[reference],
+                diff_stats.min_difference,
+                diff_stats.max_difference,
+                chunk.n_rows,
+                outlier_values=outliers.values if outliers else None,
+            )
+        return BlockStatistics(per_column)
 
     # -- relation compression -------------------------------------------------------
 

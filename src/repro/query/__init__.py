@@ -1,6 +1,7 @@
-"""Query engine: selection vectors, scans, a small executor, latency harness."""
+"""Query engine: predicate IR, scan planner, selection vectors, executor,
+latency harness."""
 
-from .executor import Predicate, QueryExecutor, QueryResult
+from .executor import QueryExecutor, QueryResult
 from .latency import (
     LatencyMeasurement,
     LatencySweep,
@@ -8,7 +9,15 @@ from .latency import (
     measure_query_latency,
     sweep_query_latency,
 )
-from .scan import materialize_block_columns, materialize_columns
+from .predicates import And, Between, ColumnPredicate, Eq, In, Or, Predicate
+from .scan import (
+    BlockDecision,
+    ScanMetrics,
+    ScanPlan,
+    ScanPlanner,
+    materialize_block_columns,
+    materialize_columns,
+)
 from .selection import (
     PAPER_SELECTIVITIES,
     PAPER_ZOOM_SELECTIVITIES,
@@ -30,6 +39,16 @@ __all__ = [
     "QueryExecutor",
     "QueryResult",
     "Predicate",
+    "Eq",
+    "Between",
+    "In",
+    "And",
+    "Or",
+    "ColumnPredicate",
+    "BlockDecision",
+    "ScanMetrics",
+    "ScanPlan",
+    "ScanPlanner",
     "LatencyMeasurement",
     "LatencySweep",
     "measure_query_latency",

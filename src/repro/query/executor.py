@@ -1,56 +1,41 @@
 """A small query executor over compressed relations.
 
-The paper's evaluation only needs positional materialisation, but a
-reproduction that downstream users can adopt also needs the usual selection
-path: filter a column by a predicate, then materialise a projection at the
-qualifying rows.  :class:`QueryExecutor` provides exactly that on top of
-:mod:`repro.query.scan`, decoding predicate columns block by block so memory
-stays bounded by the block size.
+The executor runs filter + project queries through the structured scan
+pipeline: predicates are IR nodes (:mod:`repro.query.predicates`) that the
+:class:`~repro.query.scan.ScanPlanner` tests against every block's zone map,
+so blocks that provably contain no qualifying row are skipped without
+decoding a single value and blocks that provably qualify in full are
+answered from metadata alone.  Only the remaining blocks have their
+predicate columns decoded (block by block, so memory stays bounded by the
+block size) and the vectorized predicate kernel applied.
+
+Every predicate scan produces a :class:`~repro.query.scan.ScanMetrics`
+describing how much work the zone maps saved; the most recent one is
+available as :attr:`QueryExecutor.last_scan_metrics`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from ..errors import UnknownColumnError, ValidationError
+from ..storage.block import CompressedBlock
 from ..storage.relation import Relation
-from .scan import QueryOutput, materialize_block_columns, materialize_columns
+from .predicates import Predicate
+from .scan import (
+    BlockDecision,
+    QueryOutput,
+    ScanMetrics,
+    ScanPlanner,
+    materialize_block_columns,
+    materialize_columns,
+)
 from .selection import SelectionVector
 
 __all__ = ["Predicate", "QueryExecutor", "QueryResult"]
-
-
-@dataclass(frozen=True)
-class Predicate:
-    """A single-column predicate evaluated on decoded values."""
-
-    column: str
-    condition: Callable[[np.ndarray], np.ndarray]
-    description: str = ""
-
-    @classmethod
-    def equals(cls, column: str, value) -> "Predicate":
-        return cls(column, lambda v: np.asarray(v) == value, f"{column} == {value!r}")
-
-    @classmethod
-    def between(cls, column: str, low, high) -> "Predicate":
-        return cls(
-            column,
-            lambda v: (np.asarray(v) >= low) & (np.asarray(v) <= high),
-            f"{low!r} <= {column} <= {high!r}",
-        )
-
-    @classmethod
-    def is_in(cls, column: str, values: Sequence) -> "Predicate":
-        wanted = set(values)
-        return cls(
-            column,
-            lambda v: np.asarray([x in wanted for x in (v.tolist() if isinstance(v, np.ndarray) else v)]),
-            f"{column} IN {sorted(map(repr, wanted))}",
-        )
 
 
 @dataclass
@@ -59,6 +44,7 @@ class QueryResult:
 
     row_ids: np.ndarray
     columns: QueryOutput
+    metrics: ScanMetrics | None = None
 
     @property
     def n_rows(self) -> int:
@@ -71,14 +57,25 @@ class QueryResult:
 
 
 class QueryExecutor:
-    """Filter + project queries over a compressed relation."""
+    """Filter + project queries over a compressed relation.
 
-    def __init__(self, relation: Relation):
+    ``use_statistics=False`` disables zone-map pruning, restoring the
+    decode-everything scan (used as the baseline in the pruning benchmark).
+    """
+
+    def __init__(self, relation: Relation, use_statistics: bool = True):
         self._relation = relation
+        self._planner = ScanPlanner(relation, use_statistics=use_statistics)
+        self._last_metrics: ScanMetrics | None = None
 
     @property
     def relation(self) -> Relation:
         return self._relation
+
+    @property
+    def last_scan_metrics(self) -> ScanMetrics | None:
+        """Metrics of the most recent ``filter``/``select``/``count`` call."""
+        return self._last_metrics
 
     # -- positional access ----------------------------------------------------
 
@@ -87,37 +84,100 @@ class QueryExecutor:
         """Materialise a projection at explicitly selected rows."""
         return materialize_columns(self._relation, columns, selection)
 
-    # -- predicate scans --------------------------------------------------------
+    # -- predicate scans -------------------------------------------------------
+
+    def _check_predicate(self, predicate: Predicate) -> None:
+        for name in predicate.columns():
+            if name not in self._relation.schema:
+                raise UnknownColumnError(name, self._relation.schema.names)
+
+    def _block_mask(self, block, predicate: Predicate) -> np.ndarray:
+        """Decode the predicate columns of one block and evaluate the kernel."""
+        positions = np.arange(block.n_rows, dtype=np.int64)
+        values = materialize_block_columns(block, predicate.columns(), positions)
+        mask = np.asarray(predicate.evaluate(values), dtype=bool)
+        if mask.shape != (block.n_rows,):
+            raise ValidationError(
+                "predicate evaluation must return one boolean per row"
+            )
+        return mask
+
+    def _plan_scan(self, predicate: Predicate) -> tuple[
+            list[tuple[CompressedBlock, str, int]], ScanMetrics]:
+        """Shared planning step of ``scan``/``count``.
+
+        Returns ``(block, decision, row offset)`` triples plus a
+        :class:`ScanMetrics` pre-filled with the block-level accounting
+        (``rows_matched`` is left for the caller); the metrics object is
+        installed as :attr:`last_scan_metrics`.
+        """
+        self._check_predicate(predicate)
+        plan = self._planner.plan(predicate)
+        metrics = ScanMetrics(n_blocks=plan.n_blocks, rows_total=self._relation.n_rows)
+        decided = []
+        offset = 0
+        for block, decision in zip(self._relation, plan.decisions):
+            if decision == BlockDecision.PRUNE:
+                metrics.blocks_pruned += 1
+            elif decision == BlockDecision.FULL:
+                metrics.blocks_full += 1
+            else:
+                metrics.blocks_scanned += 1
+                metrics.rows_decoded += block.n_rows
+            decided.append((block, decision, offset))
+            offset += block.n_rows
+        self._last_metrics = metrics
+        return decided, metrics
+
+    def scan(self, predicate: Predicate) -> tuple[np.ndarray, ScanMetrics]:
+        """Global row ids satisfying ``predicate`` plus the scan metrics."""
+        decided, metrics = self._plan_scan(predicate)
+        qualifying: list[np.ndarray] = []
+        for block, decision, offset in decided:
+            if decision == BlockDecision.FULL:
+                metrics.rows_matched += block.n_rows
+                qualifying.append(
+                    np.arange(offset, offset + block.n_rows, dtype=np.int64)
+                )
+            elif decision == BlockDecision.SCAN:
+                mask = self._block_mask(block, predicate)
+                matched = np.flatnonzero(mask)
+                metrics.rows_matched += int(matched.size)
+                if matched.size:
+                    qualifying.append(matched + offset)
+        if not qualifying:
+            return np.zeros(0, dtype=np.int64), metrics
+        return np.concatenate(qualifying), metrics
 
     def filter(self, predicate: Predicate) -> np.ndarray:
         """Global row ids of the rows satisfying ``predicate``."""
-        if predicate.column not in self._relation.schema:
-            raise UnknownColumnError(predicate.column, self._relation.schema.names)
-        qualifying: list[np.ndarray] = []
-        offset = 0
-        for block in self._relation:
-            positions = np.arange(block.n_rows, dtype=np.int64)
-            values = materialize_block_columns(block, [predicate.column], positions)
-            mask = np.asarray(predicate.condition(values[predicate.column]), dtype=bool)
-            if mask.shape != (block.n_rows,):
-                raise ValidationError(
-                    "predicate condition must return one boolean per row"
-                )
-            qualifying.append(np.flatnonzero(mask) + offset)
-            offset += block.n_rows
-        if not qualifying:
-            return np.zeros(0, dtype=np.int64)
-        return np.concatenate(qualifying)
+        row_ids, _ = self.scan(predicate)
+        return row_ids
 
-    def select(self, columns: Sequence[str], predicate: Predicate | None = None) -> QueryResult:
+    def select(self, columns: Sequence[str],
+               predicate: Predicate | None = None) -> QueryResult:
         """SELECT ``columns`` [WHERE ``predicate``] over the whole relation."""
         if predicate is None:
             row_ids = np.arange(self._relation.n_rows, dtype=np.int64)
+            metrics = None
+            self._last_metrics = None
         else:
-            row_ids = self.filter(predicate)
+            row_ids, metrics = self.scan(predicate)
         output = materialize_columns(self._relation, columns, row_ids)
-        return QueryResult(row_ids=row_ids, columns=output)
+        return QueryResult(row_ids=row_ids, columns=output, metrics=metrics)
 
     def count(self, predicate: Predicate) -> int:
-        """Number of rows satisfying ``predicate``."""
-        return int(self.filter(predicate).size)
+        """Number of rows satisfying ``predicate``.
+
+        Answered from block statistics plus per-block predicate masks; no row
+        ids are concatenated and no projection output is ever allocated.
+        """
+        decided, metrics = self._plan_scan(predicate)
+        total = 0
+        for block, decision, _ in decided:
+            if decision == BlockDecision.FULL:
+                total += block.n_rows
+            elif decision == BlockDecision.SCAN:
+                total += int(np.count_nonzero(self._block_mask(block, predicate)))
+        metrics.rows_matched = total
+        return total

@@ -1,0 +1,328 @@
+"""A structured predicate IR that compiles to vectorized kernels and prunes.
+
+The executor used to take an opaque ``(column, callable)`` pair, which could
+only ever be evaluated by decoding every block in full.  The small IR here
+keeps the vectorized NumPy evaluation path but adds structure the scan
+planner can exploit: every node can be *tested against block statistics*
+(:class:`~repro.storage.statistics.BlockStatistics`) to decide, before any
+decoding, whether a block can contain qualifying rows at all — and, for
+exact zone maps, whether every row of a block qualifies.
+
+Nodes::
+
+    Eq(column, value)            column == value
+    Between(column, low, high)   low <= column <= high  (None = unbounded)
+    In(column, values)           column IN values
+    And(children...)             conjunction
+    Or(children...)              disjunction
+
+``&`` and ``|`` build conjunctions/disjunctions; the legacy factories
+(:meth:`Predicate.equals`, :meth:`Predicate.between`, :meth:`Predicate.is_in`)
+return IR nodes, so existing call sites keep working.  Arbitrary Python
+conditions remain available through :class:`ColumnPredicate`, which simply
+cannot be pruned.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..storage.statistics import BlockStatistics
+
+__all__ = [
+    "Predicate",
+    "Eq",
+    "Between",
+    "In",
+    "And",
+    "Or",
+    "ColumnPredicate",
+]
+
+#: Decoded column values handed to ``evaluate``: int64 arrays or string lists.
+ColumnValues = Mapping[str, "np.ndarray | list[str]"]
+
+
+def _as_array(values) -> np.ndarray:
+    """Decoded values as a NumPy array (string lists become unicode arrays)."""
+    if isinstance(values, np.ndarray):
+        return values
+    return np.asarray(values)
+
+
+class Predicate(abc.ABC):
+    """Base class of the predicate IR.
+
+    A predicate knows which columns it reads, evaluates to a boolean mask
+    over decoded values, and can be tested against a block's zone map.
+    """
+
+    @abc.abstractmethod
+    def columns(self) -> tuple[str, ...]:
+        """Names of the columns the predicate reads (deduplicated, ordered)."""
+
+    @abc.abstractmethod
+    def evaluate(self, values: ColumnValues) -> np.ndarray:
+        """Boolean mask over the decoded ``values`` of one block."""
+
+    def might_match(self, statistics: BlockStatistics | None) -> bool:
+        """Whether a block with these statistics can contain qualifying rows.
+
+        ``False`` allows the planner to skip the block without decoding it;
+        ``True`` (the conservative default, also used when statistics are
+        missing) forces a scan.
+        """
+        return True
+
+    def matches_all(self, statistics: BlockStatistics | None) -> bool:
+        """Whether provably *every* row of such a block qualifies.
+
+        Only exact zone maps can affirm this; it lets ``count`` and
+        ``filter`` answer for fully-covered blocks from metadata alone.
+        """
+        return False
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``"8100 <= ship <= 8200"``."""
+
+    # -- combinators ----------------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or(self, other)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()})"
+
+    # -- legacy factories (kept so pre-IR call sites continue to work) --------
+
+    @staticmethod
+    def equals(column: str, value) -> "Eq":
+        return Eq(column, value)
+
+    @staticmethod
+    def between(column: str, low, high) -> "Between":
+        return Between(column, low, high)
+
+    @staticmethod
+    def is_in(column: str, values: Sequence) -> "In":
+        return In(column, values)
+
+    @staticmethod
+    def custom(column: str, condition: Callable[[np.ndarray], np.ndarray],
+               description: str = "") -> "ColumnPredicate":
+        return ColumnPredicate(column, condition, description)
+
+
+class _Leaf(Predicate):
+    """A predicate over a single column."""
+
+    def __init__(self, column: str):
+        if not column:
+            raise ValidationError("predicate column name must be non-empty")
+        self.column = column
+
+    def columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def _stats(self, statistics: BlockStatistics | None):
+        if statistics is None:
+            return None
+        return statistics.column(self.column)
+
+
+class Eq(_Leaf):
+    """``column == value``."""
+
+    def __init__(self, column: str, value):
+        super().__init__(column)
+        self.value = value
+
+    def evaluate(self, values: ColumnValues) -> np.ndarray:
+        arr = _as_array(values[self.column])
+        mask = np.asarray(arr == self.value, dtype=bool)
+        if mask.ndim == 0:
+            # NumPy collapses incomparable-type comparisons to a scalar.
+            mask = np.full(arr.shape[0], bool(mask))
+        return mask
+
+    def might_match(self, statistics: BlockStatistics | None) -> bool:
+        stats = self._stats(statistics)
+        return True if stats is None else stats.may_contain(self.value)
+
+    def matches_all(self, statistics: BlockStatistics | None) -> bool:
+        stats = self._stats(statistics)
+        return stats is not None and stats.is_constant(self.value)
+
+    def describe(self) -> str:
+        return f"{self.column} == {self.value!r}"
+
+
+class Between(_Leaf):
+    """``low <= column <= high`` (inclusive; ``None`` leaves a side open)."""
+
+    def __init__(self, column: str, low=None, high=None):
+        super().__init__(column)
+        if low is None and high is None:
+            raise ValidationError("Between needs at least one bound")
+        self.low = low
+        self.high = high
+
+    def evaluate(self, values: ColumnValues) -> np.ndarray:
+        arr = _as_array(values[self.column])
+        # A bound whose type mismatches the column matches nothing (same
+        # degrade-to-empty semantics as Eq) instead of raising in NumPy.
+        is_string_column = arr.dtype.kind in ("U", "S")
+        mask = np.ones(arr.shape, dtype=bool)
+        if self.low is not None:
+            if isinstance(self.low, str) != is_string_column:
+                return np.zeros(arr.shape, dtype=bool)
+            mask &= arr >= self.low
+        if self.high is not None:
+            if isinstance(self.high, str) != is_string_column:
+                return np.zeros(arr.shape, dtype=bool)
+            mask &= arr <= self.high
+        return mask
+
+    def might_match(self, statistics: BlockStatistics | None) -> bool:
+        stats = self._stats(statistics)
+        return True if stats is None else stats.overlaps(self.low, self.high)
+
+    def matches_all(self, statistics: BlockStatistics | None) -> bool:
+        stats = self._stats(statistics)
+        return stats is not None and stats.contained_in(self.low, self.high)
+
+    def describe(self) -> str:
+        if self.low is None:
+            return f"{self.column} <= {self.high!r}"
+        if self.high is None:
+            return f"{self.column} >= {self.low!r}"
+        return f"{self.low!r} <= {self.column} <= {self.high!r}"
+
+
+class In(_Leaf):
+    """``column IN values`` — vectorized via :func:`np.isin`."""
+
+    def __init__(self, column: str, values: Sequence):
+        super().__init__(column)
+        distinct_set = set(values)
+        if not distinct_set:
+            raise ValidationError("In needs at least one candidate value")
+        if len({isinstance(v, str) for v in distinct_set}) > 1:
+            # NumPy would silently coerce mixed candidates to strings.
+            raise ValidationError(
+                "In candidates must be all strings or all integers"
+            )
+        distinct = sorted(distinct_set)
+        self.values = tuple(distinct)
+        self._candidates = np.asarray(distinct)
+
+    def evaluate(self, values: ColumnValues) -> np.ndarray:
+        return np.isin(_as_array(values[self.column]), self._candidates)
+
+    def might_match(self, statistics: BlockStatistics | None) -> bool:
+        stats = self._stats(statistics)
+        if stats is None:
+            return True
+        return any(stats.may_contain(v) for v in self.values)
+
+    def matches_all(self, statistics: BlockStatistics | None) -> bool:
+        stats = self._stats(statistics)
+        return stats is not None and any(
+            stats.is_constant(v) for v in self.values
+        )
+
+    def describe(self) -> str:
+        return f"{self.column} IN {list(self.values)!r}"
+
+
+class _Compound(Predicate):
+    """Conjunction/disjunction over child predicates."""
+
+    def __init__(self, *children: Predicate):
+        if len(children) < 1:
+            raise ValidationError(
+                f"{type(self).__name__} needs at least one child predicate"
+            )
+        flattened: list[Predicate] = []
+        for child in children:
+            if isinstance(child, type(self)):
+                flattened.extend(child.children)
+            else:
+                flattened.append(child)
+        self.children = tuple(flattened)
+
+    def columns(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for child in self.children:
+            for name in child.columns():
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+
+class And(_Compound):
+    """Every child predicate must hold."""
+
+    def evaluate(self, values: ColumnValues) -> np.ndarray:
+        mask = self.children[0].evaluate(values)
+        for child in self.children[1:]:
+            mask = mask & child.evaluate(values)
+        return mask
+
+    def might_match(self, statistics: BlockStatistics | None) -> bool:
+        return all(child.might_match(statistics) for child in self.children)
+
+    def matches_all(self, statistics: BlockStatistics | None) -> bool:
+        return all(child.matches_all(statistics) for child in self.children)
+
+    def describe(self) -> str:
+        return " AND ".join(f"({c.describe()})" for c in self.children)
+
+
+class Or(_Compound):
+    """At least one child predicate must hold."""
+
+    def evaluate(self, values: ColumnValues) -> np.ndarray:
+        mask = self.children[0].evaluate(values)
+        for child in self.children[1:]:
+            mask = mask | child.evaluate(values)
+        return mask
+
+    def might_match(self, statistics: BlockStatistics | None) -> bool:
+        return any(child.might_match(statistics) for child in self.children)
+
+    def matches_all(self, statistics: BlockStatistics | None) -> bool:
+        return any(child.matches_all(statistics) for child in self.children)
+
+    def describe(self) -> str:
+        return " OR ".join(f"({c.describe()})" for c in self.children)
+
+
+class ColumnPredicate(_Leaf):
+    """Escape hatch: an arbitrary condition on one column's decoded values.
+
+    Equivalent to the pre-IR ``Predicate(column, callable)``; it evaluates
+    like any other node but is opaque to the planner, so blocks can never be
+    pruned or short-circuited for it.
+    """
+
+    def __init__(self, column: str,
+                 condition: Callable[[np.ndarray], np.ndarray],
+                 description: str = ""):
+        super().__init__(column)
+        self.condition = condition
+        self.description = description or f"{column} satisfies {condition!r}"
+
+    def evaluate(self, values: ColumnValues) -> np.ndarray:
+        return np.asarray(self.condition(values[self.column]), dtype=bool)
+
+    def describe(self) -> str:
+        return self.description

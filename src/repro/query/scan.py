@@ -10,10 +10,19 @@ because when both are queried, fetching the reference costs nothing extra.
 :class:`~repro.storage.relation.Relation`; the reference columns needed by a
 horizontal column are fetched once and shared with the output when they are
 part of the projection.
+
+On top of the materialisation kernels sits the structured scan pipeline:
+:class:`ScanPlanner` tests a predicate against every block's zone map
+(:class:`~repro.storage.statistics.BlockStatistics`) and classifies each
+block as *pruned* (provably no qualifying row — skipped without decoding),
+*full* (provably all rows qualify — answered from metadata alone), or
+*scan* (decode the predicate columns and evaluate the vectorized kernel).
+:class:`ScanMetrics` reports what the planner achieved per query.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -21,9 +30,18 @@ import numpy as np
 from ..errors import UnknownColumnError
 from ..storage.block import CompressedBlock
 from ..storage.relation import Relation
+from .predicates import Predicate
 from .selection import SelectionVector
 
-__all__ = ["materialize_columns", "materialize_block_columns", "QueryOutput"]
+__all__ = [
+    "materialize_columns",
+    "materialize_block_columns",
+    "QueryOutput",
+    "BlockDecision",
+    "ScanMetrics",
+    "ScanPlan",
+    "ScanPlanner",
+]
 
 
 QueryOutput = dict[str, "np.ndarray | list[str]"]
@@ -100,3 +118,104 @@ def materialize_columns(relation: Relation, names: Sequence[str],
             else:
                 outputs[name][output_positions] = np.asarray(values)
     return outputs
+
+
+# ---------------------------------------------------------------------------
+# structured scan pipeline: planner + metrics
+# ---------------------------------------------------------------------------
+
+class BlockDecision:
+    """Per-block verdict of the planner."""
+
+    SCAN = "scan"      #: decode predicate columns and evaluate the kernel
+    PRUNE = "prune"    #: statistics prove no row can qualify
+    FULL = "full"      #: statistics prove every row qualifies
+
+
+@dataclass
+class ScanMetrics:
+    """What one predicate scan actually did, block by block.
+
+    ``rows_decoded`` counts the rows whose predicate columns were
+    materialised; pruned and fully-covered blocks contribute nothing to it,
+    which is exactly the work the zone maps saved.
+    """
+
+    n_blocks: int = 0
+    blocks_scanned: int = 0
+    blocks_pruned: int = 0
+    blocks_full: int = 0
+    rows_total: int = 0
+    rows_decoded: int = 0
+    rows_matched: int = 0
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of blocks skipped or answered from statistics alone."""
+        if self.n_blocks == 0:
+            return 0.0
+        return (self.blocks_pruned + self.blocks_full) / self.n_blocks
+
+    @property
+    def decoded_fraction(self) -> float:
+        """Fraction of rows whose predicate columns were actually decoded."""
+        if self.rows_total == 0:
+            return 0.0
+        return self.rows_decoded / self.rows_total
+
+    def describe(self) -> str:
+        return (
+            f"{self.blocks_scanned}/{self.n_blocks} blocks scanned "
+            f"({self.blocks_pruned} pruned, {self.blocks_full} fully covered); "
+            f"{self.rows_decoded:,}/{self.rows_total:,} rows decoded, "
+            f"{self.rows_matched:,} matched"
+        )
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """The planner's per-block decisions for one predicate."""
+
+    predicate: Predicate | None
+    decisions: tuple[str, ...]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.decisions)
+
+    def count_of(self, decision: str) -> int:
+        return sum(1 for d in self.decisions if d == decision)
+
+
+class ScanPlanner:
+    """Classify every block of a relation against a predicate's zone-map tests.
+
+    ``use_statistics=False`` degrades to the pre-zone-map behaviour (every
+    block is scanned), which the benchmarks use as the full-decode baseline.
+    """
+
+    def __init__(self, relation: Relation, use_statistics: bool = True):
+        self._relation = relation
+        self._use_statistics = use_statistics
+
+    @property
+    def relation(self) -> Relation:
+        return self._relation
+
+    def plan(self, predicate: Predicate | None) -> ScanPlan:
+        decisions = []
+        for block in self._relation:
+            if predicate is None:
+                decisions.append(BlockDecision.FULL)
+                continue
+            if not self._use_statistics:
+                decisions.append(BlockDecision.SCAN)
+                continue
+            statistics = block.statistics
+            if block.n_rows == 0 or not predicate.might_match(statistics):
+                decisions.append(BlockDecision.PRUNE)
+            elif predicate.matches_all(statistics):
+                decisions.append(BlockDecision.FULL)
+            else:
+                decisions.append(BlockDecision.SCAN)
+        return ScanPlan(predicate=predicate, decisions=tuple(decisions))

@@ -9,6 +9,7 @@ from .serialization import (
     register_column_class,
     serialize_block,
 )
+from .statistics import BlockStatistics, ColumnStatistics
 from .table import Table
 
 __all__ = [
@@ -17,6 +18,8 @@ __all__ = [
     "Table",
     "CompressedBlock",
     "ColumnDependency",
+    "BlockStatistics",
+    "ColumnStatistics",
     "DEFAULT_BLOCK_SIZE",
     "Relation",
     "split_into_blocks",

@@ -20,6 +20,7 @@ import numpy as np
 from ..encodings.base import EncodedColumn
 from ..errors import SchemaError, UnknownColumnError
 from .schema import Schema
+from .statistics import BlockStatistics, ColumnStatistics
 
 __all__ = ["CompressedBlock", "ColumnDependency", "DEFAULT_BLOCK_SIZE"]
 
@@ -54,11 +55,21 @@ class CompressedBlock:
     n_rows: int
     columns: dict[str, EncodedColumn] = field(default_factory=dict)
     dependencies: dict[str, ColumnDependency] = field(default_factory=dict)
+    #: Zone map computed at compression time; ``None`` for blocks built by
+    #: code paths that do not collect statistics (the scan planner then
+    #: simply cannot prune them).
+    statistics: BlockStatistics | None = None
 
     def __post_init__(self) -> None:
         for name in self.columns:
             if name not in self.schema:
                 raise SchemaError(f"encoded column {name!r} not in block schema")
+        if self.statistics is not None:
+            for name in self.statistics.column_names:
+                if name not in self.columns:
+                    raise SchemaError(
+                        f"statistics recorded for missing column {name!r}"
+                    )
         for name, encoded in self.columns.items():
             if encoded.n_values != self.n_rows:
                 raise SchemaError(
@@ -87,6 +98,14 @@ class CompressedBlock:
 
     def is_horizontal(self, name: str) -> bool:
         return name in self.dependencies
+
+    def column_statistics(self, name: str) -> ColumnStatistics | None:
+        """Zone-map statistics for ``name``, or ``None`` when unavailable."""
+        if name not in self.columns:
+            raise UnknownColumnError(name, tuple(self.columns))
+        if self.statistics is None:
+            return None
+        return self.statistics.column(name)
 
     @property
     def column_names(self) -> tuple[str, ...]:

@@ -35,7 +35,7 @@ class Relation:
     def __init__(self, schema: Schema, blocks: Iterable[CompressedBlock],
                  block_size: int = DEFAULT_BLOCK_SIZE):
         self._schema = schema
-        self._blocks = list(blocks)
+        self._blocks = tuple(blocks)
         self._block_size = int(block_size)
         if self._block_size < 1:
             raise ValidationError("block size must be at least 1")
@@ -62,8 +62,9 @@ class Relation:
         return self._schema
 
     @property
-    def blocks(self) -> list[CompressedBlock]:
-        return list(self._blocks)
+    def blocks(self) -> tuple[CompressedBlock, ...]:
+        """The blocks as an immutable view (no per-access copy)."""
+        return self._blocks
 
     @property
     def block_size(self) -> int:
@@ -111,10 +112,20 @@ class Relation:
             return []
         if rows.min() < 0 or rows.max() >= self.n_rows:
             raise ValidationError("row ids out of range for relation")
-        block_index = rows // self._block_size
-        local = rows % self._block_size
+        # One argsort + boundary scan instead of a per-block boolean mask:
+        # O(n log n) regardless of how many blocks the relation has.
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows[order]
+        sorted_blocks = sorted_rows // self._block_size
+        starts = np.flatnonzero(np.r_[True, np.diff(sorted_blocks) != 0])
+        bounds = np.append(starts, sorted_rows.size)
         groups = []
-        for b in np.unique(block_index):
-            mask = block_index == b
-            groups.append((int(b), local[mask], np.flatnonzero(mask)))
+        for start, stop in zip(bounds[:-1], bounds[1:]):
+            groups.append(
+                (
+                    int(sorted_blocks[start]),
+                    sorted_rows[start:stop] % self._block_size,
+                    order[start:stop],
+                )
+            )
         return groups

@@ -12,10 +12,13 @@ execute arbitrary code.
 The format is little-endian throughout:
 
 ```
-block   := MAGIC u32(version) schema u32(n_rows) u32(n_cols) column*
+block   := MAGIC u32(version) schema u32(n_rows) statistics u32(n_cols) column*
 column  := str(name) dependency? object
 object  := tag payload       (tag is a single byte, see _Tag)
 ```
+
+Version 2 added the per-block zone map (``statistics``, a plain dict or
+``None``); version 1 blocks, which lack the field, are still readable.
 """
 
 from __future__ import annotations
@@ -29,12 +32,13 @@ import numpy as np
 from ..errors import SerializationError
 from .block import ColumnDependency, CompressedBlock
 from .schema import Schema
+from .statistics import BlockStatistics
 
 __all__ = ["serialize_block", "deserialize_block", "register_column_class",
            "registered_column_classes", "BlockSerializer"]
 
 _MAGIC = b"CORRABLK"
-_VERSION = 1
+_VERSION = 2
 
 
 class _Tag:
@@ -256,6 +260,8 @@ def serialize_block(block: CompressedBlock) -> bytes:
     out.write(struct.pack("<I", _VERSION))
     _write_object(out, block.schema.to_dict())
     out.write(struct.pack("<I", block.n_rows))
+    stats = block.statistics
+    _write_object(out, stats.to_dict() if stats is not None else None)
     out.write(struct.pack("<I", len(block.columns)))
     for name, column in block.columns.items():
         _write_str(out, name)
@@ -274,10 +280,15 @@ def deserialize_block(data: bytes) -> CompressedBlock:
     if magic != _MAGIC:
         raise SerializationError("not a serialised Corra block (bad magic)")
     (version,) = struct.unpack("<I", _read_exact(buf, 4))
-    if version != _VERSION:
+    if version not in (1, _VERSION):
         raise SerializationError(f"unsupported block format version {version}")
     schema = Schema.from_dict(_read_object(buf))
     (n_rows,) = struct.unpack("<I", _read_exact(buf, 4))
+    statistics = None
+    if version >= 2:
+        stats_state = _read_object(buf)
+        if stats_state is not None:
+            statistics = BlockStatistics.from_dict(stats_state)
     (n_cols,) = struct.unpack("<I", _read_exact(buf, 4))
     columns = {}
     dependencies = {}
@@ -289,7 +300,8 @@ def deserialize_block(data: bytes) -> CompressedBlock:
         if dep_state is not None:
             dependencies[name] = ColumnDependency.from_dict(dep_state)
     return CompressedBlock(
-        schema=schema, n_rows=n_rows, columns=columns, dependencies=dependencies
+        schema=schema, n_rows=n_rows, columns=columns,
+        dependencies=dependencies, statistics=statistics,
     )
 
 

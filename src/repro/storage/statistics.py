@@ -1,0 +1,274 @@
+"""Per-block, per-column statistics (zone maps) for scan pruning.
+
+Every :class:`~repro.storage.block.CompressedBlock` can carry a
+:class:`BlockStatistics` object computed at compression time: one
+:class:`ColumnStatistics` per column with the value range, the null-free row
+count, and a distinct-count estimate.  The query layer tests structured
+predicates (:mod:`repro.query.predicates`) against these statistics to skip
+whole blocks before any decoding — the classic zone-map trick that makes
+selective scans over sorted or clustered columns (TPC-H dates, DMV
+registration years) fast despite the compressed layout.
+
+Two flavours of bounds exist:
+
+* *exact* bounds, computed from the raw values of a block chunk;
+* *derived* bounds for diff-encoded columns, obtained without touching the
+  target values: ``min(target) >= min(reference) + min(delta)`` and
+  ``max(target) <= max(reference) + max(delta)``, widened by the outlier
+  region if one exists.  Derived bounds are conservative (they always contain
+  the true range), which is all pruning needs; they are flagged with
+  ``exact_bounds=False`` so the planner never uses them to answer a query
+  *positively* (e.g. counting a fully-covered block without decoding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["ColumnStatistics", "BlockStatistics"]
+
+#: Bytes charged per column for min/max (2 x 8), counts (2 x 4) and flags.
+_BYTES_PER_COLUMN = 8 + 8 + 4 + 4 + 4
+
+
+def _comparable(a, b) -> bool:
+    """Whether two scalars can be ordered (guards int-vs-str comparisons)."""
+    if isinstance(a, str) != isinstance(b, str):
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Zone-map statistics of one column within one block.
+
+    ``min_value``/``max_value`` are ``None`` for empty blocks.  String columns
+    carry lexicographic bounds.  ``delta_min``/``delta_max`` record the stored
+    difference range of a diff-encoded column (the quantity the bounds of a
+    derived zone map are built from).
+    """
+
+    row_count: int
+    min_value: int | str | None = None
+    max_value: int | str | None = None
+    distinct_count: int | None = None
+    delta_min: int | None = None
+    delta_max: int | None = None
+    exact_bounds: bool = True
+
+    def __post_init__(self) -> None:
+        if self.row_count < 0:
+            raise ValidationError("row_count must be non-negative")
+        if self.row_count > 0 and (self.min_value is None) != (self.max_value is None):
+            raise ValidationError("min_value and max_value must be set together")
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values: np.ndarray | Sequence,
+                    distinct: bool | str = True) -> "ColumnStatistics":
+        """Statistics computed from raw (uncompressed) column values.
+
+        ``distinct`` controls the distinct-count field: ``True`` computes it
+        exactly (a full sort / hash of the block), ``"estimate"`` derives a
+        free upper bound from the integer value range (``None`` for string
+        columns), ``False`` skips it.  Compression uses ``"estimate"`` so
+        zone maps cost no extra pass over the data.
+        """
+        n = len(values)
+        if n == 0:
+            return cls(row_count=0)
+        if isinstance(values, np.ndarray):
+            lo, hi = int(values.min()), int(values.max())
+        else:
+            lo, hi = min(values), max(values)
+        if distinct == "estimate":
+            n_distinct = None if isinstance(lo, str) else min(n, int(hi) - int(lo) + 1)
+        elif distinct:
+            if isinstance(values, np.ndarray):
+                n_distinct = int(np.unique(values).size)
+            else:
+                n_distinct = len(set(values))
+        else:
+            n_distinct = None
+        return cls(
+            row_count=n,
+            min_value=lo,
+            max_value=hi,
+            distinct_count=n_distinct,
+        )
+
+    @classmethod
+    def from_reference_and_deltas(cls, reference: "ColumnStatistics",
+                                  delta_min: int, delta_max: int,
+                                  row_count: int,
+                                  outlier_values: np.ndarray | None = None
+                                  ) -> "ColumnStatistics":
+        """Conservative bounds for a diff-encoded column.
+
+        The target never strays outside ``[ref_min + delta_min,
+        ref_max + delta_max]``; outlier rows are stored verbatim, so their
+        values widen the range directly.  No target value is ever touched.
+        """
+        if row_count == 0:
+            return cls(row_count=0, delta_min=0, delta_max=0, exact_bounds=False)
+        if reference.min_value is None or isinstance(reference.min_value, str):
+            raise ValidationError(
+                "derived bounds need integer reference statistics"
+            )
+        lo = int(reference.min_value) + int(delta_min)
+        hi = int(reference.max_value) + int(delta_max)
+        if outlier_values is not None and len(outlier_values):
+            lo = min(lo, int(np.min(outlier_values)))
+            hi = max(hi, int(np.max(outlier_values)))
+        return cls(
+            row_count=row_count,
+            min_value=lo,
+            max_value=hi,
+            distinct_count=None,
+            delta_min=int(delta_min),
+            delta_max=int(delta_max),
+            exact_bounds=False,
+        )
+
+    # -- predicate support ----------------------------------------------------
+
+    @property
+    def has_bounds(self) -> bool:
+        return self.min_value is not None
+
+    def may_contain(self, value) -> bool:
+        """Whether the block can contain ``value`` (False prunes the block)."""
+        if self.row_count == 0:
+            return False
+        if not self.has_bounds or not _comparable(self.min_value, value):
+            return True
+        return self.min_value <= value <= self.max_value
+
+    def overlaps(self, low, high) -> bool:
+        """Whether the block's range intersects ``[low, high]``.
+
+        ``None`` on either side means the range is unbounded on that side.
+        """
+        if self.row_count == 0:
+            return False
+        if not self.has_bounds:
+            return True
+        if low is not None:
+            if not _comparable(self.max_value, low):
+                return True
+            if self.max_value < low:
+                return False
+        if high is not None:
+            if not _comparable(self.min_value, high):
+                return True
+            if self.min_value > high:
+                return False
+        return True
+
+    def contained_in(self, low, high) -> bool:
+        """Whether every row's value provably lies within ``[low, high]``.
+
+        Requires exact bounds: derived (conservative) bounds may over-report
+        the range but never under-report it, so they can only veto, not
+        affirm.
+        """
+        if self.row_count == 0 or not self.has_bounds or not self.exact_bounds:
+            return False
+        if low is not None:
+            if not _comparable(self.min_value, low) or self.min_value < low:
+                return False
+        if high is not None:
+            if not _comparable(self.max_value, high) or self.max_value > high:
+                return False
+        return True
+
+    def is_constant(self, value) -> bool:
+        """Whether every row provably equals ``value``."""
+        return (
+            self.row_count > 0
+            and self.exact_bounds
+            and self.has_bounds
+            and self.min_value == value == self.max_value
+        )
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "row_count": self.row_count,
+            "min_value": self.min_value,
+            "max_value": self.max_value,
+            "distinct_count": self.distinct_count,
+            "delta_min": self.delta_min,
+            "delta_max": self.delta_max,
+            "exact_bounds": self.exact_bounds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ColumnStatistics":
+        return cls(
+            row_count=data["row_count"],
+            min_value=data["min_value"],
+            max_value=data["max_value"],
+            distinct_count=data["distinct_count"],
+            delta_min=data["delta_min"],
+            delta_max=data["delta_max"],
+            exact_bounds=data["exact_bounds"],
+        )
+
+
+class BlockStatistics:
+    """The zone map of one block: per-column :class:`ColumnStatistics`."""
+
+    def __init__(self, columns: Mapping[str, ColumnStatistics]):
+        self._columns = dict(columns)
+
+    def column(self, name: str) -> ColumnStatistics | None:
+        """Statistics for ``name``, or ``None`` when none were recorded."""
+        return self._columns.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._columns)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate on-disk footprint of the zone map (not charged to the
+        block's compressed size; reported separately)."""
+        string_bounds = sum(
+            len(s.min_value) + len(s.max_value)
+            for s in self._columns.values()
+            if isinstance(s.min_value, str)
+        )
+        return _BYTES_PER_COLUMN * len(self._columns) + string_bounds
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BlockStatistics) and self._columns == other._columns
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}=[{s.min_value!r}, {s.max_value!r}]"
+            for name, s in self._columns.items()
+        )
+        return f"BlockStatistics({parts})"
+
+    def to_dict(self) -> dict:
+        return {name: stats.to_dict() for name, stats in self._columns.items()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BlockStatistics":
+        return cls(
+            {name: ColumnStatistics.from_dict(stats) for name, stats in data.items()}
+        )

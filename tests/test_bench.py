@@ -16,6 +16,7 @@ from repro.bench import (
     optimizer_figure2,
     rule_mixture_table1,
     run_experiments,
+    scan_pruning_experiment,
 )
 
 # Small row counts: these tests check wiring and result shape, not final numbers.
@@ -99,12 +100,21 @@ class TestLatencyExperiments:
         assert len(result.rows) == 2
         assert all(ratio > 0 for ratio in result.metrics.values())
 
+    def test_scan_pruning_shape(self):
+        result = scan_pruning_experiment(
+            n_rows=10_000, selectivities=[0.01, 0.1], n_blocks=8, repeats=1
+        )
+        assert len(result.rows) == 2
+        # On a sorted column a selective predicate must prune most blocks.
+        assert result.metrics["blocks_pruned.0.01"] >= 6
+
 
 class TestRunner:
-    def test_registry_lists_all_eight_experiments(self):
+    def test_registry_lists_all_experiments(self):
         assert set(all_experiments()) == {
             "table1", "table2", "table3", "figure2",
             "figure5", "figure6", "figure7", "figure8",
+            "scan",
         }
 
     def test_run_selected_experiments(self):

@@ -12,8 +12,8 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for command in ("datasets", "compress", "detect", "experiments"):
-            args = parser.parse_args([command] + (["taxi"] if command in ("compress", "detect") else []))
+        for command in ("datasets", "compress", "detect", "query", "experiments"):
+            args = parser.parse_args([command] + (["taxi"] if command in ("compress", "detect", "query") else []))
             assert args.command == command
 
 
@@ -105,6 +105,54 @@ class TestDetectCommand:
         assert main(["detect", "taxi", "--rows", "500",
                      "--min-saving-rate", "0.99"]) == 0
         assert "no exploitable correlations" in capsys.readouterr().out
+
+
+class TestQueryCommand:
+    def test_between_reports_count_and_metrics(self, capsys):
+        assert main([
+            "query", "tpch_lineitem", "--rows", "5000", "--block-size", "500",
+            "--plan", "baseline", "--between", "l_shipdate:9100:9130",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "9100 <= l_shipdate <= 9130" in out
+        assert "count:" in out
+        assert "blocks pruned" in out
+        assert "rows decoded" in out
+
+    def test_conjunction_of_terms(self, capsys):
+        assert main([
+            "query", "taxi", "--rows", "2000", "--block-size", "500",
+            "--plan", "baseline",
+            "--between", "fare_amount:0:5000", "--equals", "airport_fee:0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "AND" in out
+
+    def test_in_predicate(self, capsys):
+        assert main([
+            "query", "taxi", "--rows", "2000", "--block-size", "500",
+            "--plan", "baseline", "--in", "airport_fee:0,125",
+        ]) == 0
+        assert "IN" in capsys.readouterr().out
+
+    def test_no_pruning_scans_every_block(self, capsys):
+        assert main([
+            "query", "tpch_lineitem", "--rows", "2000", "--block-size", "500",
+            "--plan", "baseline", "--no-pruning",
+            "--between", "l_shipdate:9100:9130",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "blocks pruned         0" in out
+
+    def test_missing_predicate_is_an_error(self, capsys):
+        assert main(["query", "taxi", "--rows", "1000"]) == 1
+        assert "no predicate" in capsys.readouterr().err
+
+    def test_malformed_between(self, capsys):
+        assert main([
+            "query", "taxi", "--rows", "1000", "--between", "fare_amount:1",
+        ]) == 1
+        assert "COLUMN:LOW:HIGH" in capsys.readouterr().err
 
 
 class TestExperimentsCommand:

@@ -17,13 +17,16 @@ from hypothesis.extra import numpy as hnp
 
 from repro.bitpack import BitPackedArray, pack, required_bits, unpack
 from repro.core import (
+    CompressionPlan,
     DiffEncodedColumn,
     HierarchicalEncoding,
     NonHierarchicalEncoding,
     OutlierStore,
+    TableCompressor,
 )
 from repro.core.optimizer import DiffEncodingOptimizer
 from repro.dtypes import INT64, STRING
+from repro.query import And, Between, Eq, In, Or, QueryExecutor
 from repro.encodings import (
     DeltaEncoding,
     DictionaryEncoding,
@@ -200,6 +203,59 @@ class TestHorizontalEncodingProperties:
             [lookup.get(int(q), -1) for q in queried], dtype=np.int64
         )
         assert np.array_equal(out, expected)
+
+
+class TestScanPruningProperties:
+    """Zone-map pruning must be invisible: pruned scans == brute-force scans."""
+
+    @given(
+        reference=int_arrays,
+        block_size=st.integers(min_value=1, max_value=64),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pruned_filter_equals_decode_everything(self, reference, block_size, data):
+        offsets = data.draw(
+            hnp.arrays(
+                dtype=np.int64,
+                shape=st.just(reference.shape),
+                elements=st.integers(min_value=-50, max_value=50),
+            )
+        )
+        target = reference + offsets
+        table = Table.from_columns([("a", INT64, reference), ("b", INT64, target)])
+        plan = (
+            CompressionPlan.builder(table.schema)
+            .diff_encode("b", reference="a")
+            .build()
+        )
+        relation = TableCompressor(plan, block_size=block_size).compress(table)
+
+        lo_a, hi_a = int(reference.min()), int(reference.max())
+        value = data.draw(st.integers(min_value=lo_a - 10, max_value=hi_a + 10))
+        low = data.draw(st.integers(min_value=lo_a - 10, max_value=hi_a + 10))
+        span = data.draw(st.integers(min_value=0, max_value=100))
+        column = data.draw(st.sampled_from(["a", "b"]))
+        predicate = data.draw(
+            st.sampled_from(
+                [
+                    Eq(column, value),
+                    Between(column, low, low + span),
+                    In(column, [value, low]),
+                    And(Between("a", low, low + span), Between("b", low, low + span)),
+                    Or(Eq("a", value), Eq("b", value)),
+                ]
+            )
+        )
+
+        pruned = QueryExecutor(relation)
+        brute = QueryExecutor(relation, use_statistics=False)
+        raw = {"a": reference, "b": target}
+        expected = np.flatnonzero(predicate.evaluate(raw))
+        assert np.array_equal(pruned.filter(predicate), expected)
+        assert np.array_equal(brute.filter(predicate), expected)
+        assert pruned.count(predicate) == expected.size
+        assert pruned.last_scan_metrics.rows_decoded <= brute.last_scan_metrics.rows_total
 
 
 class TestOptimizerProperties:

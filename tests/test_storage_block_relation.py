@@ -133,6 +133,30 @@ class TestRelation:
         with pytest.raises(ValidationError):
             relation.locate(np.array([10_000]))
 
+    def test_locate_scatter_reconstructs_unsorted_selection(self):
+        table, relation = self._relation()
+        rows = np.array([2_400, 3, 1_999, 0, 1_000, 7, 2_499], dtype=np.int64)
+        x = table.column("x")
+        gathered = np.full(rows.size, -1, dtype=np.int64)
+        for block_index, local, output_positions in relation.locate(rows):
+            block = relation.block(block_index)
+            gathered[output_positions] = np.asarray(block.decode_column("x"))[local]
+        assert np.array_equal(gathered, x[rows])
+
+    def test_blocks_property_is_an_immutable_view(self):
+        _, relation = self._relation()
+        blocks = relation.blocks
+        assert isinstance(blocks, tuple)
+        assert blocks is relation.blocks  # no copy per access
+        assert len(blocks) == relation.n_blocks
+
+    def test_blocks_carry_statistics(self):
+        table, relation = self._relation()
+        for i, block in enumerate(relation):
+            stats = block.column_statistics("x")
+            assert stats.min_value == int(np.asarray(block.decode_column("x")).min())
+            assert stats.row_count == block.n_rows
+
     def test_inconsistent_block_sizes_rejected(self):
         table = Table.from_columns([("x", INT64, np.arange(10))])
         compressor = TableCompressor(block_size=4)

@@ -85,6 +85,48 @@ class TestHorizontalBlockRoundTrip:
         )
 
 
+class TestStatisticsRoundTrip:
+    def test_exact_statistics_round_trip(self):
+        table = Table.from_columns(
+            [
+                ("x", INT64, np.arange(1_000, dtype=np.int64) + 7),
+                ("s", STRING, [f"v{i % 13}" for i in range(1_000)]),
+            ]
+        )
+        block = _compress(table)
+        assert block.statistics is not None
+        restored = deserialize_block(serialize_block(block))
+        assert restored.statistics == block.statistics
+        x_stats = restored.column_statistics("x")
+        assert (x_stats.min_value, x_stats.max_value) == (7, 1_006)
+        assert x_stats.distinct_count == 1_000
+        assert x_stats.exact_bounds
+        s_stats = restored.column_statistics("s")
+        assert (s_stats.min_value, s_stats.max_value) == ("v0", "v9")
+
+    def test_derived_diff_statistics_round_trip(self, dates_schema_table):
+        plan = (
+            CompressionPlan.builder(dates_schema_table.schema)
+            .diff_encode("receipt", reference="ship")
+            .build()
+        )
+        block = _compress(dates_schema_table, plan)
+        restored = deserialize_block(serialize_block(block))
+        stats = restored.column_statistics("receipt")
+        assert not stats.exact_bounds
+        assert (stats.delta_min, stats.delta_max) == (7, 7)
+        ship = dates_schema_table.column("ship")
+        assert stats.min_value == int(ship.min()) + 7
+        assert stats.max_value == int(ship.max()) + 7
+
+    def test_block_without_statistics_round_trips_none(self):
+        table = Table.from_columns([("x", INT64, np.arange(50, dtype=np.int64))])
+        block = TableCompressor(collect_statistics=False).compress_block(table)
+        assert block.statistics is None
+        restored = deserialize_block(serialize_block(block))
+        assert restored.statistics is None
+
+
 class TestSerializerErrors:
     def test_bad_magic(self):
         with pytest.raises(SerializationError):
