@@ -83,6 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--mine-rules-for", default=None, metavar="TARGET",
         help="mine a multi-reference configuration for TARGET and use it",
     )
+    compress.add_argument(
+        "--workers", type=int, default=1,
+        help="threads for block compression (0 = one per core; default 1)",
+    )
 
     detect = subparsers.add_parser(
         "detect", help="print ranked correlation suggestions for a dataset"
@@ -121,6 +125,16 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--no-pruning", action="store_true",
         help="disable zone-map pruning (decode every block; for comparison)",
+    )
+    query.add_argument(
+        "--workers", type=int, default=1,
+        help="threads for the morsel-driven scan and for block compression "
+             "(0 = one per core; default 1 = serial)",
+    )
+    query.add_argument(
+        "--no-dictionary", action="store_true",
+        help="disable dictionary-domain predicate evaluation (decode and "
+             "compare instead; for comparison)",
     )
 
     experiments = subparsers.add_parser(
@@ -204,7 +218,9 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     baseline = SingleColumnBaseline().report(table)
     plan = _build_plan(args, table)
 
-    compressor = TableCompressor(plan, block_size=args.block_size)
+    compressor = TableCompressor(
+        plan, block_size=args.block_size, workers=args.workers
+    )
     relation = compressor.compress(table)
 
     rows = []
@@ -291,12 +307,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         suggestions = CorrelationDetector().suggest(table)
         plan = CompressionPlan.from_suggestions(table.schema, suggestions)
-    relation = TableCompressor(plan, block_size=args.block_size).compress(table)
+    relation = TableCompressor(
+        plan, block_size=args.block_size, workers=args.workers
+    ).compress(table)
     predicate = _build_predicate(args)
 
-    executor = QueryExecutor(relation, use_statistics=not args.no_pruning)
-    count = executor.count(predicate)
-    metrics = executor.last_scan_metrics
+    with QueryExecutor(
+        relation,
+        use_statistics=not args.no_pruning,
+        workers=args.workers,
+        use_dictionary=not args.no_dictionary,
+    ) as executor:
+        count = executor.count(predicate)
+        metrics = executor.last_scan_metrics
     print(f"query: {predicate.describe()}")
     print(f"count: {count:,} of {relation.n_rows:,} rows "
           f"({count / max(relation.n_rows, 1):.2%} selectivity)")
@@ -307,6 +330,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         ("blocks fully covered", f"{metrics.blocks_full:,}"),
         ("rows decoded", f"{metrics.rows_decoded:,}"),
         ("decoded fraction", f"{metrics.decoded_fraction:.2%}"),
+        ("rows dict-evaluated", f"{metrics.rows_dict_evaluated:,}"),
+        ("string heap decodes", f"{metrics.string_heap_decodes:,}"),
+        ("scan workers", f"{executor.workers:,}"),
     ]
     print(format_table(("scan metric", "value"), rows))
     return 0

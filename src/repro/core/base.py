@@ -15,7 +15,7 @@ implements Algorithm 1's "fetch the reference, then resolve the target".
 from __future__ import annotations
 
 import abc
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import numpy as np
 

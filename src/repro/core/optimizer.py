@@ -24,11 +24,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Sequence
 
-import numpy as np
-
-from ..dtypes import DataType
 from ..encodings.selector import BestOfSelector
 from ..errors import ConfigurationError
 from ..storage.table import Table

@@ -114,7 +114,6 @@ class DeltaEncodedColumn(EncodedColumn):
         # Group positions by checkpoint segment so each segment is decoded once.
         segments = pos // self._interval
         order = np.argsort(segments, kind="stable")
-        sorted_pos = pos[order]
         sorted_seg = segments[order]
         boundaries = np.flatnonzero(np.diff(sorted_seg)) + 1
         for chunk in np.split(np.arange(pos.size)[order], boundaries):
@@ -126,8 +125,7 @@ class DeltaEncodedColumn(EncodedColumn):
             seg[0] = self._checkpoints[seg_index]
             decoded = np.cumsum(seg)
             out[chunk] = decoded[pos[chunk] - start]
-        # Preserve caller order (chunks were built from the original indices).
-        del sorted_pos
+        # Caller order is preserved: chunks were built from original indices.
         return out
 
 

@@ -7,6 +7,16 @@ character array with an offsets array ("we use Dict encoding and pack the
 distinct strings into a flattened array"), mirroring the paper's setup.
 
 Random access stays O(1): fetch the packed code, then one dictionary lookup.
+
+Both dictionary columns additionally expose a *code-space* API used by the
+query layer for dictionary-domain predicate evaluation: :meth:`codes` returns
+the raw per-row dictionary codes, and :meth:`lookup_codes` translates a small
+set of candidate values into the codes they map to (values absent from the
+dictionary simply translate to nothing).  Because the dictionaries are kept
+sorted, the translation is a binary search — for strings this touches
+``O(log n_distinct)`` heap entries per candidate and never materialises the
+per-row strings, which is what lets ``Eq``/``In`` predicates run as integer
+kernels over packed codes without decoding the :class:`StringHeap`.
 """
 
 from __future__ import annotations
@@ -60,6 +70,26 @@ class StringHeap:
         """Materialise the strings at the given dictionary indices."""
         return [self[int(i)] for i in np.asarray(indices)]
 
+    def find(self, value: str) -> int | None:
+        """Binary-search the heap for ``value``; its index or ``None``.
+
+        Requires the heap to have been built over sorted distinct strings
+        (which :class:`DictEncodedStringColumn` guarantees).  Only the
+        ``O(log n)`` probed entries are decoded — the heap is never
+        materialised in full.
+        """
+        lo, hi = 0, len(self._strings)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            probe = self[mid]
+            if probe == value:
+                return mid
+            if probe < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return None
+
     @property
     def size_bytes(self) -> int:
         # Payload plus a 4-byte offset per entry (plus the terminating offset).
@@ -107,7 +137,45 @@ class DictEncodedIntColumn(EncodedColumn):
         return self._codes.gather(positions)
 
     def decode_codes(self) -> np.ndarray:
+        """Legacy alias of :meth:`codes`."""
+        return self.codes()
+
+    # -- code-space API (dictionary-domain predicate evaluation) --------------
+
+    def codes(self) -> np.ndarray:
+        """The raw per-row dictionary codes as an int64 array."""
         return self._codes.to_numpy()
+
+    def lookup_codes(self, values: Sequence) -> np.ndarray:
+        """Codes of the candidate ``values`` present in the dictionary.
+
+        Candidates compare *numerically*, exactly like the decoded NumPy
+        kernels: ``5.0`` and ``True`` find the rows storing ``5`` and ``1``,
+        while non-integral floats, strings and values outside the dictionary
+        translate to nothing.  The dictionary is sorted (``np.unique``), so
+        each candidate costs one binary search.
+        """
+        candidates = []
+        for v in values:
+            # bool and np.bool_ compare numerically in NumPy: True == 1.
+            if isinstance(v, (int, np.integer, np.bool_)):
+                candidate = int(v)
+            elif isinstance(v, (float, np.floating)) and float(v).is_integer():
+                candidate = int(v)
+            else:
+                continue
+            # An int64 dictionary cannot contain values outside the int64
+            # range; dropping them (instead of letting np.asarray overflow)
+            # matches the decoded kernel, which finds no such row either.
+            if -(2 ** 63) <= candidate < 2 ** 63:
+                candidates.append(candidate)
+        if not candidates or self._dictionary.size == 0:
+            return np.empty(0, dtype=np.int64)
+        cand = np.asarray(candidates, dtype=np.int64)
+        pos = np.searchsorted(self._dictionary, cand)
+        in_range = pos < self._dictionary.size
+        hits = pos[in_range][self._dictionary[pos[in_range]] == cand[in_range]]
+        return np.unique(hits).astype(np.int64)
 
 
 class DictEncodedStringColumn(EncodedColumn):
@@ -160,7 +228,29 @@ class DictEncodedStringColumn(EncodedColumn):
         return self._codes.gather(positions)
 
     def decode_codes(self) -> np.ndarray:
+        """Legacy alias of :meth:`codes`."""
+        return self.codes()
+
+    # -- code-space API (dictionary-domain predicate evaluation) --------------
+
+    def codes(self) -> np.ndarray:
+        """The raw per-row dictionary codes as an int64 array."""
         return self._codes.to_numpy()
+
+    def lookup_codes(self, values: Sequence) -> np.ndarray:
+        """Codes of the candidate ``values`` present in the dictionary.
+
+        Each string candidate is compared once against ``O(log n_distinct)``
+        heap entries via :meth:`StringHeap.find`; the per-row strings are
+        never materialised.  Non-string candidates and strings absent from
+        the dictionary translate to nothing.
+        """
+        found = {
+            code for code in (
+                self._heap.find(v) for v in values if isinstance(v, str)
+            ) if code is not None
+        }
+        return np.asarray(sorted(found), dtype=np.int64)
 
 
 class DictionaryEncoding(ColumnEncoding):

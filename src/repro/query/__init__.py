@@ -1,5 +1,35 @@
 """Query engine: predicate IR, scan planner, selection vectors, executor,
-latency harness."""
+latency harness, and the morsel-driven parallel engine.
+
+Parallel execution
+------------------
+
+Scans are parallelised with a *morsel-driven* design
+(:mod:`repro.query.parallel`): the memoizing
+:class:`~repro.query.scan.ScanPlanner` first prunes blocks against their zone
+maps, the surviving *scan* blocks are split into morsels, and a thread pool
+evaluates the per-block predicate kernels concurrently — the kernels are
+NumPy code (bit-unpacking, comparisons, ``np.isin``), which releases the GIL,
+so threads scale near-linearly with cores.  Per-worker
+:class:`~repro.query.scan.ScanMetrics` are merged back into one object and
+row ids are reassembled in block order, making parallel results
+bit-identical to serial execution.  Use it either directly::
+
+    engine = ParallelEngine(relation, workers=4)
+    row_ids, metrics = engine.scan(Eq("flag", "Y"))
+
+or through the executor, which stays serial by default::
+
+    executor = QueryExecutor(relation, workers=4)
+    count = executor.count(Between("l_shipdate", 8100, 8200))
+
+Predicates over dictionary-encoded columns take a second shortcut:
+``Eq``/``In`` constants are translated to dictionary codes (string compares
+happen once per distinct candidate, against the sorted dictionary) and the
+kernel runs over the packed codes, so no string heap is ever materialised —
+``ScanMetrics.rows_dict_evaluated`` and ``ScanMetrics.string_heap_decodes``
+report both effects.
+"""
 
 from .executor import QueryExecutor, QueryResult
 from .latency import (
@@ -9,12 +39,14 @@ from .latency import (
     measure_query_latency,
     sweep_query_latency,
 )
+from .parallel import Morsel, ParallelEngine, parallel_map, resolve_workers
 from .predicates import And, Between, ColumnPredicate, Eq, In, Or, Predicate
 from .scan import (
     BlockDecision,
     ScanMetrics,
     ScanPlan,
     ScanPlanner,
+    evaluate_block_predicate,
     materialize_block_columns,
     materialize_columns,
 )
@@ -36,6 +68,7 @@ __all__ = [
     "PAPER_ZOOM_SELECTIVITIES",
     "materialize_columns",
     "materialize_block_columns",
+    "evaluate_block_predicate",
     "QueryExecutor",
     "QueryResult",
     "Predicate",
@@ -49,6 +82,10 @@ __all__ = [
     "ScanMetrics",
     "ScanPlan",
     "ScanPlanner",
+    "Morsel",
+    "ParallelEngine",
+    "parallel_map",
+    "resolve_workers",
     "LatencyMeasurement",
     "LatencySweep",
     "measure_query_latency",

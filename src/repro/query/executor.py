@@ -6,12 +6,21 @@ pipeline: predicates are IR nodes (:mod:`repro.query.predicates`) that the
 so blocks that provably contain no qualifying row are skipped without
 decoding a single value and blocks that provably qualify in full are
 answered from metadata alone.  Only the remaining blocks have their
-predicate columns decoded (block by block, so memory stays bounded by the
-block size) and the vectorized predicate kernel applied.
+predicate kernels evaluated (block by block, so memory stays bounded by the
+block size).
+
+Execution is delegated to one code path — the morsel-driven
+:class:`~repro.query.parallel.ParallelEngine` — at every worker count:
+``workers=1`` (the default) evaluates morsels inline on the calling thread,
+``workers > 1`` fans them across a persistent thread pool, and the results
+are bit-identical either way.  Predicate kernels run through
+:func:`~repro.query.scan.evaluate_block_predicate`, so ``Eq``/``In`` leaves
+over dictionary-encoded columns are answered in code space without
+materialising a value.
 
 Every predicate scan produces a :class:`~repro.query.scan.ScanMetrics`
-describing how much work the zone maps saved; the most recent one is
-available as :attr:`QueryExecutor.last_scan_metrics`.
+describing how much work the zone maps and the code-space path saved; the
+most recent one is available as :attr:`QueryExecutor.last_scan_metrics`.
 """
 
 from __future__ import annotations
@@ -21,18 +30,11 @@ from typing import Sequence
 
 import numpy as np
 
-from ..errors import UnknownColumnError, ValidationError
-from ..storage.block import CompressedBlock
+from ..errors import UnknownColumnError
 from ..storage.relation import Relation
+from .parallel import ParallelEngine, resolve_workers
 from .predicates import Predicate
-from .scan import (
-    BlockDecision,
-    QueryOutput,
-    ScanMetrics,
-    ScanPlanner,
-    materialize_block_columns,
-    materialize_columns,
-)
+from .scan import QueryOutput, ScanMetrics, ScanPlanner, materialize_columns
 from .selection import SelectionVector
 
 __all__ = ["Predicate", "QueryExecutor", "QueryResult"]
@@ -61,16 +63,47 @@ class QueryExecutor:
 
     ``use_statistics=False`` disables zone-map pruning, restoring the
     decode-everything scan (used as the baseline in the pruning benchmark).
+    ``workers`` sets the morsel-driven parallelism (``None``/``0`` = all
+    cores; the default of 1 evaluates inline on the calling thread).
+    ``use_dictionary=False`` disables dictionary-domain predicate
+    evaluation, forcing the decode-then-compare path the benchmarks use as
+    a baseline.
     """
 
-    def __init__(self, relation: Relation, use_statistics: bool = True):
+    def __init__(self, relation: Relation, use_statistics: bool = True,
+                 workers: int | None = 1, use_dictionary: bool = True):
         self._relation = relation
         self._planner = ScanPlanner(relation, use_statistics=use_statistics)
+        self._workers = resolve_workers(workers)
+        self._engine = ParallelEngine(
+            relation, workers=self._workers, planner=self._planner,
+            use_dictionary=use_dictionary,
+        )
         self._last_metrics: ScanMetrics | None = None
 
     @property
     def relation(self) -> Relation:
         return self._relation
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def close(self) -> None:
+        """Release the engine's worker threads (no-op when serial).
+
+        The executor stays usable; the next parallel query starts a fresh
+        pool.  Long-lived processes that create many executors should call
+        this (or use the executor as a context manager) instead of relying
+        on interpreter shutdown to join the idle workers.
+        """
+        self._engine.close()
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def last_scan_metrics(self) -> ScanMetrics | None:
@@ -91,63 +124,12 @@ class QueryExecutor:
             if name not in self._relation.schema:
                 raise UnknownColumnError(name, self._relation.schema.names)
 
-    def _block_mask(self, block, predicate: Predicate) -> np.ndarray:
-        """Decode the predicate columns of one block and evaluate the kernel."""
-        positions = np.arange(block.n_rows, dtype=np.int64)
-        values = materialize_block_columns(block, predicate.columns(), positions)
-        mask = np.asarray(predicate.evaluate(values), dtype=bool)
-        if mask.shape != (block.n_rows,):
-            raise ValidationError(
-                "predicate evaluation must return one boolean per row"
-            )
-        return mask
-
-    def _plan_scan(self, predicate: Predicate) -> tuple[
-            list[tuple[CompressedBlock, str, int]], ScanMetrics]:
-        """Shared planning step of ``scan``/``count``.
-
-        Returns ``(block, decision, row offset)`` triples plus a
-        :class:`ScanMetrics` pre-filled with the block-level accounting
-        (``rows_matched`` is left for the caller); the metrics object is
-        installed as :attr:`last_scan_metrics`.
-        """
-        self._check_predicate(predicate)
-        plan = self._planner.plan(predicate)
-        metrics = ScanMetrics(n_blocks=plan.n_blocks, rows_total=self._relation.n_rows)
-        decided = []
-        offset = 0
-        for block, decision in zip(self._relation, plan.decisions):
-            if decision == BlockDecision.PRUNE:
-                metrics.blocks_pruned += 1
-            elif decision == BlockDecision.FULL:
-                metrics.blocks_full += 1
-            else:
-                metrics.blocks_scanned += 1
-                metrics.rows_decoded += block.n_rows
-            decided.append((block, decision, offset))
-            offset += block.n_rows
-        self._last_metrics = metrics
-        return decided, metrics
-
     def scan(self, predicate: Predicate) -> tuple[np.ndarray, ScanMetrics]:
         """Global row ids satisfying ``predicate`` plus the scan metrics."""
-        decided, metrics = self._plan_scan(predicate)
-        qualifying: list[np.ndarray] = []
-        for block, decision, offset in decided:
-            if decision == BlockDecision.FULL:
-                metrics.rows_matched += block.n_rows
-                qualifying.append(
-                    np.arange(offset, offset + block.n_rows, dtype=np.int64)
-                )
-            elif decision == BlockDecision.SCAN:
-                mask = self._block_mask(block, predicate)
-                matched = np.flatnonzero(mask)
-                metrics.rows_matched += int(matched.size)
-                if matched.size:
-                    qualifying.append(matched + offset)
-        if not qualifying:
-            return np.zeros(0, dtype=np.int64), metrics
-        return np.concatenate(qualifying), metrics
+        self._check_predicate(predicate)
+        row_ids, metrics = self._engine.scan(predicate)
+        self._last_metrics = metrics
+        return row_ids, metrics
 
     def filter(self, predicate: Predicate) -> np.ndarray:
         """Global row ids of the rows satisfying ``predicate``."""
@@ -169,15 +151,10 @@ class QueryExecutor:
     def count(self, predicate: Predicate) -> int:
         """Number of rows satisfying ``predicate``.
 
-        Answered from block statistics plus per-block predicate masks; no row
-        ids are concatenated and no projection output is ever allocated.
+        Answered from block statistics plus per-block predicate masks; no
+        row ids are concatenated and no projection output is allocated.
         """
-        decided, metrics = self._plan_scan(predicate)
-        total = 0
-        for block, decision, _ in decided:
-            if decision == BlockDecision.FULL:
-                total += block.n_rows
-            elif decision == BlockDecision.SCAN:
-                total += int(np.count_nonzero(self._block_mask(block, predicate)))
-        metrics.rows_matched = total
+        self._check_predicate(predicate)
+        total, metrics = self._engine.count(predicate)
+        self._last_metrics = metrics
         return total

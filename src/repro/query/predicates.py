@@ -54,6 +54,29 @@ def _as_array(values) -> np.ndarray:
     return np.asarray(values)
 
 
+def _code_space_mask(column, candidates: Sequence) -> np.ndarray | None:
+    """``column IN candidates`` evaluated over packed dictionary codes.
+
+    Translates the candidates to dictionary codes (string compares happen at
+    most once per candidate, against the sorted dictionary), then runs an
+    integer kernel over the raw codes.  ``None`` when ``column`` does not
+    expose the code-space API (``codes``/``lookup_codes``).
+    """
+    codes_of = getattr(column, "codes", None)
+    lookup = getattr(column, "lookup_codes", None)
+    if codes_of is None or lookup is None:
+        return None
+    targets = lookup(candidates)
+    if targets.size == 0:
+        # No candidate is in the dictionary: all-false without even
+        # unpacking the codes.
+        return np.zeros(column.n_values, dtype=bool)
+    codes = codes_of()
+    if targets.size == 1:
+        return codes == targets[0]
+    return np.isin(codes, targets)
+
+
 class Predicate(abc.ABC):
     """Base class of the predicate IR.
 
@@ -85,6 +108,33 @@ class Predicate(abc.ABC):
         ``filter`` answer for fully-covered blocks from metadata alone.
         """
         return False
+
+    def fingerprint(self) -> str | None:
+        """A stable cache key for planner memoization, or ``None``.
+
+        Two predicates with equal fingerprints must make identical zone-map
+        decisions on every block.  Opaque nodes (:class:`ColumnPredicate`)
+        return ``None``: their behaviour is defined by an arbitrary callable,
+        so their decisions must never be reused across predicate objects.
+        """
+        return f"{type(self).__name__}:{self.describe()}"
+
+    def evaluate_encoded(self, column, statistics=None) -> "np.ndarray | None":
+        """Boolean mask computed in the column's *encoded* domain, if possible.
+
+        ``column`` is the block's :class:`~repro.encodings.base.EncodedColumn`
+        for this predicate's column.  Nodes that can translate themselves to
+        code space (``Eq``/``In`` on dictionary-encoded columns) return the
+        mask without materialising a single value; every other combination
+        returns ``None`` and the caller falls back to decoded evaluation.
+        ``statistics`` (the block's
+        :class:`~repro.storage.statistics.ColumnStatistics` for this column,
+        when available) lets the translation drop candidates outside the
+        block's value range before any dictionary probe — a compound
+        predicate's leaves are not individually pruned by the planner, so a
+        leaf can be provably empty even inside a block classified *scan*.
+        """
+        return None
 
     @abc.abstractmethod
     def describe(self) -> str:
@@ -160,6 +210,12 @@ class Eq(_Leaf):
     def matches_all(self, statistics: BlockStatistics | None) -> bool:
         stats = self._stats(statistics)
         return stats is not None and stats.is_constant(self.value)
+
+    def evaluate_encoded(self, column, statistics=None) -> np.ndarray | None:
+        candidates = (self.value,)
+        if statistics is not None:
+            candidates = statistics.prune_candidates(candidates)
+        return _code_space_mask(column, candidates)
 
     def describe(self) -> str:
         return f"{self.column} == {self.value!r}"
@@ -239,6 +295,12 @@ class In(_Leaf):
             stats.is_constant(v) for v in self.values
         )
 
+    def evaluate_encoded(self, column, statistics=None) -> np.ndarray | None:
+        candidates = self.values
+        if statistics is not None:
+            candidates = statistics.prune_candidates(candidates)
+        return _code_space_mask(column, candidates)
+
     def describe(self) -> str:
         return f"{self.column} IN {list(self.values)!r}"
 
@@ -266,6 +328,12 @@ class _Compound(Predicate):
                 if name not in seen:
                     seen.append(name)
         return tuple(seen)
+
+    def fingerprint(self) -> str | None:
+        parts = [child.fingerprint() for child in self.children]
+        if any(part is None for part in parts):
+            return None
+        return f"{type(self).__name__}:[{'; '.join(parts)}]"
 
 
 class And(_Compound):
@@ -323,6 +391,11 @@ class ColumnPredicate(_Leaf):
 
     def evaluate(self, values: ColumnValues) -> np.ndarray:
         return np.asarray(self.condition(values[self.column]), dtype=bool)
+
+    def fingerprint(self) -> str | None:
+        # The callable is opaque: two ColumnPredicates with identical
+        # descriptions may behave differently, so decisions are never cached.
+        return None
 
     def describe(self) -> str:
         return self.description

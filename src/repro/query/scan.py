@@ -16,26 +16,38 @@ On top of the materialisation kernels sits the structured scan pipeline:
 (:class:`~repro.storage.statistics.BlockStatistics`) and classifies each
 block as *pruned* (provably no qualifying row — skipped without decoding),
 *full* (provably all rows qualify — answered from metadata alone), or
-*scan* (decode the predicate columns and evaluate the vectorized kernel).
-:class:`ScanMetrics` reports what the planner achieved per query.
+*scan* (evaluate the predicate kernel against the block).  The planner
+memoizes its per-(block, predicate-fingerprint) decisions, so repeated
+queries with equal predicates skip the zone-map tests entirely.
+
+Blocks classified *scan* are evaluated by :func:`evaluate_block_predicate`,
+which routes ``Eq``/``In`` leaves over dictionary-encoded columns through
+the *code space*: the predicate constants are translated to dictionary codes
+once (string compares against the sorted dictionary only) and an integer
+kernel runs over the packed codes — no string heap is ever materialised.
+Every other leaf decodes its column and
+evaluates the generic kernel.  :class:`ScanMetrics` reports what the planner
+and the code-space routing achieved per query.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from ..errors import UnknownColumnError
+from ..encodings.dictionary import DictEncodedStringColumn
+from ..errors import UnknownColumnError, ValidationError
 from ..storage.block import CompressedBlock
 from ..storage.relation import Relation
-from .predicates import Predicate
+from .predicates import And, Or, Predicate
 from .selection import SelectionVector
 
 __all__ = [
     "materialize_columns",
     "materialize_block_columns",
+    "evaluate_block_predicate",
     "QueryOutput",
     "BlockDecision",
     "ScanMetrics",
@@ -137,8 +149,15 @@ class ScanMetrics:
     """What one predicate scan actually did, block by block.
 
     ``rows_decoded`` counts the rows whose predicate columns were
-    materialised; pruned and fully-covered blocks contribute nothing to it,
-    which is exactly the work the zone maps saved.
+    materialised; pruned and fully-covered blocks contribute nothing to it
+    (the work the zone maps saved), and neither do scanned blocks answered
+    entirely in dictionary code space (the work the code-space path saved).
+
+    ``rows_dict_evaluated`` counts rows answered in dictionary code space
+    (one increment of ``block.n_rows`` per ``Eq``/``In`` leaf routed over
+    packed codes), and ``string_heap_decodes`` counts row values that *were*
+    materialised from a dictionary string heap during predicate evaluation —
+    the quantity the code-space path drives to zero.
     """
 
     n_blocks: int = 0
@@ -148,6 +167,26 @@ class ScanMetrics:
     rows_total: int = 0
     rows_decoded: int = 0
     rows_matched: int = 0
+    rows_dict_evaluated: int = 0
+    string_heap_decodes: int = 0
+
+    def merge(self, other: "ScanMetrics") -> "ScanMetrics":
+        """Fold another metrics object (covering disjoint work) into this one.
+
+        Used by the parallel engine to combine per-morsel worker metrics;
+        every counter is summed, so each block/row must be accounted for by
+        exactly one of the merged objects.
+        """
+        self.n_blocks += other.n_blocks
+        self.blocks_scanned += other.blocks_scanned
+        self.blocks_pruned += other.blocks_pruned
+        self.blocks_full += other.blocks_full
+        self.rows_total += other.rows_total
+        self.rows_decoded += other.rows_decoded
+        self.rows_matched += other.rows_matched
+        self.rows_dict_evaluated += other.rows_dict_evaluated
+        self.string_heap_decodes += other.string_heap_decodes
+        return self
 
     @property
     def pruned_fraction(self) -> float:
@@ -168,8 +207,81 @@ class ScanMetrics:
             f"{self.blocks_scanned}/{self.n_blocks} blocks scanned "
             f"({self.blocks_pruned} pruned, {self.blocks_full} fully covered); "
             f"{self.rows_decoded:,}/{self.rows_total:,} rows decoded, "
+            f"{self.rows_dict_evaluated:,} dict-evaluated, "
             f"{self.rows_matched:,} matched"
         )
+
+
+# ---------------------------------------------------------------------------
+# per-block predicate evaluation (dictionary-domain aware)
+# ---------------------------------------------------------------------------
+
+def evaluate_block_predicate(block: CompressedBlock, predicate: Predicate,
+                             metrics: ScanMetrics | None = None,
+                             use_dictionary: bool = True) -> np.ndarray:
+    """Evaluate ``predicate`` over one block, returning a boolean row mask.
+
+    The predicate tree is walked leaf by leaf.  A leaf whose column is
+    dictionary-encoded in this block and which can translate itself to code
+    space (``Eq``/``In``) is answered from the packed codes without decoding
+    any value; other leaves decode their column once per block (a shared
+    cache deduplicates columns used by several leaves) and apply the generic
+    vectorized kernel.  ``use_dictionary=False`` forces the decode path for
+    every leaf — the decode-then-compare baseline the benchmarks measure
+    against.  ``metrics``, when given, receives the ``rows_decoded``,
+    ``rows_dict_evaluated`` and ``string_heap_decodes`` accounting
+    (``rows_decoded`` is charged once per block, on the first column
+    actually materialised; blocks answered purely in code space add
+    nothing).
+    """
+    decoded_cache: dict[str, "np.ndarray | list[str]"] = {}
+
+    def decode(name: str):
+        if name not in decoded_cache:
+            if metrics is not None:
+                if not decoded_cache:
+                    # First materialisation for this block: these rows are
+                    # actually decoded (code-space-only blocks never are).
+                    metrics.rows_decoded += block.n_rows
+                if isinstance(
+                    block.columns.get(name), DictEncodedStringColumn
+                ):
+                    metrics.string_heap_decodes += block.n_rows
+            decoded_cache[name] = block.decode_column(name)
+        return decoded_cache[name]
+
+    def walk(node: Predicate) -> np.ndarray:
+        if isinstance(node, (And, Or)):
+            mask = walk(node.children[0])
+            for child in node.children[1:]:
+                if isinstance(node, And):
+                    mask = mask & walk(child)
+                else:
+                    mask = mask | walk(child)
+            return mask
+        names = node.columns()
+        if use_dictionary and len(names) == 1:
+            encoded = block.code_space_column(names[0])
+            if encoded is not None:
+                statistics = (
+                    block.statistics.column(names[0])
+                    if block.statistics is not None else None
+                )
+                mask = node.evaluate_encoded(encoded, statistics)
+                if mask is not None:
+                    if metrics is not None:
+                        metrics.rows_dict_evaluated += block.n_rows
+                    return np.asarray(mask, dtype=bool)
+        return np.asarray(
+            node.evaluate({name: decode(name) for name in names}), dtype=bool
+        )
+
+    mask = walk(predicate)
+    if mask.shape != (block.n_rows,):
+        raise ValidationError(
+            "predicate evaluation must return one boolean per row"
+        )
+    return mask
 
 
 @dataclass(frozen=True)
@@ -192,30 +304,72 @@ class ScanPlanner:
 
     ``use_statistics=False`` degrades to the pre-zone-map behaviour (every
     block is scanned), which the benchmarks use as the full-decode baseline.
+
+    Decisions are memoized per ``(block, predicate fingerprint)``: repeated
+    queries with equal predicates (the common dashboard/refresh pattern) skip
+    the zone-map tests entirely.  Predicates without a stable fingerprint
+    (:class:`~repro.query.predicates.ColumnPredicate`) are never cached, and
+    the memo is dropped whenever the planner observes a different relation
+    (tracked via :attr:`~repro.storage.relation.Relation.cache_token`).
     """
+
+    #: Memo entries kept before the cache is wholesale dropped — bounds the
+    #: memory of a long-lived planner fed ever-changing predicate constants
+    #: (each distinct fingerprint adds one entry per block).
+    MAX_CACHED_DECISIONS = 65_536
 
     def __init__(self, relation: Relation, use_statistics: bool = True):
         self._relation = relation
         self._use_statistics = use_statistics
+        self._decisions: dict[tuple[int, str], str] = {}
+        self._cache_token = relation.cache_token
 
     @property
     def relation(self) -> Relation:
         return self._relation
 
+    @relation.setter
+    def relation(self, relation: Relation) -> None:
+        self._relation = relation
+
+    def invalidate(self) -> None:
+        """Drop every memoized decision."""
+        self._decisions.clear()
+
+    @property
+    def cached_decisions(self) -> int:
+        """Number of memoized (block, predicate) decisions currently held."""
+        return len(self._decisions)
+
     def plan(self, predicate: Predicate | None) -> ScanPlan:
+        if self._relation.cache_token != self._cache_token:
+            self.invalidate()
+            self._cache_token = self._relation.cache_token
+        if len(self._decisions) >= self.MAX_CACHED_DECISIONS:
+            # Epoch eviction: cheaper than LRU bookkeeping on the hot path,
+            # and repeated predicates re-warm within one plan() call each.
+            self.invalidate()
+        fingerprint = predicate.fingerprint() if predicate is not None else None
         decisions = []
-        for block in self._relation:
+        for index, block in enumerate(self._relation):
             if predicate is None:
                 decisions.append(BlockDecision.FULL)
                 continue
             if not self._use_statistics:
                 decisions.append(BlockDecision.SCAN)
                 continue
+            key = None if fingerprint is None else (index, fingerprint)
+            if key is not None and key in self._decisions:
+                decisions.append(self._decisions[key])
+                continue
             statistics = block.statistics
             if block.n_rows == 0 or not predicate.might_match(statistics):
-                decisions.append(BlockDecision.PRUNE)
+                decision = BlockDecision.PRUNE
             elif predicate.matches_all(statistics):
-                decisions.append(BlockDecision.FULL)
+                decision = BlockDecision.FULL
             else:
-                decisions.append(BlockDecision.SCAN)
+                decision = BlockDecision.SCAN
+            if key is not None:
+                self._decisions[key] = decision
+            decisions.append(decision)
         return ScanPlan(predicate=predicate, decisions=tuple(decisions))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Iterable, Iterator
 
 import numpy as np
@@ -32,10 +33,16 @@ class Relation:
     engine works with.
     """
 
+    #: Monotonic counter backing :attr:`cache_token`; never reused, so tokens
+    #: stay distinct even if a relation object is garbage-collected and its
+    #: memory address recycled (``id()`` would not give that guarantee).
+    _token_counter = itertools.count()
+
     def __init__(self, schema: Schema, blocks: Iterable[CompressedBlock],
                  block_size: int = DEFAULT_BLOCK_SIZE):
         self._schema = schema
         self._blocks = tuple(blocks)
+        self._token = next(Relation._token_counter)
         self._block_size = int(block_size)
         if self._block_size < 1:
             raise ValidationError("block size must be at least 1")
@@ -69,6 +76,15 @@ class Relation:
     @property
     def block_size(self) -> int:
         return self._block_size
+
+    @property
+    def cache_token(self) -> int:
+        """A process-unique id identifying this relation's (immutable) blocks.
+
+        Caches keyed on it (e.g. the scan planner's decision memo) are
+        automatically invalidated when they observe a different relation.
+        """
+        return self._token
 
     @property
     def n_blocks(self) -> int:

@@ -188,6 +188,18 @@ class ColumnStatistics:
                 return False
         return True
 
+    def prune_candidates(self, values: Sequence) -> tuple:
+        """The subset of candidate ``values`` this block could contain.
+
+        Used by the dictionary-domain translation of ``Eq``/``In``
+        (``Predicate.evaluate_encoded``): candidates outside ``[min, max]``
+        need no dictionary probe, and a leaf whose candidates all fall
+        outside the block's range is answered all-false without touching the
+        packed codes — the planner only prunes whole predicates, not the
+        individual leaves of a compound.
+        """
+        return tuple(v for v in values if self.may_contain(v))
+
     def is_constant(self, value) -> bool:
         """Whether every row provably equals ``value``."""
         return (

@@ -12,10 +12,7 @@ from repro.baselines import (
     one_to_one_size,
 )
 from repro.core import NonHierarchicalEncoding
-from repro.datasets import TpchLineitemGenerator
-from repro.dtypes import INT64, STRING
 from repro.errors import EncodingError
-from repro.storage import Table
 
 
 class TestSingleColumnBaseline:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import HierarchicalEncodedColumn, HierarchicalEncoding
+from repro.core import HierarchicalEncoding
 from repro.errors import DecodingError, EncodingError
 
 

@@ -7,7 +7,7 @@ from repro.core import CompressionPlan, PlanBuilder, TableCompressor
 from repro.datasets import TaxiGenerator, taxi_multi_reference_config
 from repro.dtypes import INT64, STRING
 from repro.errors import ConfigurationError, UnknownColumnError
-from repro.storage import Schema, Table
+from repro.storage import Schema
 
 
 class TestColumnPlanValidation:

@@ -148,7 +148,6 @@ class TestTaxi:
         config = taxi_multi_reference_config()
         group_a = sum(table.column(c) for c in config.groups[0].columns)
         group_b = table.column("congestion_surcharge")
-        group_c = table.column("airport_fee")
         total = table.column("total_amount")
         share_a = np.mean(total == group_a)
         share_ab = np.mean(total == group_a + group_b)

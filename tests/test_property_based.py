@@ -18,7 +18,6 @@ from hypothesis.extra import numpy as hnp
 from repro.bitpack import BitPackedArray, pack, required_bits, unpack
 from repro.core import (
     CompressionPlan,
-    DiffEncodedColumn,
     HierarchicalEncoding,
     NonHierarchicalEncoding,
     OutlierStore,

@@ -10,7 +10,6 @@ from repro.query import (
     PAPER_SELECTIVITIES,
     Predicate,
     QueryExecutor,
-    SelectionVector,
     generate_selection_vector,
     generate_selection_vectors,
     latency_ratio,
