@@ -12,8 +12,11 @@ Python:
 ``detect``
     Print the ranked correlation suggestions for a dataset.
 ``query``
-    Compress a dataset, run a structured predicate over it, and print the
-    matching row count together with the scan-pruning metrics.
+    Compress a dataset and run a query over it through the lazy plan API:
+    a structured predicate prints the matching row count with the
+    scan-pruning metrics; ``--agg``/``--group-by`` compute (grouped)
+    aggregates, ``--select``/``--limit`` materialise qualifying rows, and
+    ``--explain`` renders the logical plan plus per-block decisions.
 ``experiments``
     Regenerate the paper's tables and figures (delegates to
     :mod:`repro.bench.report`).
@@ -35,7 +38,18 @@ from .core import CompressionPlan, CorrelationDetector, TableCompressor
 from .core.rule_mining import mine_multi_reference_config
 from .datasets import available_datasets, dataset_by_name
 from .errors import CorraError
-from .query import And, Between, Eq, In, Predicate, QueryExecutor
+from .query import (
+    And,
+    Between,
+    Count,
+    Eq,
+    In,
+    Max,
+    Min,
+    Predicate,
+    Sum,
+    resolve_workers,
+)
 from .storage import DEFAULT_BLOCK_SIZE
 
 __all__ = ["main", "build_parser"]
@@ -135,6 +149,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-dictionary", action="store_true",
         help="disable dictionary-domain predicate evaluation (decode and "
              "compare instead; for comparison)",
+    )
+    query.add_argument(
+        "--select", default=None, metavar="COL1,COL2,...",
+        help="materialise and print the named columns of the qualifying rows "
+             "(combine with --limit to bound the output)",
+    )
+    query.add_argument(
+        "--agg", action="append", default=[], metavar="NAME:FUNC[:COLUMN]",
+        help="add a named aggregate output, e.g. n:count, total:sum:fare, "
+             "hi:max:tip (may be repeated; FUNC is count/sum/min/max)",
+    )
+    query.add_argument(
+        "--group-by", default=None, metavar="COL1,COL2,...",
+        help="group the aggregates by the named columns",
+    )
+    query.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="keep at most N output rows (applied before materialisation "
+             "for --select)",
+    )
+    query.add_argument(
+        "--explain", action="store_true",
+        help="print the logical plan and the per-block prune/full/scan "
+             "decisions before executing",
     )
 
     experiments = subparsers.add_parser(
@@ -270,7 +308,7 @@ def _parse_scalar(text: str):
         return text
 
 
-def _build_predicate(args: argparse.Namespace) -> Predicate:
+def _build_predicate(args: argparse.Namespace) -> Predicate | None:
     terms: list[Predicate] = []
     for spec in args.equals:
         column, _, value = spec.partition(":")
@@ -293,10 +331,56 @@ def _build_predicate(args: argparse.Namespace) -> Predicate:
             raise CorraError(f"expected COLUMN:V1,V2,..., got {spec!r}")
         terms.append(In(column, [_parse_scalar(v) for v in values.split(",")]))
     if not terms:
-        raise CorraError(
-            "no predicate given; use --equals, --between and/or --in"
-        )
+        return None
     return terms[0] if len(terms) == 1 else And(*terms)
+
+
+#: CLI aggregate function names -> constructors (count takes no column).
+_AGG_FUNCTIONS = {"count": Count, "sum": Sum, "min": Min, "max": Max}
+
+
+def _parse_aggregate(spec: str) -> tuple[str, "Count | Sum | Min | Max"]:
+    parts = spec.split(":")
+    if len(parts) not in (2, 3) or not all(parts):
+        raise CorraError(f"expected NAME:FUNC[:COLUMN], got {spec!r}")
+    name, func = parts[0], parts[1].lower()
+    if func not in _AGG_FUNCTIONS:
+        raise CorraError(
+            f"unknown aggregate function {parts[1]!r}; "
+            f"choose from {', '.join(sorted(_AGG_FUNCTIONS))}"
+        )
+    if func == "count":
+        if len(parts) == 3:
+            raise CorraError(f"count takes no input column, got {spec!r}")
+        return name, Count()
+    if len(parts) != 3:
+        raise CorraError(f"{func} needs an input column: NAME:{func}:COLUMN")
+    return name, _AGG_FUNCTIONS[func](parts[2])
+
+
+def _print_metrics(metrics, workers: int) -> None:
+    rows = [
+        ("blocks", f"{metrics.n_blocks:,}"),
+        ("blocks scanned", f"{metrics.blocks_scanned:,}"),
+        ("blocks pruned", f"{metrics.blocks_pruned:,}"),
+        ("blocks fully covered", f"{metrics.blocks_full:,}"),
+        ("rows decoded", f"{metrics.rows_decoded:,}"),
+        ("decoded fraction", f"{metrics.decoded_fraction:.2%}"),
+        ("rows gathered", f"{metrics.rows_gathered:,}"),
+        ("rows dict-evaluated", f"{metrics.rows_dict_evaluated:,}"),
+        ("string heap decodes", f"{metrics.string_heap_decodes:,}"),
+        ("scan workers", f"{workers:,}"),
+    ]
+    print(format_table(("scan metric", "value"), rows))
+
+
+def _print_result_rows(columns: dict) -> None:
+    names = tuple(columns)
+    n_rows = len(next(iter(columns.values()))) if columns else 0
+    cells = [
+        tuple(str(columns[name][i]) for name in names) for i in range(n_rows)
+    ]
+    print(format_table(names, cells))
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -311,30 +395,65 @@ def _cmd_query(args: argparse.Namespace) -> int:
         plan, block_size=args.block_size, workers=args.workers
     ).compress(table)
     predicate = _build_predicate(args)
+    aggregates = {}
+    for spec in args.agg:
+        name, fn = _parse_aggregate(spec)
+        if name in aggregates:
+            raise CorraError(f"duplicate aggregate output name {name!r}")
+        aggregates[name] = fn
+    group_columns = args.group_by.split(",") if args.group_by else []
+    if group_columns and not aggregates:
+        raise CorraError("--group-by needs at least one --agg")
+    if aggregates and args.select:
+        raise CorraError(
+            "--select cannot be combined with --agg/--group-by; "
+            "aggregate outputs are named by --agg"
+        )
+    if not predicate and not aggregates and not args.select:
+        raise CorraError(
+            "no predicate given; use --equals, --between and/or --in "
+            "(or aggregate the whole relation with --agg/--group-by)"
+        )
 
-    with QueryExecutor(
-        relation,
-        use_statistics=not args.no_pruning,
+    lazy = relation.query(
         workers=args.workers,
+        use_statistics=not args.no_pruning,
         use_dictionary=not args.no_dictionary,
-    ) as executor:
-        count = executor.count(predicate)
-        metrics = executor.last_scan_metrics
-    print(f"query: {predicate.describe()}")
-    print(f"count: {count:,} of {relation.n_rows:,} rows "
-          f"({count / max(relation.n_rows, 1):.2%} selectivity)")
-    rows = [
-        ("blocks", f"{metrics.n_blocks:,}"),
-        ("blocks scanned", f"{metrics.blocks_scanned:,}"),
-        ("blocks pruned", f"{metrics.blocks_pruned:,}"),
-        ("blocks fully covered", f"{metrics.blocks_full:,}"),
-        ("rows decoded", f"{metrics.rows_decoded:,}"),
-        ("decoded fraction", f"{metrics.decoded_fraction:.2%}"),
-        ("rows dict-evaluated", f"{metrics.rows_dict_evaluated:,}"),
-        ("string heap decodes", f"{metrics.string_heap_decodes:,}"),
-        ("scan workers", f"{executor.workers:,}"),
-    ]
-    print(format_table(("scan metric", "value"), rows))
+    )
+    if predicate is not None:
+        lazy = lazy.where(predicate)
+        print(f"query: {predicate.describe()}")
+    if aggregates:
+        if group_columns:
+            lazy = lazy.group_by(*group_columns)
+        lazy = lazy.agg(**aggregates)
+    elif args.select:
+        lazy = lazy.select(*args.select.split(","))
+    if args.limit is not None:
+        lazy = lazy.limit(args.limit)
+
+    if args.explain:
+        print(lazy.explain())
+        print()
+
+    workers = resolve_workers(args.workers)
+    if aggregates or args.select:
+        result = lazy.execute()
+        _print_result_rows(result.columns)
+        if result.metrics is not None:
+            print()
+            _print_metrics(result.metrics, workers)
+        return 0
+
+    count = lazy.count()
+    metrics = lazy.last_metrics
+    # Selectivity reflects the predicate itself; --limit may clamp the
+    # reported count but not the fraction of rows that actually matched.
+    matched = metrics.rows_matched
+    limited = " (limited)" if count < matched else ""
+    print(f"count: {count:,}{limited} of {relation.n_rows:,} rows "
+          f"({matched / max(relation.n_rows, 1):.2%} selectivity)")
+    _print_metrics(metrics, workers)
     return 0
 
 

@@ -318,11 +318,14 @@ class TableCompressor:
         """Compute the block's zone map at compression time.
 
         Vertical, hierarchical and multi-reference columns get exact bounds
-        from the raw chunk values.  Diff-encoded columns get conservative
-        bounds derived from the reference's bounds plus the stored delta
-        range (widened by the outlier region) — the target values themselves
-        are never consulted, mirroring how a reader could rebuild the zone
-        map from block metadata alone.
+        (plus, for integer columns, the exact per-block sum that lets the
+        query compiler answer ``sum`` aggregates over fully-covered blocks
+        from metadata alone) from the raw chunk values.  Diff-encoded
+        columns get conservative bounds derived from the reference's bounds
+        plus the stored delta range (widened by the outlier region) — the
+        target values themselves are never consulted, mirroring how a
+        reader could rebuild the zone map from block metadata alone, and no
+        sum is recorded for them.
         """
         per_column: dict[str, ColumnStatistics] = {}
         diff_encoded: list[str] = []

@@ -10,17 +10,21 @@ Random access stays O(1): fetch the packed code, then one dictionary lookup.
 
 Both dictionary columns additionally expose a *code-space* API used by the
 query layer for dictionary-domain predicate evaluation: :meth:`codes` returns
-the raw per-row dictionary codes, and :meth:`lookup_codes` translates a small
+the raw per-row dictionary codes, :meth:`lookup_codes` translates a small
 set of candidate values into the codes they map to (values absent from the
-dictionary simply translate to nothing).  Because the dictionaries are kept
-sorted, the translation is a binary search — for strings this touches
-``O(log n_distinct)`` heap entries per candidate and never materialises the
-per-row strings, which is what lets ``Eq``/``In`` predicates run as integer
-kernels over packed codes without decoding the :class:`StringHeap`.
+dictionary simply translate to nothing), and :meth:`lookup_code_range` maps
+an inclusive value range to the contiguous half-open code interval covering
+it.  Because the dictionaries are kept sorted, every translation is a binary
+search — for strings this touches ``O(log n_distinct)`` heap entries per
+candidate/bound and never materialises the per-row strings, which is what
+lets ``Eq``/``In``/``Between`` predicates run as integer kernels over packed
+codes without decoding the :class:`StringHeap`.
 """
 
 from __future__ import annotations
 
+import bisect
+import math
 from typing import Sequence
 
 import numpy as np
@@ -63,8 +67,18 @@ class StringHeap:
         return len(self._strings)
 
     def __getitem__(self, index: int) -> str:
+        return self.key_bytes(index).decode("utf-8")
+
+    def key_bytes(self, index: int) -> bytes:
+        """The raw UTF-8 payload slice of one entry, without decoding it.
+
+        UTF-8 byte order equals code-point order, so these slices compare
+        and hash exactly like the decoded strings — hash aggregation can
+        group on them and defer the actual string materialisation to one
+        decode per distinct group.
+        """
         start, end = self._offsets[index], self._offsets[index + 1]
-        return self._payload[start:end].decode("utf-8")
+        return self._payload[start:end]
 
     def lookup_many(self, indices: np.ndarray) -> list[str]:
         """Materialise the strings at the given dictionary indices."""
@@ -78,17 +92,22 @@ class StringHeap:
         ``O(log n)`` probed entries are decoded — the heap is never
         materialised in full.
         """
-        lo, hi = 0, len(self._strings)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            probe = self[mid]
-            if probe == value:
-                return mid
-            if probe < value:
-                lo = mid + 1
-            else:
-                hi = mid
+        index = self.bisect_left(value)
+        if index < len(self._strings) and self[index] == value:
+            return index
         return None
+
+    def bisect_left(self, value: str) -> int:
+        """Index of the first entry ``>= value`` (requires a sorted heap).
+
+        The heap implements the sequence protocol, so the stdlib search
+        probes (and decodes) only ``O(log n)`` entries.
+        """
+        return bisect.bisect_left(self, value)
+
+    def bisect_right(self, value: str) -> int:
+        """Index one past the last entry ``<= value`` (requires a sorted heap)."""
+        return bisect.bisect_right(self, value)
 
     @property
     def size_bytes(self) -> int:
@@ -177,6 +196,35 @@ class DictEncodedIntColumn(EncodedColumn):
         hits = pos[in_range][self._dictionary[pos[in_range]] == cand[in_range]]
         return np.unique(hits).astype(np.int64)
 
+    def lookup_code_range(self, low, high) -> tuple[int, int] | None:
+        """Half-open code interval ``[lo, hi)`` of values within ``[low, high]``.
+
+        The dictionary is sorted, so an inclusive range predicate maps to a
+        contiguous run of codes found with two binary searches; ``None``
+        bounds leave that side open.  Bounds compare numerically, exactly
+        like the decoded kernel (floats compare as floats, NaN and string
+        bounds match nothing); an unsupported bound type returns ``None``
+        so the caller falls back to decoded evaluation.
+        """
+        numeric = (int, np.integer, bool, np.bool_, float, np.floating)
+        for bound in (low, high):
+            if bound is None:
+                continue
+            if isinstance(bound, str):
+                # The decoded kernel degrades a mistyped bound to all-false.
+                return (0, 0)
+            if not isinstance(bound, numeric):
+                return None
+            if isinstance(bound, (float, np.floating)) and math.isnan(bound):
+                return (0, 0)
+        lo = 0 if low is None else int(np.searchsorted(self._dictionary, low, side="left"))
+        hi = (
+            self._dictionary.size
+            if high is None
+            else int(np.searchsorted(self._dictionary, high, side="right"))
+        )
+        return (lo, hi)
+
 
 class DictEncodedStringColumn(EncodedColumn):
     """Dictionary-encoded string column: codes + flattened string heap."""
@@ -251,6 +299,22 @@ class DictEncodedStringColumn(EncodedColumn):
             ) if code is not None
         }
         return np.asarray(sorted(found), dtype=np.int64)
+
+    def lookup_code_range(self, low, high) -> tuple[int, int]:
+        """Half-open code interval ``[lo, hi)`` of values within ``[low, high]``.
+
+        The heap holds the distinct strings sorted, so an inclusive range
+        predicate maps to a contiguous run of codes found with two binary
+        searches (each touching ``O(log n_distinct)`` heap entries); ``None``
+        bounds leave that side open and non-string bounds match nothing,
+        mirroring the decoded kernel's degrade-to-empty semantics.
+        """
+        for bound in (low, high):
+            if bound is not None and not isinstance(bound, str):
+                return (0, 0)
+        lo = 0 if low is None else self._heap.bisect_left(low)
+        hi = len(self._heap) if high is None else self._heap.bisect_right(high)
+        return (lo, hi)
 
 
 class DictionaryEncoding(ColumnEncoding):

@@ -1,34 +1,50 @@
-"""Query engine: predicate IR, scan planner, selection vectors, executor,
-latency harness, and the morsel-driven parallel engine.
+"""Query engine over compressed relations: lazy plans on a pruned, parallel scan.
 
-Parallel execution
-------------------
+The front door is the **lazy query API**: describe a query as a logical
+plan, then execute it — nothing is decoded while the query is being
+composed.  Start a chain with
+:meth:`Relation.query() <repro.storage.relation.Relation.query>`::
 
-Scans are parallelised with a *morsel-driven* design
-(:mod:`repro.query.parallel`): the memoizing
-:class:`~repro.query.scan.ScanPlanner` first prunes blocks against their zone
-maps, the surviving *scan* blocks are split into morsels, and a thread pool
-evaluates the per-block predicate kernels concurrently — the kernels are
-NumPy code (bit-unpacking, comparisons, ``np.isin``), which releases the GIL,
-so threads scale near-linearly with cores.  Per-worker
-:class:`~repro.query.scan.ScanMetrics` are merged back into one object and
-row ids are reassembled in block order, making parallel results
-bit-identical to serial execution.  Use it either directly::
+    result = (
+        relation.query()
+        .where(Between("ship", 8_100, 8_200) & ~Eq("flag", "R"))
+        .agg(n=Count(), total=Sum("fare"), last=Max("receipt"))
+        .execute()
+    )
+    print(result.scalar("total"), result.metrics.describe())
 
-    engine = ParallelEngine(relation, workers=4)
-    row_ids, metrics = engine.scan(Eq("flag", "Y"))
+    by_tag = relation.query().group_by("tag").agg(n=Count()).execute()
+    print(relation.query().where(Eq("tag", "a")).explain())
 
-or through the executor, which stays serial by default::
+Layers, bottom to top:
 
-    executor = QueryExecutor(relation, workers=4)
-    count = executor.count(Between("l_shipdate", 8100, 8200))
+* **Predicate IR** (:mod:`~repro.query.predicates`) — ``Eq``/``Between``/
+  ``In``/``And``/``Or``/``Not`` nodes that compile to vectorized kernels
+  *and* test against per-block zone maps.
+* **Scan pipeline** (:mod:`~repro.query.scan`) — the memoizing
+  :class:`ScanPlanner` classifies every block as pruned / fully covered /
+  scan; surviving blocks evaluate ``Eq``/``In``/``Between`` leaves over
+  dictionary-encoded columns in *code space* (integer kernels over packed
+  codes, zero string-heap materialisation).  :class:`ScanMetrics` reports
+  what both layers saved.
+* **Morsel-driven parallelism** (:mod:`~repro.query.parallel`) — post-
+  pruning blocks fan out over a persistent thread pool; the NumPy kernels
+  release the GIL, and results are bit-identical to serial execution.
+* **Logical plans** (:mod:`~repro.query.plan`) — ``Scan``/``Filter``/
+  ``Project``/``Aggregate``/``Limit`` nodes, the fluent :class:`LazyQuery`
+  builder, and the :class:`QueryCompiler`, which pushes work down before
+  anything is materialised: projections decode only referenced columns,
+  ``count``/``min``/``max``/``sum`` over fully-covered blocks are answered
+  from :class:`~repro.storage.statistics.ColumnStatistics` without decoding
+  a row, group-by on dictionary columns aggregates in code space (one heap
+  decode per distinct group), and limits truncate row ids before
+  materialisation.
+* **Imperative facade** (:mod:`~repro.query.executor`) —
+  :class:`QueryExecutor` keeps the pre-plan ``scan``/``filter``/``select``/
+  ``count`` surface as a thin layer that builds the equivalent plans.
 
-Predicates over dictionary-encoded columns take a second shortcut:
-``Eq``/``In`` constants are translated to dictionary codes (string compares
-happen once per distinct candidate, against the sorted dictionary) and the
-kernel runs over the packed codes, so no string heap is ever materialised —
-``ScanMetrics.rows_dict_evaluated`` and ``ScanMetrics.string_heap_decodes``
-report both effects.
+:mod:`~repro.query.selection` and :mod:`~repro.query.latency` carry the
+paper's selection-vector workload and its latency harness unchanged.
 """
 
 from .executor import QueryExecutor, QueryResult
@@ -40,7 +56,25 @@ from .latency import (
     sweep_query_latency,
 )
 from .parallel import Morsel, ParallelEngine, parallel_map, resolve_workers
-from .predicates import And, Between, ColumnPredicate, Eq, In, Or, Predicate
+from .plan import (
+    Aggregate,
+    AggregateFunction,
+    CompiledQuery,
+    Count,
+    Filter,
+    LazyQuery,
+    Limit,
+    LogicalNode,
+    Max,
+    Min,
+    PlanResult,
+    Project,
+    QueryCompiler,
+    Scan,
+    Sum,
+    render_plan,
+)
+from .predicates import And, Between, ColumnPredicate, Eq, In, Not, Or, Predicate
 from .scan import (
     BlockDecision,
     ScanMetrics,
@@ -77,6 +111,7 @@ __all__ = [
     "In",
     "And",
     "Or",
+    "Not",
     "ColumnPredicate",
     "BlockDecision",
     "ScanMetrics",
@@ -86,6 +121,22 @@ __all__ = [
     "ParallelEngine",
     "parallel_map",
     "resolve_workers",
+    "AggregateFunction",
+    "Count",
+    "Sum",
+    "Min",
+    "Max",
+    "LogicalNode",
+    "Scan",
+    "Filter",
+    "Project",
+    "Aggregate",
+    "Limit",
+    "render_plan",
+    "CompiledQuery",
+    "PlanResult",
+    "QueryCompiler",
+    "LazyQuery",
     "LatencyMeasurement",
     "LatencySweep",
     "measure_query_latency",

@@ -1,25 +1,23 @@
-"""A small query executor over compressed relations.
+"""Imperative query facade over the lazy logical-plan pipeline.
 
-The executor runs filter + project queries through the structured scan
-pipeline: predicates are IR nodes (:mod:`repro.query.predicates`) that the
-:class:`~repro.query.scan.ScanPlanner` tests against every block's zone map,
-so blocks that provably contain no qualifying row are skipped without
-decoding a single value and blocks that provably qualify in full are
-answered from metadata alone.  Only the remaining blocks have their
-predicate kernels evaluated (block by block, so memory stays bounded by the
-block size).
+:class:`QueryExecutor` is the pre-plan API (``scan``/``filter``/``select``/
+``count``) kept as a thin compatibility facade: every call now builds a
+small logical plan (:mod:`repro.query.plan`) and hands it to the shared
+:class:`~repro.query.plan.QueryCompiler`, which lowers it onto the
+structured scan pipeline — the memoizing
+:class:`~repro.query.scan.ScanPlanner` prunes blocks against their zone
+maps, the morsel-driven :class:`~repro.query.parallel.ParallelEngine`
+evaluates the surviving blocks (``workers=1`` inline, ``workers > 1`` on a
+persistent thread pool, bit-identical either way), and ``count`` is lowered
+to an :class:`~repro.query.plan.Aggregate` node so fully-covered blocks are
+answered from metadata alone.
 
-Execution is delegated to one code path — the morsel-driven
-:class:`~repro.query.parallel.ParallelEngine` — at every worker count:
-``workers=1`` (the default) evaluates morsels inline on the calling thread,
-``workers > 1`` fans them across a persistent thread pool, and the results
-are bit-identical either way.  Predicate kernels run through
-:func:`~repro.query.scan.evaluate_block_predicate`, so ``Eq``/``In`` leaves
-over dictionary-encoded columns are answered in code space without
-materialising a value.
+New code should prefer the fluent lazy API
+(:meth:`~repro.storage.relation.Relation.query`), which exposes the same
+pipeline plus aggregation, group-by, limits and ``explain()``.
 
 Every predicate scan produces a :class:`~repro.query.scan.ScanMetrics`
-describing how much work the zone maps and the code-space path saved; the
+describing how much work the zone maps and the code-space paths saved; the
 most recent one is available as :attr:`QueryExecutor.last_scan_metrics`.
 """
 
@@ -32,9 +30,9 @@ import numpy as np
 
 from ..errors import UnknownColumnError
 from ..storage.relation import Relation
-from .parallel import ParallelEngine, resolve_workers
+from .plan import Aggregate, Count, Filter, LogicalNode, Project, QueryCompiler, Scan
 from .predicates import Predicate
-from .scan import QueryOutput, ScanMetrics, ScanPlanner, materialize_columns
+from .scan import QueryOutput, ScanMetrics, materialize_columns
 from .selection import SelectionVector
 
 __all__ = ["Predicate", "QueryExecutor", "QueryResult"]
@@ -61,24 +59,33 @@ class QueryResult:
 class QueryExecutor:
     """Filter + project queries over a compressed relation.
 
-    ``use_statistics=False`` disables zone-map pruning, restoring the
-    decode-everything scan (used as the baseline in the pruning benchmark).
-    ``workers`` sets the morsel-driven parallelism (``None``/``0`` = all
-    cores; the default of 1 evaluates inline on the calling thread).
-    ``use_dictionary=False`` disables dictionary-domain predicate
-    evaluation, forcing the decode-then-compare path the benchmarks use as
-    a baseline.
+    ``use_statistics=False`` disables zone-map pruning and stat-answered
+    aggregation, restoring the decode-everything scan (used as the baseline
+    in the pruning benchmark).  ``workers`` sets the morsel-driven
+    parallelism (``None``/``0`` = all cores; the default of 1 evaluates
+    inline on the calling thread).  ``use_dictionary=False`` disables
+    dictionary-domain predicate evaluation, forcing the decode-then-compare
+    path the benchmarks use as a baseline.
     """
 
-    def __init__(self, relation: Relation, use_statistics: bool = True,
-                 workers: int | None = 1, use_dictionary: bool = True):
+    def __init__(
+        self,
+        relation: Relation,
+        use_statistics: bool = True,
+        workers: int | None = 1,
+        use_dictionary: bool = True,
+    ):
         self._relation = relation
-        self._planner = ScanPlanner(relation, use_statistics=use_statistics)
-        self._workers = resolve_workers(workers)
-        self._engine = ParallelEngine(
-            relation, workers=self._workers, planner=self._planner,
+        self._compiler = QueryCompiler(
+            relation,
+            use_statistics=use_statistics,
+            workers=workers,
             use_dictionary=use_dictionary,
         )
+        # Shared with the compiler; kept as attributes for callers (and
+        # tests) that reach for the physical pipeline directly.
+        self._planner = self._compiler.planner
+        self._engine = self._compiler.engine
         self._last_metrics: ScanMetrics | None = None
 
     @property
@@ -87,7 +94,12 @@ class QueryExecutor:
 
     @property
     def workers(self) -> int:
-        return self._workers
+        return self._compiler.workers
+
+    @property
+    def compiler(self) -> QueryCompiler:
+        """The shared plan compiler (memoized planner + worker pool)."""
+        return self._compiler
 
     def close(self) -> None:
         """Release the engine's worker threads (no-op when serial).
@@ -97,7 +109,7 @@ class QueryExecutor:
         this (or use the executor as a context manager) instead of relying
         on interpreter shutdown to join the idle workers.
         """
-        self._engine.close()
+        self._compiler.close()
 
     def __enter__(self) -> "QueryExecutor":
         return self
@@ -112,49 +124,48 @@ class QueryExecutor:
 
     # -- positional access ----------------------------------------------------
 
-    def materialize(self, columns: Sequence[str],
-                    selection: SelectionVector | np.ndarray) -> QueryOutput:
+    def materialize(
+        self, columns: Sequence[str], selection: SelectionVector | np.ndarray
+    ) -> QueryOutput:
         """Materialise a projection at explicitly selected rows."""
         return materialize_columns(self._relation, columns, selection)
 
     # -- predicate scans -------------------------------------------------------
 
-    def _check_predicate(self, predicate: Predicate) -> None:
-        for name in predicate.columns():
-            if name not in self._relation.schema:
-                raise UnknownColumnError(name, self._relation.schema.names)
+    def _filter_plan(self, predicate: Predicate) -> LogicalNode:
+        return Filter(Scan(self._relation), predicate)
 
     def scan(self, predicate: Predicate) -> tuple[np.ndarray, ScanMetrics]:
         """Global row ids satisfying ``predicate`` plus the scan metrics."""
-        self._check_predicate(predicate)
-        row_ids, metrics = self._engine.scan(predicate)
-        self._last_metrics = metrics
-        return row_ids, metrics
+        # A plan without a Project node materialises nothing but row ids.
+        result = self._compiler.execute(self._filter_plan(predicate))
+        self._last_metrics = result.metrics
+        return result.row_ids, result.metrics
 
     def filter(self, predicate: Predicate) -> np.ndarray:
         """Global row ids of the rows satisfying ``predicate``."""
         row_ids, _ = self.scan(predicate)
         return row_ids
 
-    def select(self, columns: Sequence[str],
-               predicate: Predicate | None = None) -> QueryResult:
+    def select(self, columns: Sequence[str], predicate: Predicate | None = None) -> QueryResult:
         """SELECT ``columns`` [WHERE ``predicate``] over the whole relation."""
-        if predicate is None:
-            row_ids = np.arange(self._relation.n_rows, dtype=np.int64)
-            metrics = None
-            self._last_metrics = None
-        else:
-            row_ids, metrics = self.scan(predicate)
-        output = materialize_columns(self._relation, columns, row_ids)
-        return QueryResult(row_ids=row_ids, columns=output, metrics=metrics)
+        plan: LogicalNode = Scan(self._relation)
+        if predicate is not None:
+            plan = Filter(plan, predicate)
+        plan = Project(plan, tuple(columns))
+        result = self._compiler.execute(plan)
+        self._last_metrics = result.metrics
+        return QueryResult(row_ids=result.row_ids, columns=result.columns, metrics=result.metrics)
 
     def count(self, predicate: Predicate) -> int:
         """Number of rows satisfying ``predicate``.
 
-        Answered from block statistics plus per-block predicate masks; no
-        row ids are concatenated and no projection output is allocated.
+        Lowered to an ``Aggregate`` plan: blocks the zone maps prove fully
+        covered are counted from metadata, scanned blocks contribute their
+        predicate-mask cardinality, and no row ids or projection output are
+        ever allocated.
         """
-        self._check_predicate(predicate)
-        total, metrics = self._engine.count(predicate)
-        self._last_metrics = metrics
-        return total
+        plan = Aggregate(self._filter_plan(predicate), aggregates=(("count", Count()),))
+        result = self._compiler.execute(plan)
+        self._last_metrics = result.metrics
+        return int(result.scalar("count"))

@@ -81,9 +81,14 @@ class LatencySweep:
         return [(s, self.measurements[s].mean) for s in self.selectivities]
 
 
-def measure_query_latency(relation: Relation, columns: Sequence[str],
-                          selectivity: float, n_vectors: int = 10,
-                          repeats: int = 1, seed: int | None = 42) -> LatencyMeasurement:
+def measure_query_latency(
+    relation: Relation,
+    columns: Sequence[str],
+    selectivity: float,
+    n_vectors: int = 10,
+    repeats: int = 1,
+    seed: int | None = 42,
+) -> LatencyMeasurement:
     """Time the materialisation of ``columns`` at one selectivity.
 
     ``n_vectors`` independent selection vectors are generated (the paper uses
@@ -107,10 +112,14 @@ def measure_query_latency(relation: Relation, columns: Sequence[str],
     )
 
 
-def sweep_query_latency(relation: Relation, columns: Sequence[str],
-                        selectivities: Sequence[float] = PAPER_SELECTIVITIES,
-                        n_vectors: int = 10, repeats: int = 1,
-                        seed: int | None = 42) -> LatencySweep:
+def sweep_query_latency(
+    relation: Relation,
+    columns: Sequence[str],
+    selectivities: Sequence[float] = PAPER_SELECTIVITIES,
+    n_vectors: int = 10,
+    repeats: int = 1,
+    seed: int | None = 42,
+) -> LatencySweep:
     """Measure latency for every selectivity in ``selectivities``."""
     sweep = LatencySweep(columns=tuple(columns))
     for selectivity in selectivities:

@@ -22,9 +22,12 @@ NumPy-bound; morsels only coordinate which Python-level loop iteration runs
 where.  ``workers=1`` executes inline without a pool, which keeps the
 engine usable as the single code path for correctness tests.
 
-The module also provides :func:`parallel_map`, the ordered thread-pool map
-that :class:`~repro.core.plan.TableCompressor` uses to compress blocks on
-all cores.
+Beyond predicate scans, :meth:`ParallelEngine.map_items` exposes the same
+persistent pool as an ordered map, which the query compiler uses to fan
+per-block aggregation tasks across the workers.  The module also provides
+:func:`parallel_map`, the ad-hoc ordered thread-pool map that
+:class:`~repro.core.plan.TableCompressor` uses to compress blocks on all
+cores.
 """
 
 from __future__ import annotations
@@ -62,8 +65,7 @@ def resolve_workers(workers: int | None) -> int:
     return int(workers)
 
 
-def parallel_map(fn: Callable[[T], R], items: Sequence[T],
-                 workers: int | None = None) -> list[R]:
+def parallel_map(fn: Callable[[T], R], items: Sequence[T], workers: int | None = None) -> list[R]:
     """``[fn(item) for item in items]`` fanned across a thread pool.
 
     Output order matches input order regardless of completion order.  With
@@ -104,14 +106,18 @@ class ParallelEngine:
     morsel_blocks:
         Blocks per morsel (default 1).
     use_dictionary:
-        Route ``Eq``/``In`` over dictionary-encoded columns through code
-        space (default) or force decode-then-compare.
+        Route ``Eq``/``In``/``Between`` over dictionary-encoded columns
+        through code space (default) or force decode-then-compare.
     """
 
-    def __init__(self, relation: Relation, workers: int | None = None,
-                 planner: ScanPlanner | None = None,
-                 morsel_blocks: int = DEFAULT_MORSEL_BLOCKS,
-                 use_dictionary: bool = True):
+    def __init__(
+        self,
+        relation: Relation,
+        workers: int | None = None,
+        planner: ScanPlanner | None = None,
+        morsel_blocks: int = DEFAULT_MORSEL_BLOCKS,
+        use_dictionary: bool = True,
+    ):
         if morsel_blocks < 1:
             raise ValidationError("morsel size must be at least one block")
         self._relation = relation
@@ -143,21 +149,28 @@ class ParallelEngine:
         size = self._morsel_blocks
         return [
             Morsel(
-                block_indices=tuple(i for i, _ in scan_items[start:start + size]),
-                row_offsets=tuple(o for _, o in scan_items[start:start + size]),
+                block_indices=tuple(i for i, _ in scan_items[start : start + size]),
+                row_offsets=tuple(o for _, o in scan_items[start : start + size]),
             )
             for start in range(0, len(scan_items), size)
         ]
 
     # -- execution -------------------------------------------------------------
 
-    def _classify(self, predicate: Predicate) -> tuple[
-            list[tuple[int, int]], list[tuple[int, int]], ScanMetrics]:
-        """Plan the scan: (scan items, full items, pre-filled metrics)."""
+    def classify(
+        self, predicate: Predicate | None
+    ) -> tuple[list[tuple[int, int]], list[tuple[int, int]], ScanMetrics]:
+        """Plan a scan: (scan items, full items, pre-filled metrics).
+
+        Items are ``(block_index, row_offset)`` pairs in block order; the
+        metrics carry the block totals and per-decision counts.  This is the
+        single classification step shared by the engine's own ``scan`` /
+        ``count`` and by the query compiler's aggregate execution.
+        ``predicate=None`` classifies every non-empty block as fully
+        covered.
+        """
         plan = self._planner.plan(predicate)
-        metrics = ScanMetrics(
-            n_blocks=plan.n_blocks, rows_total=self._relation.n_rows
-        )
+        metrics = ScanMetrics(n_blocks=plan.n_blocks, rows_total=self._relation.n_rows)
         scan_items: list[tuple[int, int]] = []
         full_items: list[tuple[int, int]] = []
         offset = 0
@@ -174,9 +187,9 @@ class ParallelEngine:
             offset += block.n_rows
         return scan_items, full_items, metrics
 
-    def _evaluate_morsel(self, morsel: Morsel, predicate: Predicate,
-                         count_only: bool = False) -> tuple[
-            list[tuple[int, np.ndarray]], ScanMetrics]:
+    def _evaluate_morsel(
+        self, morsel: Morsel, predicate: Predicate, count_only: bool = False
+    ) -> tuple[list[tuple[int, np.ndarray]], ScanMetrics]:
         """Worker body: per-block qualifying row ids plus private metrics.
 
         ``count_only`` skips materialising row-id arrays (mirroring the
@@ -188,8 +201,7 @@ class ParallelEngine:
         for index, offset in zip(morsel.block_indices, morsel.row_offsets):
             block = self._relation.block(index)
             mask = evaluate_block_predicate(
-                block, predicate, metrics=partial,
-                use_dictionary=self._use_dictionary,
+                block, predicate, metrics=partial, use_dictionary=self._use_dictionary
             )
             if count_only:
                 partial.rows_matched += int(np.count_nonzero(mask))
@@ -200,23 +212,27 @@ class ParallelEngine:
                 matches.append((index, matched + offset))
         return matches, partial
 
-    def _run_morsels(self, morsels: Sequence[Morsel], predicate: Predicate,
-                     count_only: bool = False
-                     ) -> list[tuple[list[tuple[int, np.ndarray]], ScanMetrics]]:
-        if not morsels:
+    def map_items(self, items: Sequence[T], fn: Callable[[T], R]) -> list[R]:
+        """``[fn(item) for item in items]`` over the engine's persistent pool.
+
+        Output order matches input order.  With one worker (or at most one
+        item) the map runs inline; otherwise the same lazily-created pool
+        that serves predicate scans is reused, so interleaved scans and
+        aggregations share their threads.  The query compiler fans
+        per-block aggregation tasks through this.
+        """
+        if not items:
             return []
-        if self._workers <= 1 or len(morsels) <= 1:
-            return [
-                self._evaluate_morsel(m, predicate, count_only) for m in morsels
-            ]
+        if self._workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self._workers)
-        return list(
-            self._pool.map(
-                lambda m: self._evaluate_morsel(m, predicate, count_only),
-                morsels,
-            )
-        )
+        return list(self._pool.map(fn, items))
+
+    def _run_morsels(
+        self, morsels: Sequence[Morsel], predicate: Predicate, count_only: bool = False
+    ) -> list[tuple[list[tuple[int, np.ndarray]], ScanMetrics]]:
+        return self.map_items(morsels, lambda m: self._evaluate_morsel(m, predicate, count_only))
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent; the engine stays usable —
@@ -237,7 +253,7 @@ class ParallelEngine:
         Row ids are returned in ascending order, bit-identical to the serial
         executor's output.
         """
-        scan_items, full_items, metrics = self._classify(predicate)
+        scan_items, full_items, metrics = self.classify(predicate)
         results = self._run_morsels(self.morsels(scan_items), predicate)
 
         per_block: dict[int, np.ndarray] = {}
@@ -257,10 +273,8 @@ class ParallelEngine:
 
     def count(self, predicate: Predicate) -> tuple[int, ScanMetrics]:
         """Number of qualifying rows plus merged metrics (no ids built)."""
-        scan_items, full_items, metrics = self._classify(predicate)
-        results = self._run_morsels(
-            self.morsels(scan_items), predicate, count_only=True
-        )
+        scan_items, full_items, metrics = self.classify(predicate)
+        results = self._run_morsels(self.morsels(scan_items), predicate, count_only=True)
         total = 0
         for matches, partial in results:
             metrics.merge(partial)

@@ -1,0 +1,1042 @@
+"""Lazy logical query plans: builder, compiler, and aggregate pushdown.
+
+This is the composable front door of the query engine.  Instead of calling
+the imperative :class:`~repro.query.executor.QueryExecutor` methods, a query
+is *described* first — as a small tree of logical nodes (:class:`Scan`,
+:class:`Filter`, :class:`Project`, :class:`Aggregate`, :class:`Limit`) built
+with the fluent :class:`LazyQuery` API::
+
+    result = (
+        relation.query()
+        .where(Between("ship", 8_100, 8_200))
+        .agg(n=Count(), total=Sum("fare"))
+        .execute()
+    )
+
+— and only executed when a terminal (:meth:`LazyQuery.execute`,
+:meth:`LazyQuery.count`) runs.  Nothing is decoded while the query is being
+composed, which is what lets the :class:`QueryCompiler` push work *down*
+before any value is materialised:
+
+* **predicate pushdown** — the filter is handed to the existing
+  :class:`~repro.query.scan.ScanPlanner` / morsel-driven
+  :class:`~repro.query.parallel.ParallelEngine` pipeline, so zone maps
+  prune blocks and dictionary leaves run in code space exactly as in the
+  imperative path;
+* **projection pushdown** — only the columns a node actually references
+  are ever decoded; a plan without a projection materialises nothing but
+  row ids;
+* **aggregation pushdown** — ``count``/``min``/``max``/``sum`` over blocks
+  the planner proves *fully covered* are answered from the per-block
+  :class:`~repro.storage.statistics.ColumnStatistics` without decoding a
+  single row, and a group-by on a dictionary-encoded column aggregates in
+  code space, deferring the string-heap materialisation to one decode per
+  distinct group;
+* **limit pushdown** — ``limit(k)`` truncates the row-id stream *before*
+  the projection is materialised.
+
+:meth:`LazyQuery.explain` renders the logical tree together with the
+planner's per-block prune/full/scan decisions, so the effect of every
+pushdown is visible before (or without) running the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from ..encodings.dictionary import DictEncodedIntColumn, DictEncodedStringColumn
+from ..errors import UnknownColumnError, ValidationError
+from ..storage.block import CompressedBlock
+from ..storage.relation import Relation
+from .parallel import ParallelEngine, resolve_workers
+from .predicates import And, Predicate
+from .scan import (
+    BlockDecision,
+    ScanMetrics,
+    ScanPlanner,
+    evaluate_block_predicate,
+    materialize_block_columns,
+    materialize_columns,
+)
+
+__all__ = [
+    "AggregateFunction",
+    "Count",
+    "Sum",
+    "Min",
+    "Max",
+    "LogicalNode",
+    "Scan",
+    "Filter",
+    "Project",
+    "Aggregate",
+    "Limit",
+    "render_plan",
+    "CompiledQuery",
+    "PlanResult",
+    "QueryCompiler",
+    "LazyQuery",
+]
+
+
+# ---------------------------------------------------------------------------
+# aggregate functions
+# ---------------------------------------------------------------------------
+
+
+class AggregateFunction:
+    """Base of the aggregate function descriptors.
+
+    ``kind`` names the reduction (``count``/``sum``/``min``/``max``) and
+    ``column`` the input column (``None`` for ``count``, which reduces the
+    qualifying rows themselves).  Instances are immutable descriptors; the
+    compiler decides per block whether the reduction is answered from
+    statistics, in dictionary code space, or by gather-and-reduce.
+    """
+
+    kind: str = ""
+    column: str | None = None
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.column if self.column is not None else '*'})"
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True, repr=False)
+class Count(AggregateFunction):
+    """``count(*)`` — the number of qualifying rows."""
+
+    kind = "count"
+
+
+class _ColumnAggregate(AggregateFunction):
+    def __post_init__(self) -> None:
+        if not self.column:
+            raise ValidationError(f"{self.kind} needs a non-empty input column name")
+
+
+@dataclass(frozen=True, repr=False)
+class Sum(_ColumnAggregate):
+    """``sum(column)`` over the qualifying rows (integer columns only)."""
+
+    column: str
+    kind = "sum"
+
+
+@dataclass(frozen=True, repr=False)
+class Min(_ColumnAggregate):
+    """``min(column)`` over the qualifying rows."""
+
+    column: str
+    kind = "min"
+
+
+@dataclass(frozen=True, repr=False)
+class Max(_ColumnAggregate):
+    """``max(column)`` over the qualifying rows."""
+
+    column: str
+    kind = "max"
+
+
+#: (output name, function) pairs, in output order.
+AggregateSpec = tuple[tuple[str, AggregateFunction], ...]
+
+
+# ---------------------------------------------------------------------------
+# logical plan nodes
+# ---------------------------------------------------------------------------
+
+
+class LogicalNode:
+    """A node of the logical plan tree (a linear chain ending in a Scan)."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True, repr=False)
+class Scan(LogicalNode):
+    """Leaf: read a compressed relation."""
+
+    relation: Relation
+
+    def describe(self) -> str:
+        relation = self.relation
+        return (
+            f"Scan [{len(relation.schema.names)} columns x {relation.n_rows:,} rows "
+            f"in {relation.n_blocks} block(s)]"
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class Filter(LogicalNode):
+    """Keep the child's rows satisfying a predicate."""
+
+    child: LogicalNode
+    predicate: Predicate
+
+    def describe(self) -> str:
+        return f"Filter [{self.predicate.describe()}]"
+
+
+@dataclass(frozen=True, repr=False)
+class Project(LogicalNode):
+    """Materialise only the named columns of the child's rows."""
+
+    child: LogicalNode
+    columns: tuple[str, ...]
+
+    def describe(self) -> str:
+        return f"Project [{', '.join(self.columns)}]"
+
+
+@dataclass(frozen=True, repr=False)
+class Aggregate(LogicalNode):
+    """Reduce the child's rows to named aggregates, optionally per group."""
+
+    child: LogicalNode
+    aggregates: AggregateSpec
+    group_by: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{name}={fn.describe()}" for name, fn in self.aggregates)
+        if self.group_by:
+            return f"Aggregate [{parts} group by {', '.join(self.group_by)}]"
+        return f"Aggregate [{parts}]"
+
+
+@dataclass(frozen=True, repr=False)
+class Limit(LogicalNode):
+    """Keep at most ``n`` of the child's output rows."""
+
+    child: LogicalNode
+    n: int
+
+    def describe(self) -> str:
+        return f"Limit [{self.n}]"
+
+
+def render_plan(node: LogicalNode) -> str:
+    """The logical tree as an indented multi-line string (root first)."""
+    lines: list[str] = []
+    depth = 0
+    current: LogicalNode | None = node
+    while current is not None:
+        lines.append("  " * depth + current.describe())
+        current = getattr(current, "child", None)
+        depth += 1
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# compiled form and results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """A validated, flattened logical plan ready for physical execution.
+
+    ``projection=None`` means no :class:`Project` node was present: the
+    query materialises nothing but row ids (the lazy default for
+    ``filter``-style calls).
+    """
+
+    relation: Relation
+    predicate: Predicate | None
+    projection: tuple[str, ...] | None
+    group_by: tuple[str, ...]
+    aggregates: AggregateSpec
+    limit: int | None
+
+    def referenced_columns(self) -> tuple[str, ...]:
+        """Every column the physical query will read, in first-use order."""
+        seen: list[str] = []
+        sources: list[str] = []
+        if self.predicate is not None:
+            sources.extend(self.predicate.columns())
+        sources.extend(self.group_by)
+        for _, fn in self.aggregates:
+            if fn.column is not None:
+                sources.append(fn.column)
+        sources.extend(self.projection or ())
+        for name in sources:
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+
+@dataclass
+class PlanResult:
+    """The output of one executed plan.
+
+    ``columns`` maps output names to value sequences: materialised column
+    arrays/lists for projections, per-group key and aggregate value lists
+    for aggregations (one entry per group, sorted by group key; exactly one
+    entry when there is no group-by).  ``row_ids`` carries the qualifying
+    global row ids for non-aggregate plans (``None`` after an aggregation —
+    rows were reduced away).
+    """
+
+    columns: dict[str, "np.ndarray | list"]
+    row_ids: np.ndarray | None = None
+    metrics: ScanMetrics | None = None
+
+    @property
+    def n_rows(self) -> int:
+        if self.row_ids is not None:
+            return int(self.row_ids.size)
+        if self.columns:
+            return len(next(iter(self.columns.values())))
+        return 0
+
+    def column(self, name: str):
+        if name not in self.columns:
+            raise UnknownColumnError(name, tuple(self.columns))
+        return self.columns[name]
+
+    def scalar(self, name: str):
+        """The single value of an ungrouped aggregate output."""
+        values = self.column(name)
+        if len(values) != 1:
+            raise ValidationError(
+                f"column {name!r} holds {len(values)} values, not a scalar; "
+                "scalar() is for ungrouped aggregates"
+            )
+        return values[0]
+
+
+# ---------------------------------------------------------------------------
+# physical execution
+# ---------------------------------------------------------------------------
+
+#: Sentinel marking "no rows seen" in min/max partials.
+_NO_VALUE = None
+
+
+def _merge_partial(kind: str, a, b):
+    """Fold two per-block partial aggregate values (either may be None)."""
+    if b is None:
+        return a
+    if a is None:
+        return b
+    if kind in ("count", "sum"):
+        return a + b
+    if kind == "min":
+        return a if a <= b else b
+    return a if a >= b else b
+
+
+def _reduce_values(kind: str, values) -> "int | str | None":
+    """Reduce gathered values (an int64 array or a string list) directly."""
+    if len(values) == 0:
+        return 0 if kind in ("count", "sum") else _NO_VALUE
+    if isinstance(values, np.ndarray):
+        if kind == "sum":
+            return int(np.sum(values, dtype=np.int64))
+        if kind == "min":
+            return int(values.min())
+        return int(values.max())
+    if kind == "min":
+        return min(values)
+    if kind == "max":
+        return max(values)
+    raise ValidationError(f"cannot {kind} a string column")
+
+
+class QueryCompiler:
+    """Lower logical plans onto the ScanPlanner/ParallelEngine pipeline.
+
+    The compiler owns (or shares) the memoizing planner and the morsel
+    engine, so repeated queries reuse zone-map decisions and the worker
+    pool.  ``use_statistics=False`` disables both pruning and stat-answered
+    aggregates (the decode-and-reduce baseline); ``use_dictionary=False``
+    disables every code-space path.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        use_statistics: bool = True,
+        workers: int | None = 1,
+        use_dictionary: bool = True,
+        planner: ScanPlanner | None = None,
+        engine: ParallelEngine | None = None,
+    ):
+        self._relation = relation
+        self._use_statistics = use_statistics
+        self._use_dictionary = use_dictionary
+        self._workers = resolve_workers(workers)
+        self._planner = (
+            planner if planner is not None else ScanPlanner(relation, use_statistics=use_statistics)
+        )
+        self._engine = (
+            engine
+            if engine is not None
+            else ParallelEngine(
+                relation,
+                workers=self._workers,
+                planner=self._planner,
+                use_dictionary=use_dictionary,
+            )
+        )
+
+    @property
+    def relation(self) -> Relation:
+        return self._relation
+
+    @property
+    def planner(self) -> ScanPlanner:
+        return self._planner
+
+    @property
+    def engine(self) -> ParallelEngine:
+        return self._engine
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def close(self) -> None:
+        """Release the engine's worker threads (no-op when serial)."""
+        self._engine.close()
+
+    def __enter__(self) -> "QueryCompiler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- compilation -----------------------------------------------------------
+
+    def compile(self, plan: LogicalNode) -> CompiledQuery:
+        """Flatten and validate a logical plan against this relation."""
+        schema = self._relation.schema
+        predicates: list[Predicate] = []
+        projection: tuple[str, ...] | None = None
+        group_by: tuple[str, ...] = ()
+        aggregates: AggregateSpec = ()
+        limit: int | None = None
+
+        # Walking root -> leaf, node kinds must come in canonical order —
+        # Limit(Aggregate|Project(Filter*(Scan))) — so the flattened form
+        # executes exactly the semantics the tree expresses.  Out-of-order
+        # chains (a Limit below an Aggregate, a HAVING-style Filter above
+        # one) would silently mean something else, so they are rejected.
+        ranks = {Limit: 3, Aggregate: 2, Project: 2, Filter: 1}
+        previous_rank = 4
+        node: LogicalNode = plan
+        while not isinstance(node, Scan):
+            rank = ranks.get(type(node))
+            if rank is None:
+                raise ValidationError(f"unsupported logical node {type(node).__name__}")
+            if rank > previous_rank:
+                raise ValidationError(
+                    "logical nodes must nest as Limit(Aggregate|Project(Filter*(Scan))); "
+                    f"found {type(node).__name__} below a node it must enclose"
+                )
+            previous_rank = rank
+            if isinstance(node, Limit):
+                if limit is not None:
+                    raise ValidationError("a plan may contain at most one Limit node")
+                if node.n < 0:
+                    raise ValidationError("limit must be non-negative")
+                limit = node.n
+            elif isinstance(node, Aggregate):
+                if aggregates:
+                    raise ValidationError("a plan may contain at most one Aggregate node")
+                if not node.aggregates:
+                    raise ValidationError("Aggregate needs at least one aggregate function")
+                aggregates = node.aggregates
+                group_by = node.group_by
+            elif isinstance(node, Project):
+                if projection is not None:
+                    raise ValidationError("a plan may contain at most one Project node")
+                projection = node.columns
+            else:
+                predicates.append(node.predicate)
+            node = node.child  # type: ignore[attr-defined]
+        if node.relation is not self._relation:
+            raise ValidationError("plan scans a different relation than the compiler was built for")
+        if aggregates and projection is not None:
+            raise ValidationError("Project and Aggregate cannot appear in the same plan")
+        if group_by and not aggregates:
+            raise ValidationError("group_by needs at least one aggregate")
+
+        predicate: Predicate | None = None
+        if len(predicates) == 1:
+            predicate = predicates[0]
+        elif predicates:
+            # Stacked Filter nodes are one conjunction; keep bottom-up order.
+            predicate = And(*reversed(predicates))
+
+        compiled = CompiledQuery(
+            relation=self._relation,
+            predicate=predicate,
+            projection=projection,
+            group_by=group_by,
+            aggregates=aggregates,
+            limit=limit,
+        )
+        for name in compiled.referenced_columns():
+            if name not in schema:
+                raise UnknownColumnError(name, schema.names)
+        output_names = list(group_by)
+        for name, fn in aggregates:
+            if name in output_names:
+                raise ValidationError(f"duplicate output column {name!r} in aggregation")
+            output_names.append(name)
+            if fn.kind == "sum" and schema.dtype(fn.column).is_string:
+                raise ValidationError(f"sum() needs an integer column, {fn.column!r} is a string")
+        return compiled
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, plan: "LogicalNode | CompiledQuery") -> PlanResult:
+        """Run a (logical or already compiled) plan and materialise its output."""
+        compiled = plan if isinstance(plan, CompiledQuery) else self.compile(plan)
+        if compiled.aggregates:
+            return self._execute_aggregate(compiled)
+        return self._execute_select(compiled)
+
+    def explain(self, plan: LogicalNode) -> str:
+        """Render ``plan`` plus the planner's per-block decisions, sans running it.
+
+        The physical section lists the columns the query could decode at
+        most (projection pushdown), the combined predicate, and one line
+        per block with its prune/full/scan verdict and global row range.
+        """
+        compiled = self.compile(plan)
+        lines = ["== logical plan ==", render_plan(plan), "", "== physical scan =="]
+        referenced = compiled.referenced_columns()
+        lines.append(
+            f"columns decoded at most: {', '.join(referenced) if referenced else '(none)'}"
+        )
+        if compiled.predicate is None:
+            lines.append("predicate: (none — every block fully covered)")
+        else:
+            lines.append(f"predicate: {compiled.predicate.describe()}")
+        scan_plan = self._planner.plan(compiled.predicate)
+        pruned = scan_plan.count_of(BlockDecision.PRUNE)
+        full = scan_plan.count_of(BlockDecision.FULL)
+        scanned = scan_plan.count_of(BlockDecision.SCAN)
+        lines.append(
+            f"blocks: {scan_plan.n_blocks} total — {pruned} pruned, "
+            f"{full} fully covered, {scanned} scanned"
+        )
+        offset = 0
+        for index, decision in enumerate(scan_plan.decisions):
+            n_rows = self._relation.block(index).n_rows
+            end = offset + max(n_rows - 1, 0)
+            lines.append(f"  block {index:>4} rows {offset:>10,}..{end:<10,} {decision}")
+            offset += n_rows
+        return "\n".join(lines)
+
+    def _execute_select(self, compiled: CompiledQuery) -> PlanResult:
+        if compiled.predicate is None:
+            row_ids = np.arange(self._relation.n_rows, dtype=np.int64)
+            metrics = None
+        else:
+            row_ids, metrics = self._engine.scan(compiled.predicate)
+        if compiled.limit is not None:
+            # Limit pushdown: truncate the row-id stream before any value of
+            # the projection is materialised.
+            row_ids = row_ids[: compiled.limit]
+        if compiled.projection is None:
+            columns: dict[str, "np.ndarray | list"] = {}
+        else:
+            columns = materialize_columns(self._relation, compiled.projection, row_ids)
+        return PlanResult(columns=columns, row_ids=row_ids, metrics=metrics)
+
+    # -- aggregate execution ---------------------------------------------------
+
+    def _classify_blocks(self, predicate: Predicate | None):
+        """Plan the scan: ``(block index, fully covered)`` tasks + metrics.
+
+        Delegates to the engine's shared classification step, so the
+        aggregate path's block decisions and metrics pre-fill can never
+        diverge from the scan path's.
+        """
+        scan_items, full_items, metrics = self._engine.classify(predicate)
+        tasks = sorted(
+            [(index, False) for index, _ in scan_items]
+            + [(index, True) for index, _ in full_items]
+        )
+        return tasks, metrics
+
+    def _block_selection(
+        self, block: CompressedBlock, predicate: Predicate | None, full: bool, partial: ScanMetrics
+    ) -> tuple[np.ndarray | None, int]:
+        """The block's qualifying-row mask (``None`` = all rows) and count."""
+        if full or predicate is None:
+            partial.rows_matched += block.n_rows
+            return None, block.n_rows
+        mask = evaluate_block_predicate(
+            block, predicate, metrics=partial, use_dictionary=self._use_dictionary
+        )
+        n_selected = int(np.count_nonzero(mask))
+        partial.rows_matched += n_selected
+        return mask, n_selected
+
+    def _gather_inputs(
+        self,
+        block: CompressedBlock,
+        names: Sequence[str],
+        positions: np.ndarray,
+        partial: ScanMetrics,
+    ):
+        """Materialise aggregate/group inputs at the selected positions.
+
+        Charged to ``rows_gathered`` (``rows_decoded`` stays a pure
+        predicate-decode counter) plus ``string_heap_decodes`` per
+        dictionary-encoded string column actually materialised.
+        """
+        partial.rows_gathered += int(positions.size)
+        for name in names:
+            if isinstance(block.columns.get(name), DictEncodedStringColumn):
+                partial.string_heap_decodes += int(positions.size)
+        return materialize_block_columns(block, names, positions)
+
+    def _execute_aggregate(self, compiled: CompiledQuery) -> PlanResult:
+        tasks, metrics = self._classify_blocks(compiled.predicate)
+        if compiled.group_by:
+            return self._run_grouped(compiled, tasks, metrics)
+        return self._run_ungrouped(compiled, tasks, metrics)
+
+    # .. ungrouped ..............................................................
+
+    def _run_ungrouped(
+        self, compiled: CompiledQuery, tasks: list[tuple[int, bool]], metrics: ScanMetrics
+    ) -> PlanResult:
+        aggs = compiled.aggregates
+        results = self._engine.map_items(
+            tasks, lambda task: self._ungrouped_block(compiled, task[0], task[1])
+        )
+        totals: list = [None] * len(aggs)
+        for state, partial in results:
+            metrics.merge(partial)
+            for slot, (_, fn) in enumerate(aggs):
+                totals[slot] = _merge_partial(fn.kind, totals[slot], state[slot])
+        columns: dict[str, "np.ndarray | list"] = {}
+        for slot, (name, fn) in enumerate(aggs):
+            value = totals[slot]
+            if value is None and fn.kind in ("count", "sum"):
+                value = 0
+            columns[name] = [value]
+        if compiled.limit == 0:
+            columns = {name: [] for name in columns}
+        return PlanResult(columns=columns, row_ids=None, metrics=metrics)
+
+    def _ungrouped_block(
+        self, compiled: CompiledQuery, index: int, full: bool
+    ) -> tuple[list, ScanMetrics]:
+        """Worker body: one block's partial aggregate values plus metrics."""
+        block = self._relation.block(index)
+        partial = ScanMetrics()
+        mask, n_selected = self._block_selection(block, compiled.predicate, full, partial)
+        aggs = compiled.aggregates
+        state: list = [None] * len(aggs)
+        pending: list[int] = []
+        for slot, (_, fn) in enumerate(aggs):
+            if fn.kind == "count":
+                state[slot] = n_selected
+            elif n_selected == 0:
+                state[slot] = 0 if fn.kind == "sum" else _NO_VALUE
+            elif full and self._use_statistics:
+                # Aggregation pushdown: a fully-covered block aggregates all
+                # of its rows, so exact zone-map statistics answer the
+                # reduction without decoding anything.
+                stats = block.column_statistics(fn.column)
+                value = stats.aggregate_value(fn.kind) if stats is not None else None
+                state[slot] = value
+                if value is None:
+                    pending.append(slot)
+            else:
+                pending.append(slot)
+        if pending:
+            names = []
+            for slot in pending:
+                column = aggs[slot][1].column
+                if column not in names:
+                    names.append(column)
+            positions = np.arange(block.n_rows) if mask is None else np.flatnonzero(mask)
+            gathered = self._gather_inputs(block, names, positions, partial)
+            for slot in pending:
+                fn = aggs[slot][1]
+                state[slot] = _reduce_values(fn.kind, gathered[fn.column])
+        return state, partial
+
+    # .. grouped ................................................................
+
+    def _run_grouped(
+        self, compiled: CompiledQuery, tasks: list[tuple[int, bool]], metrics: ScanMetrics
+    ) -> PlanResult:
+        aggs = compiled.aggregates
+        results = self._engine.map_items(
+            tasks, lambda task: self._grouped_block(compiled, task[0], task[1])
+        )
+        merged: dict = {}
+        any_code_space = False
+        for groups, used_code_space, partial in results:
+            metrics.merge(partial)
+            any_code_space = any_code_space or used_code_space
+            for key, state in groups.items():
+                existing = merged.get(key)
+                if existing is None:
+                    merged[key] = state
+                else:
+                    for slot, (_, fn) in enumerate(aggs):
+                        existing[slot] = _merge_partial(fn.kind, existing[slot], state[slot])
+
+        keys = sorted(merged)
+        if compiled.limit is not None:
+            keys = keys[: compiled.limit]
+        single = len(compiled.group_by) == 1
+        group_is_string = [
+            self._relation.schema.dtype(name).is_string for name in compiled.group_by
+        ]
+        if single and group_is_string[0] and any_code_space:
+            # The group keys travelled as raw heap byte slices; this is the
+            # one decode per distinct group the code-space path deferred.
+            metrics.string_heap_decodes += len(keys)
+        columns: dict[str, "np.ndarray | list"] = {}
+        for position, name in enumerate(compiled.group_by):
+            if single:
+                values = [_output_key(key) for key in keys]
+            else:
+                values = [_output_key(key[position]) for key in keys]
+            columns[name] = values
+        for slot, (name, _) in enumerate(aggs):
+            columns[name] = [merged[key][slot] for key in keys]
+        return PlanResult(columns=columns, row_ids=None, metrics=metrics)
+
+    def _grouped_block(
+        self, compiled: CompiledQuery, index: int, full: bool
+    ) -> tuple[dict, bool, ScanMetrics]:
+        """Worker body: one block's per-group partial states plus metrics."""
+        block = self._relation.block(index)
+        partial = ScanMetrics()
+        mask, n_selected = self._block_selection(block, compiled.predicate, full, partial)
+        if n_selected == 0:
+            return {}, False, partial
+        aggs = compiled.aggregates
+        group_by = compiled.group_by
+
+        # Group keys: a single dictionary-encoded column groups in code
+        # space — unique packed codes, keys as raw dictionary entries (byte
+        # slices for strings, so no heap entry is decoded here at all).
+        encoded = block.code_space_column(group_by[0]) if len(group_by) == 1 else None
+        if not self._use_dictionary:
+            encoded = None
+        used_code_space = False
+        keys: list
+        if isinstance(encoded, (DictEncodedIntColumn, DictEncodedStringColumn)):
+            codes = encoded.codes()
+            selected_codes = codes if mask is None else codes[mask]
+            unique_codes, inverse = np.unique(selected_codes, return_inverse=True)
+            if isinstance(encoded, DictEncodedStringColumn):
+                heap = encoded.heap
+                keys = [heap.key_bytes(int(code)) for code in unique_codes]
+            else:
+                keys = [int(value) for value in encoded.dictionary[unique_codes]]
+            used_code_space = True
+            gather_names: list[str] = []
+        else:
+            gather_names = list(group_by)
+
+        value_names = []
+        for _, fn in aggs:
+            if fn.kind != "count" and fn.column not in gather_names + value_names:
+                value_names.append(fn.column)
+
+        gathered = {}
+        if gather_names or value_names:
+            positions = np.arange(block.n_rows) if mask is None else np.flatnonzero(mask)
+            gathered = self._gather_inputs(block, gather_names + value_names, positions, partial)
+        if gather_names:
+            keys, inverse = _python_group_keys(group_by, gathered)
+
+        n_groups = len(keys)
+        states = [[None] * len(aggs) for _ in range(n_groups)]
+        for slot, (_, fn) in enumerate(aggs):
+            if fn.kind == "count":
+                counts = np.bincount(inverse, minlength=n_groups)
+                for g in range(n_groups):
+                    states[g][slot] = int(counts[g])
+                continue
+            values = gathered[fn.column]
+            if isinstance(values, np.ndarray):
+                reduced = _grouped_reduce_ints(fn.kind, values, inverse, n_groups)
+                for g in range(n_groups):
+                    states[g][slot] = reduced[g]
+            else:
+                for g, value in zip(inverse, values):
+                    states[g][slot] = _merge_partial(fn.kind, states[g][slot], value)
+        return dict(zip(keys, states)), used_code_space, partial
+
+
+def _python_group_keys(group_by: tuple[str, ...], gathered: dict) -> tuple[list, np.ndarray]:
+    """Hashable group keys + per-row group index from decoded group columns.
+
+    A single group column is vectorized through ``np.unique``; only
+    multi-column grouping falls back to a per-row Python loop over key
+    tuples.  Single string columns normalise to UTF-8 bytes so keys merge
+    with the byte slices the code-space path produces for other blocks of
+    the same relation (per-block encodings may differ).
+    """
+    if len(group_by) == 1:
+        values = gathered[group_by[0]]
+        arr = values if isinstance(values, np.ndarray) else np.asarray(values)
+        unique, inverse = np.unique(arr, return_inverse=True)
+        if arr.dtype.kind in ("U", "S"):
+            keys: list = [str(u).encode("utf-8") for u in unique]
+        else:
+            keys = [int(u) for u in unique]
+        return keys, inverse
+    columns = [
+        gathered[name] if isinstance(gathered[name], np.ndarray) else list(gathered[name])
+        for name in group_by
+    ]
+    mapping: dict = {}
+    inverse = np.empty(len(columns[0]), dtype=np.int64)
+    for i, key in enumerate(zip(*columns)):
+        inverse[i] = mapping.setdefault(key, len(mapping))
+    return list(mapping), inverse
+
+
+def _grouped_reduce_ints(kind: str, values: np.ndarray, inverse: np.ndarray, n_groups: int) -> list:
+    """Exact per-group int64 reduction via unbuffered ufunc scatter."""
+    if kind == "sum":
+        out = np.zeros(n_groups, dtype=np.int64)
+        np.add.at(out, inverse, values)
+    elif kind == "min":
+        out = np.full(n_groups, np.iinfo(np.int64).max)
+        np.minimum.at(out, inverse, values)
+    else:
+        out = np.full(n_groups, np.iinfo(np.int64).min)
+        np.maximum.at(out, inverse, values)
+    return [int(v) for v in out]
+
+
+def _output_key(key):
+    """A merged group key as an output value (bytes decode back to str)."""
+    if isinstance(key, bytes):
+        return key.decode("utf-8")
+    if isinstance(key, np.integer):
+        return int(key)
+    return key
+
+
+# ---------------------------------------------------------------------------
+# fluent builder
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _QuerySpec:
+    """The accumulated state of a fluent chain (immutable between calls)."""
+
+    predicate: Predicate | None = None
+    projection: tuple[str, ...] | None = None
+    group_keys: tuple[str, ...] = ()
+    aggregates: AggregateSpec = ()
+    limit: int | None = None
+
+
+class LazyQuery:
+    """Fluent, lazy query builder over one compressed relation.
+
+    Every chaining call returns a *new* ``LazyQuery``; nothing touches the
+    data until a terminal (:meth:`execute`, :meth:`count`) runs, and
+    :meth:`explain` shows the logical tree plus the planner's per-block
+    decisions without executing anything.  Typical use::
+
+        top = (
+            relation.query()
+            .where(Eq("flag", "Y") & Between("ship", 8_100, 8_200))
+            .select("ship", "fare")
+            .limit(100)
+            .execute()
+        )
+        by_tag = relation.query().group_by("tag").agg(n=Count()).execute()
+
+    ``workers``/``use_statistics``/``use_dictionary`` mirror the
+    :class:`~repro.query.executor.QueryExecutor` knobs and are fixed when
+    the chain starts (via :meth:`~repro.storage.relation.Relation.query`).
+    The metrics of the most recent terminal run on *this* chain link are
+    available as :attr:`last_metrics`.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        workers: int | None = 1,
+        use_statistics: bool = True,
+        use_dictionary: bool = True,
+        _spec: _QuerySpec | None = None,
+        _compiler_box: "list[QueryCompiler | None] | None" = None,
+    ):
+        self._relation = relation
+        self._workers = workers
+        self._use_statistics = use_statistics
+        self._use_dictionary = use_dictionary
+        self._spec = _spec if _spec is not None else _QuerySpec()
+        #: One compiler per chain, created on the first terminal and shared
+        #: by every link derived from the same ``relation.query()`` root
+        #: (the single-slot box is what all links alias, so links diverging
+        #: before the first terminal still share it): repeated terminals
+        #: keep the planner's zone-map memo warm and reuse the engine's
+        #: worker pool (idle threads are joined at interpreter shutdown, as
+        #: for QueryExecutor).
+        self._compiler_box = _compiler_box if _compiler_box is not None else [None]
+        self._last_metrics: ScanMetrics | None = None
+
+    # -- fluent chain ----------------------------------------------------------
+
+    def _chain(self, **changes) -> "LazyQuery":
+        return LazyQuery(
+            self._relation,
+            workers=self._workers,
+            use_statistics=self._use_statistics,
+            use_dictionary=self._use_dictionary,
+            _spec=replace(self._spec, **changes),
+            _compiler_box=self._compiler_box,
+        )
+
+    def where(self, *predicates: Predicate) -> "LazyQuery":
+        """Add filter predicates (AND-combined with any existing ones)."""
+        if not predicates:
+            raise ValidationError("where() needs at least one predicate")
+        terms = [self._spec.predicate] if self._spec.predicate is not None else []
+        terms.extend(predicates)
+        combined = terms[0] if len(terms) == 1 else And(*terms)
+        return self._chain(predicate=combined)
+
+    def select(self, *columns: str) -> "LazyQuery":
+        """Project the named columns (aggregating queries name outputs via agg)."""
+        if not columns:
+            raise ValidationError("select() needs at least one column")
+        if self._spec.aggregates or self._spec.group_keys:
+            raise ValidationError(
+                "select() cannot be combined with agg()/group_by(); "
+                "aggregate outputs are named by agg()"
+            )
+        return self._chain(projection=tuple(columns))
+
+    def group_by(self, *columns: str) -> "LazyQuery":
+        """Group the aggregation by the named columns."""
+        if not columns:
+            raise ValidationError("group_by() needs at least one column")
+        if self._spec.projection is not None:
+            raise ValidationError("group_by() cannot be combined with select()")
+        return self._chain(group_keys=tuple(columns))
+
+    def agg(self, **aggregates: AggregateFunction) -> "LazyQuery":
+        """Add named aggregate outputs, e.g. ``agg(n=Count(), hi=Max("v"))``."""
+        if not aggregates:
+            raise ValidationError("agg() needs at least one name=function pair")
+        for name, fn in aggregates.items():
+            if not isinstance(fn, AggregateFunction):
+                raise ValidationError(
+                    "agg() values must be aggregate functions "
+                    f"(Count/Sum/Min/Max), got {fn!r} for {name!r}"
+                )
+        if self._spec.projection is not None:
+            raise ValidationError("agg() cannot be combined with select()")
+        return self._chain(aggregates=self._spec.aggregates + tuple(aggregates.items()))
+
+    def limit(self, n: int) -> "LazyQuery":
+        """Keep at most ``n`` output rows (applied before materialisation)."""
+        if n < 0:
+            raise ValidationError("limit must be non-negative")
+        return self._chain(limit=n)
+
+    # -- plan assembly ---------------------------------------------------------
+
+    def logical_plan(self) -> LogicalNode:
+        """The logical tree this chain describes (Scan at the bottom)."""
+        spec = self._spec
+        node: LogicalNode = Scan(self._relation)
+        if spec.predicate is not None:
+            node = Filter(node, spec.predicate)
+        if spec.aggregates:
+            node = Aggregate(node, aggregates=spec.aggregates, group_by=spec.group_keys)
+        elif spec.group_keys:
+            raise ValidationError("group_by() needs at least one aggregate; add .agg(...)")
+        else:
+            projection = spec.projection
+            if projection is None:
+                projection = self._relation.schema.names
+            node = Project(node, tuple(projection))
+        if spec.limit is not None:
+            node = Limit(node, spec.limit)
+        return node
+
+    def _compiler(self) -> QueryCompiler:
+        if self._compiler_box[0] is None:
+            self._compiler_box[0] = QueryCompiler(
+                self._relation,
+                use_statistics=self._use_statistics,
+                workers=self._workers,
+                use_dictionary=self._use_dictionary,
+            )
+        return self._compiler_box[0]
+
+    # -- terminals -------------------------------------------------------------
+
+    @property
+    def last_metrics(self) -> ScanMetrics | None:
+        """Metrics of the most recent execute()/count() on this chain link."""
+        return self._last_metrics
+
+    def explain(self) -> str:
+        """Render the logical tree plus per-block prune/full/scan decisions."""
+        return self._compiler().explain(self.logical_plan())
+
+    def execute(self) -> PlanResult:
+        """Compile and run the plan, materialising its output."""
+        result = self._compiler().execute(self.logical_plan())
+        self._last_metrics = result.metrics
+        return result
+
+    def count(self) -> int:
+        """The number of qualifying rows, without materialising any output.
+
+        Shortcut for ``agg(count=Count())`` on a plain filter chain; blocks
+        the zone maps prove fully covered are answered from metadata alone
+        (check :attr:`last_metrics` — ``rows_decoded`` stays zero when every
+        block is pruned or covered).  A ``limit(k)`` on the chain caps the
+        result, matching ``execute().n_rows``.
+        """
+        if self._spec.aggregates or self._spec.group_keys:
+            raise ValidationError("count() is for plain filter chains; use agg(n=Count())")
+        spec = self._spec
+        node: LogicalNode = Scan(self._relation)
+        if spec.predicate is not None:
+            node = Filter(node, spec.predicate)
+        node = Aggregate(node, aggregates=(("count", Count()),))
+        result = self._compiler().execute(node)
+        self._last_metrics = result.metrics
+        total = int(result.scalar("count"))
+        if spec.limit is not None:
+            total = min(total, spec.limit)
+        return total
+
+    def close(self) -> None:
+        """Release the chain's worker threads, if any were started.
+
+        Optional, exactly like :meth:`QueryExecutor.close`: serial chains
+        never start a pool, and parallel pools are joined at interpreter
+        shutdown anyway.  The chain stays usable afterwards.
+        """
+        if self._compiler_box[0] is not None:
+            self._compiler_box[0].close()

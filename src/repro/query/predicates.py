@@ -15,12 +15,13 @@ Nodes::
     In(column, values)           column IN values
     And(children...)             conjunction
     Or(children...)              disjunction
+    Not(child)                   negation
 
-``&`` and ``|`` build conjunctions/disjunctions; the legacy factories
-(:meth:`Predicate.equals`, :meth:`Predicate.between`, :meth:`Predicate.is_in`)
-return IR nodes, so existing call sites keep working.  Arbitrary Python
-conditions remain available through :class:`ColumnPredicate`, which simply
-cannot be pruned.
+``&``, ``|`` and ``~`` build conjunctions/disjunctions/negations; the legacy
+factories (:meth:`Predicate.equals`, :meth:`Predicate.between`,
+:meth:`Predicate.is_in`) return IR nodes, so existing call sites keep
+working.  Arbitrary Python conditions remain available through
+:class:`ColumnPredicate`, which simply cannot be pruned.
 """
 
 from __future__ import annotations
@@ -40,6 +41,7 @@ __all__ = [
     "In",
     "And",
     "Or",
+    "Not",
     "ColumnPredicate",
 ]
 
@@ -124,10 +126,10 @@ class Predicate(abc.ABC):
 
         ``column`` is the block's :class:`~repro.encodings.base.EncodedColumn`
         for this predicate's column.  Nodes that can translate themselves to
-        code space (``Eq``/``In`` on dictionary-encoded columns) return the
-        mask without materialising a single value; every other combination
-        returns ``None`` and the caller falls back to decoded evaluation.
-        ``statistics`` (the block's
+        code space (``Eq``/``In``/``Between`` on dictionary-encoded columns)
+        return the mask without materialising a single value; every other
+        combination returns ``None`` and the caller falls back to decoded
+        evaluation.  ``statistics`` (the block's
         :class:`~repro.storage.statistics.ColumnStatistics` for this column,
         when available) lets the translation drop candidates outside the
         block's value range before any dictionary probe — a compound
@@ -148,6 +150,9 @@ class Predicate(abc.ABC):
     def __or__(self, other: "Predicate") -> "Or":
         return Or(self, other)
 
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.describe()})"
 
@@ -166,8 +171,11 @@ class Predicate(abc.ABC):
         return In(column, values)
 
     @staticmethod
-    def custom(column: str, condition: Callable[[np.ndarray], np.ndarray],
-               description: str = "") -> "ColumnPredicate":
+    def custom(
+        column: str,
+        condition: Callable[[np.ndarray], np.ndarray],
+        description: str = "",
+    ) -> "ColumnPredicate":
         return ColumnPredicate(column, condition, description)
 
 
@@ -255,6 +263,32 @@ class Between(_Leaf):
         stats = self._stats(statistics)
         return stats is not None and stats.contained_in(self.low, self.high)
 
+    def evaluate_encoded(self, column, statistics=None) -> np.ndarray | None:
+        """Range evaluation over packed codes via a contiguous code interval.
+
+        The dictionary is sorted, so ``[low, high]`` maps to one half-open
+        code interval found with two binary searches
+        (``lookup_code_range``); the mask is then a single integer-range
+        kernel over the raw codes — no value, and for strings no heap
+        entry beyond the ``O(log n)`` probes, is ever materialised.
+        """
+        code_range = getattr(column, "lookup_code_range", None)
+        codes_of = getattr(column, "codes", None)
+        if code_range is None or codes_of is None:
+            return None
+        interval = code_range(self.low, self.high)
+        if interval is None:
+            return None
+        lo, hi = interval
+        if lo >= hi:
+            # The range covers no dictionary entry: all-false without
+            # unpacking the codes.
+            return np.zeros(column.n_values, dtype=bool)
+        codes = codes_of()
+        if hi - lo == 1:
+            return codes == lo
+        return (codes >= lo) & (codes < hi)
+
     def describe(self) -> str:
         if self.low is None:
             return f"{self.column} <= {self.high!r}"
@@ -273,9 +307,7 @@ class In(_Leaf):
             raise ValidationError("In needs at least one candidate value")
         if len({isinstance(v, str) for v in distinct_set}) > 1:
             # NumPy would silently coerce mixed candidates to strings.
-            raise ValidationError(
-                "In candidates must be all strings or all integers"
-            )
+            raise ValidationError("In candidates must be all strings or all integers")
         distinct = sorted(distinct_set)
         self.values = tuple(distinct)
         self._candidates = np.asarray(distinct)
@@ -291,9 +323,7 @@ class In(_Leaf):
 
     def matches_all(self, statistics: BlockStatistics | None) -> bool:
         stats = self._stats(statistics)
-        return stats is not None and any(
-            stats.is_constant(v) for v in self.values
-        )
+        return stats is not None and any(stats.is_constant(v) for v in self.values)
 
     def evaluate_encoded(self, column, statistics=None) -> np.ndarray | None:
         candidates = self.values
@@ -310,9 +340,7 @@ class _Compound(Predicate):
 
     def __init__(self, *children: Predicate):
         if len(children) < 1:
-            raise ValidationError(
-                f"{type(self).__name__} needs at least one child predicate"
-            )
+            raise ValidationError(f"{type(self).__name__} needs at least one child predicate")
         flattened: list[Predicate] = []
         for child in children:
             if isinstance(child, type(self)):
@@ -374,6 +402,50 @@ class Or(_Compound):
         return " OR ".join(f"({c.describe()})" for c in self.children)
 
 
+class Not(Predicate):
+    """Negation of a child predicate, with conservative zone-map semantics.
+
+    A zone map can only reason about the negation through proofs about the
+    child: the block is prunable *only* when the child provably matches
+    every row (then no row survives the negation), and fully covered *only*
+    when the child provably matches no row.  Both directions are sound with
+    derived (conservative) bounds for pruning — an over-covering range that
+    still excludes a value proves absence — while full coverage inherits
+    ``matches_all``'s exact-bounds requirement through the child.
+    """
+
+    def __init__(self, child: Predicate):
+        self.child = child
+
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns()
+
+    def evaluate(self, values: ColumnValues) -> np.ndarray:
+        return ~np.asarray(self.child.evaluate(values), dtype=bool)
+
+    def might_match(self, statistics: BlockStatistics | None) -> bool:
+        # Stays True unless the negated child is provably full: anything
+        # weaker (e.g. pruning whenever the child *might* match) would drop
+        # qualifying rows.
+        return not self.child.matches_all(statistics)
+
+    def matches_all(self, statistics: BlockStatistics | None) -> bool:
+        # might_match() == False is a proof that no row satisfies the child,
+        # so every row satisfies the negation.
+        return statistics is not None and not self.child.might_match(statistics)
+
+    def fingerprint(self) -> str | None:
+        inner = self.child.fingerprint()
+        return None if inner is None else f"Not:[{inner}]"
+
+    def __invert__(self) -> Predicate:
+        # ~~p is p: skip the double negation instead of stacking nodes.
+        return self.child
+
+    def describe(self) -> str:
+        return f"NOT ({self.child.describe()})"
+
+
 class ColumnPredicate(_Leaf):
     """Escape hatch: an arbitrary condition on one column's decoded values.
 
@@ -382,9 +454,12 @@ class ColumnPredicate(_Leaf):
     pruned or short-circuited for it.
     """
 
-    def __init__(self, column: str,
-                 condition: Callable[[np.ndarray], np.ndarray],
-                 description: str = ""):
+    def __init__(
+        self,
+        column: str,
+        condition: Callable[[np.ndarray], np.ndarray],
+        description: str = "",
+    ):
         super().__init__(column)
         self.condition = condition
         self.description = description or f"{column} satisfies {condition!r}"

@@ -21,13 +21,13 @@ memoizes its per-(block, predicate-fingerprint) decisions, so repeated
 queries with equal predicates skip the zone-map tests entirely.
 
 Blocks classified *scan* are evaluated by :func:`evaluate_block_predicate`,
-which routes ``Eq``/``In`` leaves over dictionary-encoded columns through
-the *code space*: the predicate constants are translated to dictionary codes
-once (string compares against the sorted dictionary only) and an integer
-kernel runs over the packed codes — no string heap is ever materialised.
-Every other leaf decodes its column and
-evaluates the generic kernel.  :class:`ScanMetrics` reports what the planner
-and the code-space routing achieved per query.
+which routes ``Eq``/``In``/``Between`` leaves over dictionary-encoded
+columns through the *code space*: the predicate constants are translated to
+dictionary codes once (string compares against the sorted dictionary only)
+and an integer kernel runs over the packed codes — no string heap is ever
+materialised.  Every other leaf decodes its column and evaluates the
+generic kernel.  :class:`ScanMetrics` reports what the planner and the
+code-space routing achieved per query.
 """
 
 from __future__ import annotations
@@ -41,7 +41,7 @@ from ..encodings.dictionary import DictEncodedStringColumn
 from ..errors import UnknownColumnError, ValidationError
 from ..storage.block import CompressedBlock
 from ..storage.relation import Relation
-from .predicates import And, Or, Predicate
+from .predicates import And, Not, Or, Predicate
 from .selection import SelectionVector
 
 __all__ = [
@@ -59,8 +59,9 @@ __all__ = [
 QueryOutput = dict[str, "np.ndarray | list[str]"]
 
 
-def _gather_block(block: CompressedBlock, names: Sequence[str],
-                  positions: np.ndarray) -> QueryOutput:
+def _gather_block(
+    block: CompressedBlock, names: Sequence[str], positions: np.ndarray
+) -> QueryOutput:
     """Materialise the requested columns of one block at block-local positions.
 
     Reference columns are fetched at most once: if a horizontal column's
@@ -86,8 +87,9 @@ def _gather_block(block: CompressedBlock, names: Sequence[str],
     return {name: fetch(name) for name in names}
 
 
-def materialize_block_columns(block: CompressedBlock, names: Sequence[str],
-                              positions: np.ndarray) -> QueryOutput:
+def materialize_block_columns(
+    block: CompressedBlock, names: Sequence[str], positions: np.ndarray
+) -> QueryOutput:
     """Materialise ``names`` at block-local ``positions`` of a single block."""
     for name in names:
         if name not in block.columns:
@@ -95,13 +97,16 @@ def materialize_block_columns(block: CompressedBlock, names: Sequence[str],
     return _gather_block(block, names, np.asarray(positions, dtype=np.int64))
 
 
-def materialize_columns(relation: Relation, names: Sequence[str],
-                        selection: SelectionVector | np.ndarray) -> QueryOutput:
+def materialize_columns(
+    relation: Relation, names: Sequence[str], selection: SelectionVector | np.ndarray
+) -> QueryOutput:
     """Materialise ``names`` at the globally-selected rows of a relation.
 
     The output preserves the selection vector's row order.
     """
-    row_ids = selection.row_ids if isinstance(selection, SelectionVector) else np.asarray(selection)
+    row_ids = (
+        selection.row_ids if isinstance(selection, SelectionVector) else np.asarray(selection)
+    )
     names = list(names)
     for name in names:
         if name not in relation.schema:
@@ -109,9 +114,7 @@ def materialize_columns(relation: Relation, names: Sequence[str],
 
     n = int(np.asarray(row_ids).size)
     outputs: QueryOutput = {}
-    string_columns = {
-        name for name in names if relation.schema.dtype(name).is_string
-    }
+    string_columns = {name for name in names if relation.schema.dtype(name).is_string}
     for name in names:
         if name in string_columns:
             outputs[name] = [""] * n
@@ -136,12 +139,13 @@ def materialize_columns(relation: Relation, names: Sequence[str],
 # structured scan pipeline: planner + metrics
 # ---------------------------------------------------------------------------
 
+
 class BlockDecision:
     """Per-block verdict of the planner."""
 
-    SCAN = "scan"      #: decode predicate columns and evaluate the kernel
-    PRUNE = "prune"    #: statistics prove no row can qualify
-    FULL = "full"      #: statistics prove every row qualifies
+    SCAN = "scan"  #: decode predicate columns and evaluate the kernel
+    PRUNE = "prune"  #: statistics prove no row can qualify
+    FULL = "full"  #: statistics prove all rows qualify
 
 
 @dataclass
@@ -152,12 +156,17 @@ class ScanMetrics:
     materialised; pruned and fully-covered blocks contribute nothing to it
     (the work the zone maps saved), and neither do scanned blocks answered
     entirely in dictionary code space (the work the code-space path saved).
+    ``rows_gathered`` counts the qualifying rows whose aggregate or
+    group-by input columns were materialised — zero when every aggregate
+    was answered from block statistics or in code space.
 
     ``rows_dict_evaluated`` counts rows answered in dictionary code space
-    (one increment of ``block.n_rows`` per ``Eq``/``In`` leaf routed over
-    packed codes), and ``string_heap_decodes`` counts row values that *were*
-    materialised from a dictionary string heap during predicate evaluation —
-    the quantity the code-space path drives to zero.
+    (one increment of ``block.n_rows`` per ``Eq``/``In``/``Between`` leaf
+    routed over packed codes), and ``string_heap_decodes`` counts string
+    values that *were* materialised from a dictionary string heap — per-row
+    values during predicate evaluation or projection, plus one entry per
+    distinct group when a group-by is answered in code space.  It is the
+    quantity the code-space paths drive to (near) zero.
     """
 
     n_blocks: int = 0
@@ -169,6 +178,7 @@ class ScanMetrics:
     rows_matched: int = 0
     rows_dict_evaluated: int = 0
     string_heap_decodes: int = 0
+    rows_gathered: int = 0
 
     def merge(self, other: "ScanMetrics") -> "ScanMetrics":
         """Fold another metrics object (covering disjoint work) into this one.
@@ -186,6 +196,7 @@ class ScanMetrics:
         self.rows_matched += other.rows_matched
         self.rows_dict_evaluated += other.rows_dict_evaluated
         self.string_heap_decodes += other.string_heap_decodes
+        self.rows_gathered += other.rows_gathered
         return self
 
     @property
@@ -216,41 +227,86 @@ class ScanMetrics:
 # per-block predicate evaluation (dictionary-domain aware)
 # ---------------------------------------------------------------------------
 
-def evaluate_block_predicate(block: CompressedBlock, predicate: Predicate,
-                             metrics: ScanMetrics | None = None,
-                             use_dictionary: bool = True) -> np.ndarray:
+
+class _CodesView:
+    """A code-space column view that memoizes the packed-code unpack.
+
+    ``codes()`` is a full O(n_rows) bit-unpack; a compound predicate with
+    several leaves on the same dictionary column would otherwise repeat it
+    per leaf.  Everything else delegates to the underlying encoded column.
+    """
+
+    def __init__(self, column):
+        self._column = column
+        self._codes: np.ndarray | None = None
+
+    def codes(self) -> np.ndarray:
+        if self._codes is None:
+            self._codes = self._column.codes()
+        return self._codes
+
+    def __getattr__(self, name):
+        return getattr(self._column, name)
+
+
+def evaluate_block_predicate(
+    block: CompressedBlock,
+    predicate: Predicate,
+    metrics: ScanMetrics | None = None,
+    use_dictionary: bool = True,
+) -> np.ndarray:
     """Evaluate ``predicate`` over one block, returning a boolean row mask.
 
     The predicate tree is walked leaf by leaf.  A leaf whose column is
     dictionary-encoded in this block and which can translate itself to code
-    space (``Eq``/``In``) is answered from the packed codes without decoding
-    any value; other leaves decode their column once per block (a shared
-    cache deduplicates columns used by several leaves) and apply the generic
-    vectorized kernel.  ``use_dictionary=False`` forces the decode path for
-    every leaf — the decode-then-compare baseline the benchmarks measure
-    against.  ``metrics``, when given, receives the ``rows_decoded``,
+    space (``Eq``/``In``/``Between``) is answered from the packed codes
+    without decoding any value; ``Not`` nodes negate their child's mask, so
+    a negated code-space leaf stays in code space.  Other leaves decode
+    their column once per block (a shared cache deduplicates columns used by
+    several leaves) and apply the generic vectorized kernel.
+    ``use_dictionary=False`` forces the decode path for every leaf — the
+    decode-then-compare baseline the benchmarks measure against.
+    ``metrics``, when given, receives the ``rows_decoded``,
     ``rows_dict_evaluated`` and ``string_heap_decodes`` accounting
     (``rows_decoded`` is charged once per block, on the first column
     actually materialised; blocks answered purely in code space add
     nothing).
     """
     decoded_cache: dict[str, "np.ndarray | list[str]"] = {}
+    encoded_cache: dict[str, _CodesView] = {}
+    all_positions: np.ndarray | None = None
+    rows_charged = False
 
     def decode(name: str):
+        # Resolves horizontal dependencies through this same cache, so a
+        # compound predicate touching both a diff-encoded column and its
+        # reference decodes the reference once per block, not per leaf.
         if name not in decoded_cache:
+            nonlocal all_positions, rows_charged
             if metrics is not None:
-                if not decoded_cache:
+                if not rows_charged:
                     # First materialisation for this block: these rows are
                     # actually decoded (code-space-only blocks never are).
+                    rows_charged = True
                     metrics.rows_decoded += block.n_rows
-                if isinstance(
-                    block.columns.get(name), DictEncodedStringColumn
-                ):
+                if isinstance(block.columns.get(name), DictEncodedStringColumn):
                     metrics.string_heap_decodes += block.n_rows
-            decoded_cache[name] = block.decode_column(name)
+            if all_positions is None:
+                all_positions = np.arange(block.n_rows, dtype=np.int64)
+            dependency = block.dependency(name)
+            if dependency is None:
+                values = block.column(name).gather(all_positions)
+            else:
+                references = {ref: decode(ref) for ref in dependency.references}
+                values = block.column(name).gather_with_reference(  # type: ignore[attr-defined]
+                    all_positions, references
+                )
+            decoded_cache[name] = values
         return decoded_cache[name]
 
     def walk(node: Predicate) -> np.ndarray:
+        if isinstance(node, Not):
+            return ~walk(node.child)
         if isinstance(node, (And, Or)):
             mask = walk(node.children[0])
             for child in node.children[1:]:
@@ -261,26 +317,25 @@ def evaluate_block_predicate(block: CompressedBlock, predicate: Predicate,
             return mask
         names = node.columns()
         if use_dictionary and len(names) == 1:
-            encoded = block.code_space_column(names[0])
+            encoded = encoded_cache.get(names[0])
+            if encoded is None:
+                column = block.code_space_column(names[0])
+                if column is not None:
+                    encoded = encoded_cache[names[0]] = _CodesView(column)
             if encoded is not None:
                 statistics = (
-                    block.statistics.column(names[0])
-                    if block.statistics is not None else None
+                    block.statistics.column(names[0]) if block.statistics is not None else None
                 )
                 mask = node.evaluate_encoded(encoded, statistics)
                 if mask is not None:
                     if metrics is not None:
                         metrics.rows_dict_evaluated += block.n_rows
                     return np.asarray(mask, dtype=bool)
-        return np.asarray(
-            node.evaluate({name: decode(name) for name in names}), dtype=bool
-        )
+        return np.asarray(node.evaluate({name: decode(name) for name in names}), dtype=bool)
 
     mask = walk(predicate)
     if mask.shape != (block.n_rows,):
-        raise ValidationError(
-            "predicate evaluation must return one boolean per row"
-        )
+        raise ValidationError("predicate evaluation must return one boolean per row")
     return mask
 
 

@@ -52,8 +52,9 @@ class SelectionVector:
         return self.n_selected
 
 
-def generate_selection_vector(n_rows: int, selectivity: float,
-                              rng: np.random.Generator | None = None) -> SelectionVector:
+def generate_selection_vector(
+    n_rows: int, selectivity: float, rng: np.random.Generator | None = None
+) -> SelectionVector:
     """Draw one uniform random selection vector.
 
     Row ids are distinct, drawn without replacement, and returned sorted (the
@@ -62,35 +63,33 @@ def generate_selection_vector(n_rows: int, selectivity: float,
     if n_rows < 0:
         raise ValidationError("n_rows must be non-negative")
     if not 0.0 <= selectivity <= 1.0:
-        raise ValidationError(
-            f"selectivity must be within [0, 1], got {selectivity}"
-        )
+        raise ValidationError(f"selectivity must be within [0, 1], got {selectivity}")
     rng = rng if rng is not None else np.random.default_rng()
     n_selected = int(round(selectivity * n_rows))
     n_selected = min(max(n_selected, 0), n_rows)
     if n_selected == n_rows:
         row_ids = np.arange(n_rows, dtype=np.int64)
     else:
-        row_ids = np.sort(
-            rng.choice(n_rows, size=n_selected, replace=False).astype(np.int64)
-        )
+        row_ids = np.sort(rng.choice(n_rows, size=n_selected, replace=False).astype(np.int64))
     return SelectionVector(row_ids=row_ids, selectivity=selectivity, n_rows=n_rows)
 
 
-def generate_selection_vectors(n_rows: int, selectivity: float, count: int = 10,
-                               seed: int | None = 42) -> list[SelectionVector]:
+def generate_selection_vectors(
+    n_rows: int, selectivity: float, count: int = 10, seed: int | None = 42
+) -> list[SelectionVector]:
     """Draw ``count`` independent selection vectors (10 in the paper)."""
     if count < 1:
         raise ValidationError("count must be at least 1")
     rng = np.random.default_rng(seed)
-    return [
-        generate_selection_vector(n_rows, selectivity, rng) for _ in range(count)
-    ]
+    return [generate_selection_vector(n_rows, selectivity, rng) for _ in range(count)]
 
 
-def sweep_selectivities(n_rows: int, selectivities: Sequence[float] = PAPER_SELECTIVITIES,
-                        count: int = 10, seed: int | None = 42
-                        ) -> Iterator[tuple[float, list[SelectionVector]]]:
+def sweep_selectivities(
+    n_rows: int,
+    selectivities: Sequence[float] = PAPER_SELECTIVITIES,
+    count: int = 10,
+    seed: int | None = 42,
+) -> Iterator[tuple[float, list[SelectionVector]]]:
     """Yield ``(selectivity, vectors)`` pairs across a selectivity sweep."""
     for selectivity in selectivities:
         yield selectivity, generate_selection_vectors(n_rows, selectivity, count, seed)

@@ -103,6 +103,33 @@ class Relation:
     def block(self, index: int) -> CompressedBlock:
         return self._blocks[index]
 
+    # -- querying -------------------------------------------------------------
+
+    def query(
+        self,
+        workers: int | None = 1,
+        use_statistics: bool = True,
+        use_dictionary: bool = True,
+    ):
+        """Start a lazy query chain over this relation.
+
+        Returns a :class:`~repro.query.plan.LazyQuery`: compose with
+        ``.where()/.select()/.group_by()/.agg()/.limit()`` and run with
+        ``.execute()`` (or ``.count()``); ``.explain()`` renders the plan
+        without executing it.  The keyword knobs mirror
+        :class:`~repro.query.executor.QueryExecutor`.
+        """
+        # Imported lazily: the storage layer must stay importable without
+        # pulling in the query layer (which imports storage) at module load.
+        from ..query.plan import LazyQuery
+
+        return LazyQuery(
+            self,
+            workers=workers,
+            use_statistics=use_statistics,
+            use_dictionary=use_dictionary,
+        )
+
     # -- sizes ----------------------------------------------------------------
 
     @property

@@ -154,6 +154,77 @@ class TestQueryCommand:
         ]) == 1
         assert "COLUMN:LOW:HIGH" in capsys.readouterr().err
 
+    def test_aggregates_without_predicate_cover_the_relation(self, capsys):
+        assert main([
+            "query", "taxi", "--rows", "2000", "--block-size", "500",
+            "--plan", "baseline", "--agg", "n:count", "--agg", "hi:max:fare_amount",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "n" in out and "hi" in out
+        assert "2000" in out  # count(*) over the whole relation
+        assert "blocks fully covered  4" in out
+
+    def test_group_by_prints_one_row_per_group(self, capsys):
+        assert main([
+            "query", "taxi", "--rows", "2000", "--block-size", "500",
+            "--plan", "baseline", "--between", "fare_amount:0:5000",
+            "--agg", "n:count", "--agg", "total:sum:tip_amount",
+            "--group-by", "passenger_count", "--limit", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "passenger_count" in out
+        assert "total" in out
+
+    def test_explain_renders_plan_and_decisions(self, capsys):
+        assert main([
+            "query", "tpch_lineitem", "--rows", "2000", "--block-size", "500",
+            "--plan", "baseline", "--between", "l_shipdate:9100:9130",
+            "--explain",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== logical plan ==" in out
+        assert "Filter [9100 <= l_shipdate <= 9130]" in out
+        assert "== physical scan ==" in out
+        assert "count:" in out  # the query still executes after explaining
+
+    def test_select_with_limit_prints_rows(self, capsys):
+        assert main([
+            "query", "tpch_lineitem", "--rows", "2000", "--block-size", "500",
+            "--plan", "baseline", "--between", "l_shipdate:9100:9400",
+            "--select", "l_shipdate,l_receiptdate", "--limit", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "l_receiptdate" in out
+        assert out.count("\n91") <= 3  # at most the two limited rows (+ header)
+
+    def test_malformed_aggregate_specs(self, capsys):
+        assert main(["query", "taxi", "--rows", "1000", "--agg", "n:median"]) == 1
+        assert "unknown aggregate function" in capsys.readouterr().err
+        assert main(["query", "taxi", "--rows", "1000", "--agg", "n:sum"]) == 1
+        assert "needs an input column" in capsys.readouterr().err
+        assert main(["query", "taxi", "--rows", "1000", "--agg", "n:count:x"]) == 1
+        assert "count takes no input column" in capsys.readouterr().err
+
+    def test_group_by_without_agg_is_an_error(self, capsys):
+        assert main([
+            "query", "taxi", "--rows", "1000", "--group-by", "passenger_count",
+        ]) == 1
+        assert "--group-by needs at least one --agg" in capsys.readouterr().err
+
+    def test_select_combined_with_agg_is_an_error(self, capsys):
+        assert main([
+            "query", "taxi", "--rows", "1000", "--agg", "n:count",
+            "--select", "fare_amount",
+        ]) == 1
+        assert "--select cannot be combined" in capsys.readouterr().err
+
+    def test_duplicate_agg_names_are_an_error(self, capsys):
+        assert main([
+            "query", "taxi", "--rows", "1000",
+            "--agg", "n:count", "--agg", "n:sum:fare_amount",
+        ]) == 1
+        assert "duplicate aggregate output name" in capsys.readouterr().err
+
 
 class TestExperimentsCommand:
     def test_single_experiment(self, capsys):
