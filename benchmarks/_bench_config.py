@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import os
 
-__all__ = ["bench_rows", "latency_rows", "latency_vectors"]
+__all__ = ["bench_rows", "latency_rows", "latency_vectors", "ooc_rows"]
 
 
 def bench_rows() -> int:
@@ -27,3 +27,10 @@ def latency_rows() -> int:
 def latency_vectors() -> int:
     """Selection vectors per selectivity (the paper uses 10)."""
     return int(os.environ.get("CORRA_BENCH_VECTORS", "5"))
+
+
+def ooc_rows() -> int:
+    """Row count for the out-of-core benchmarks."""
+    return int(
+        os.environ.get("CORRA_BENCH_OOC_ROWS", str(min(bench_rows(), 200_000)))
+    )

@@ -9,9 +9,11 @@ provides:
   outlier region (:mod:`repro.core`);
 * the single-column encoding substrate they are compared against
   (:mod:`repro.encodings`);
-* a block-based columnar storage layer with per-block zone maps and a small
-  query engine with a structured predicate IR and statistics-driven scan
-  pruning (:mod:`repro.storage`, :mod:`repro.query`);
+* a block-based columnar storage layer with per-block zone maps, a
+  single-file ``.corra`` table format served out-of-core through a
+  byte-budgeted block cache, and a query engine with a structured predicate
+  IR, statistics-driven scan pruning, lazy logical plans and morsel-driven
+  parallelism (:mod:`repro.storage`, :mod:`repro.query`);
 * synthetic stand-ins for the paper's four datasets (:mod:`repro.datasets`);
 * baselines, including the independent C3 system (:mod:`repro.baselines`);
 * an experiment harness regenerating every table and figure
@@ -106,15 +108,23 @@ from .query import (
     sweep_query_latency,
 )
 from .storage import (
+    BlockCache,
     BlockStatistics,
+    Catalog,
     ColumnSpec,
     ColumnStatistics,
     CompressedBlock,
+    DiskRelation,
+    IOMetrics,
     Relation,
     Schema,
     Table,
+    TableReader,
+    TableWriter,
     deserialize_block,
+    open_table,
     serialize_block,
+    write_table,
 )
 
 __version__ = "1.0.0"
@@ -135,6 +145,8 @@ __all__ = [
     "Schema", "ColumnSpec", "Table", "CompressedBlock", "Relation",
     "BlockStatistics", "ColumnStatistics",
     "serialize_block", "deserialize_block",
+    "DiskRelation", "BlockCache", "IOMetrics", "Catalog",
+    "TableWriter", "TableReader", "write_table", "open_table",
     # core
     "NonHierarchicalEncoding", "DiffEncodedColumn", "HierarchicalEncoding",
     "HierarchicalEncodedColumn", "MultiReferenceEncoding",

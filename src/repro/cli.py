@@ -8,14 +8,22 @@ Python:
 ``compress``
     Generate a dataset, apply a compression plan (vertical baseline,
     hand-picked horizontal encodings, or fully automatic detection), and print
-    per-column sizes and saving rates.
+    per-column sizes and saving rates.  ``--output table.corra`` additionally
+    persists the compressed relation as a single-file table
+    (:mod:`repro.storage.format`); ``--catalog DIR`` registers it in a
+    catalog directory under the dataset name.
 ``detect``
     Print the ranked correlation suggestions for a dataset.
 ``query``
-    Compress a dataset and run a query over it through the lazy plan API:
-    a structured predicate prints the matching row count with the
+    Run a query through the lazy plan API — over a freshly compressed
+    dataset, or *out of core* over a ``.corra`` file (pass its path, or a
+    table name with ``--catalog``): blocks are then fetched lazily through a
+    byte-budgeted cache (``--cache-bytes``) and the I/O metrics printed
+    alongside the scan metrics prove pruned blocks were never read.
+    A structured predicate prints the matching row count with the
     scan-pruning metrics; ``--agg``/``--group-by`` compute (grouped)
-    aggregates, ``--select``/``--limit`` materialise qualifying rows, and
+    aggregates (``count``/``sum``/``min``/``max``/``avg``),
+    ``--select``/``--limit`` materialise qualifying rows, and
     ``--explain`` renders the logical plan plus per-block decisions.
 ``experiments``
     Regenerate the paper's tables and figures (delegates to
@@ -40,6 +48,7 @@ from .datasets import available_datasets, dataset_by_name
 from .errors import CorraError
 from .query import (
     And,
+    Avg,
     Between,
     Count,
     Eq,
@@ -50,7 +59,14 @@ from .query import (
     Sum,
     resolve_workers,
 )
-from .storage import DEFAULT_BLOCK_SIZE
+from .storage import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_CACHE_BYTES,
+    Catalog,
+    DiskRelation,
+    write_table,
+)
+from .storage.catalog import TABLE_SUFFIX
 
 __all__ = ["main", "build_parser"]
 
@@ -101,6 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="threads for block compression (0 = one per core; default 1)",
     )
+    compress.add_argument(
+        "--output", default=None, metavar="TABLE.corra",
+        help="also persist the compressed relation as a single-file table",
+    )
+    compress.add_argument(
+        "--catalog", default=None, metavar="DIR",
+        help="also register the table in a catalog directory under the "
+             "dataset name (combine with `query --catalog`)",
+    )
 
     detect = subparsers.add_parser(
         "detect", help="print ranked correlation suggestions for a dataset"
@@ -112,9 +137,14 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--top", type=int, default=15, help="suggestions to print")
 
     query = subparsers.add_parser(
-        "query", help="run a structured predicate over a compressed dataset"
+        "query", help="run a structured predicate over a compressed dataset "
+                      "or a .corra table file"
     )
-    query.add_argument("name", help="dataset name (see `datasets`)")
+    query.add_argument(
+        "name",
+        help="dataset name (see `datasets`), a path to a .corra table file, "
+             "or a catalogued table name when --catalog is given",
+    )
     query.add_argument("--rows", type=int, default=None)
     query.add_argument("--seed", type=int, default=42)
     query.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
@@ -158,7 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--agg", action="append", default=[], metavar="NAME:FUNC[:COLUMN]",
         help="add a named aggregate output, e.g. n:count, total:sum:fare, "
-             "hi:max:tip (may be repeated; FUNC is count/sum/min/max)",
+             "hi:max:tip (may be repeated; FUNC is count/sum/min/max/avg)",
     )
     query.add_argument(
         "--group-by", default=None, metavar="COL1,COL2,...",
@@ -173,6 +203,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true",
         help="print the logical plan and the per-block prune/full/scan "
              "decisions before executing",
+    )
+    query.add_argument(
+        "--catalog", default=None, metavar="DIR",
+        help="resolve the table name through a catalog directory of .corra "
+             "files (see `compress --catalog`)",
+    )
+    query.add_argument(
+        "--cache-bytes", type=int, default=DEFAULT_CACHE_BYTES, metavar="N",
+        help="block-cache budget in bytes for out-of-core tables "
+             f"(default {DEFAULT_CACHE_BYTES})",
     )
 
     experiments = subparsers.add_parser(
@@ -278,6 +318,14 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     print(f"\ntotal: {baseline.total_size:,} -> {relation.size_bytes:,} bytes "
           f"({total_saving:.1%} saving), {relation.n_blocks} block(s) of "
           f"{args.block_size:,} tuples")
+    if args.output:
+        footer = write_table(args.output, relation)
+        print(f"wrote {footer.n_blocks} block(s) / {footer.data_bytes:,} data "
+              f"bytes to {args.output} (format v{footer.version})")
+    if args.catalog:
+        footer = Catalog(args.catalog).save(args.name, relation, overwrite=True)
+        print(f"catalogued {args.name!r} in {args.catalog} "
+              f"({footer.n_blocks} block(s), format v{footer.version})")
     return 0
 
 
@@ -336,10 +384,10 @@ def _build_predicate(args: argparse.Namespace) -> Predicate | None:
 
 
 #: CLI aggregate function names -> constructors (count takes no column).
-_AGG_FUNCTIONS = {"count": Count, "sum": Sum, "min": Min, "max": Max}
+_AGG_FUNCTIONS = {"count": Count, "sum": Sum, "min": Min, "max": Max, "avg": Avg}
 
 
-def _parse_aggregate(spec: str) -> tuple[str, "Count | Sum | Min | Max"]:
+def _parse_aggregate(spec: str) -> tuple[str, "Count | Sum | Min | Max | Avg"]:
     parts = spec.split(":")
     if len(parts) not in (2, 3) or not all(parts):
         raise CorraError(f"expected NAME:FUNC[:COLUMN], got {spec!r}")
@@ -374,6 +422,59 @@ def _print_metrics(metrics, workers: int) -> None:
     print(format_table(("scan metric", "value"), rows))
 
 
+def _print_io_metrics(relation: DiskRelation) -> None:
+    io, cache = relation.io, relation.cache_stats
+    rows = [
+        ("blocks read", f"{io.blocks_read:,}"),
+        ("block bytes read", f"{io.bytes_read:,}"),
+        ("footer bytes read", f"{io.footer_bytes_read:,}"),
+        ("table data bytes", f"{relation.size_bytes:,}"),
+        ("cache hits", f"{cache.hits:,}"),
+        ("cache misses", f"{cache.misses:,}"),
+        ("cache evictions", f"{cache.evictions:,}"),
+        ("cache resident bytes", f"{cache.current_bytes:,}"),
+    ]
+    print(format_table(("io metric", "value"), rows))
+
+
+def _reject_generation_flags(args: argparse.Namespace, target: str) -> None:
+    """Disk tables are opened as-is; generation flags would silently lie."""
+    conflicting = []
+    if args.rows is not None:
+        conflicting.append("--rows")
+    if args.seed != 42:
+        conflicting.append("--seed")
+    if args.block_size != DEFAULT_BLOCK_SIZE:
+        conflicting.append("--block-size")
+    if args.plan != "auto":
+        conflicting.append("--plan")
+    if conflicting:
+        raise CorraError(
+            f"{', '.join(conflicting)} only apply when querying a generated "
+            f"dataset; {target} is opened as-is"
+        )
+
+
+def _load_query_relation(args: argparse.Namespace):
+    """The relation `corra query` runs over: compressed dataset or disk table."""
+    if args.catalog is not None:
+        _reject_generation_flags(args, f"catalogued table {args.name!r}")
+        return Catalog(args.catalog, cache_bytes=args.cache_bytes).open(args.name)
+    if args.name.endswith(TABLE_SUFFIX):
+        _reject_generation_flags(args, f"table file {args.name!r}")
+        return DiskRelation(args.name, cache_bytes=args.cache_bytes)
+    generator = dataset_by_name(args.name)
+    table = generator.generate(args.rows, seed=args.seed)
+    if args.plan == "baseline":
+        plan = CompressionPlan.vertical_only(table.schema)
+    else:
+        suggestions = CorrelationDetector().suggest(table)
+        plan = CompressionPlan.from_suggestions(table.schema, suggestions)
+    return TableCompressor(
+        plan, block_size=args.block_size, workers=args.workers
+    ).compress(table)
+
+
 def _print_result_rows(columns: dict) -> None:
     names = tuple(columns)
     n_rows = len(next(iter(columns.values()))) if columns else 0
@@ -384,16 +485,10 @@ def _print_result_rows(columns: dict) -> None:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    generator = dataset_by_name(args.name)
-    table = generator.generate(args.rows, seed=args.seed)
-    if args.plan == "baseline":
-        plan = CompressionPlan.vertical_only(table.schema)
-    else:
-        suggestions = CorrelationDetector().suggest(table)
-        plan = CompressionPlan.from_suggestions(table.schema, suggestions)
-    relation = TableCompressor(
-        plan, block_size=args.block_size, workers=args.workers
-    ).compress(table)
+    try:
+        relation = _load_query_relation(args)
+    except OSError as error:
+        raise CorraError(f"cannot open table {args.name!r}: {error}") from error
     predicate = _build_predicate(args)
     aggregates = {}
     for spec in args.agg:
@@ -443,6 +538,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if result.metrics is not None:
             print()
             _print_metrics(result.metrics, workers)
+        if isinstance(relation, DiskRelation):
+            print()
+            _print_io_metrics(relation)
         return 0
 
     count = lazy.count()
@@ -454,6 +552,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     print(f"count: {count:,}{limited} of {relation.n_rows:,} rows "
           f"({matched / max(relation.n_rows, 1):.2%} selectivity)")
     _print_metrics(metrics, workers)
+    if isinstance(relation, DiskRelation):
+        print()
+        _print_io_metrics(relation)
     return 0
 
 

@@ -231,6 +231,20 @@ class DiffEncodedColumn(HorizontalEncodedColumn):
         """Positional access to the raw differences (without the reference)."""
         return self._decode_differences(np.asarray(positions, dtype=np.int64))
 
+    def sum_differences(self) -> int:
+        """Exact sum of every stored difference (zig-zag/frame resolved).
+
+        Only the packed difference stream is touched — neither the reference
+        nor the target values are reconstructed — which is what lets the
+        compressor record ``sum(target) = sum(reference) + sum(differences)``
+        as an exact zone-map statistic.  Outlier rows contribute their stored
+        (placeholder) difference here; the caller corrects for them.
+        """
+        if self.n_values == 0:
+            return 0
+        diffs = self._decode_differences(np.arange(self.n_values, dtype=np.int64))
+        return int(diffs.sum(dtype=np.int64))
+
 
 class NonHierarchicalEncoding:
     """Scheme object for the non-hierarchical encoding (paper §2.1).

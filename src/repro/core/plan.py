@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from ..encodings.selector import BestOfSelector, scheme_by_name
 from ..errors import ConfigurationError, UnknownColumnError
 from ..storage.block import DEFAULT_BLOCK_SIZE, ColumnDependency, CompressedBlock
@@ -324,8 +326,11 @@ class TableCompressor:
         columns get conservative bounds derived from the reference's bounds
         plus the stored delta range (widened by the outlier region) — the
         target values themselves are never consulted, mirroring how a
-        reader could rebuild the zone map from block metadata alone, and no
-        sum is recorded for them.
+        reader could rebuild the zone map from block metadata alone.  Their
+        *sum*, however, is exact: ``sum(target) = sum(reference) +
+        sum(differences)``, corrected for outlier rows whose verbatim value
+        replaces the reconstruction, so sum/avg aggregates over diff-encoded
+        columns are stat-answerable too.
         """
         per_column: dict[str, ColumnStatistics] = {}
         diff_encoded: list[str] = []
@@ -348,8 +353,34 @@ class TableCompressor:
                 diff_stats.max_difference,
                 chunk.n_rows,
                 outlier_values=outliers.values if outliers else None,
+                sum_value=self._derived_diff_sum(
+                    encoded, per_column[reference], chunk.column(reference), outliers
+                ),
             )
         return BlockStatistics(per_column)
+
+    @staticmethod
+    def _derived_diff_sum(encoded, reference_stats: ColumnStatistics,
+                          reference_values, outliers) -> int | None:
+        """Exact diff-encoded column sum without decoding the target.
+
+        ``sum(reference) + sum(stored differences)``; an outlier row stores
+        its value verbatim and overrides the reconstruction, so each one
+        swaps its ``reference + difference`` contribution for the stored
+        value.
+        """
+        if reference_stats.sum_value is None:
+            return None
+        total = int(reference_stats.sum_value) + encoded.sum_differences()
+        if outliers:
+            positions = outliers.positions
+            replaced = (
+                np.asarray(reference_values, dtype=np.int64)[positions]
+                + encoded.gather_differences(positions)
+            )
+            total += int(outliers.values.sum(dtype=np.int64))
+            total -= int(replaced.sum(dtype=np.int64))
+        return total
 
     # -- relation compression -------------------------------------------------------
 

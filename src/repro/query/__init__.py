@@ -59,6 +59,7 @@ from .parallel import Morsel, ParallelEngine, parallel_map, resolve_workers
 from .plan import (
     Aggregate,
     AggregateFunction,
+    Avg,
     CompiledQuery,
     Count,
     Filter,
@@ -83,6 +84,7 @@ from .scan import (
     evaluate_block_predicate,
     materialize_block_columns,
     materialize_columns,
+    resolve_block,
 )
 from .selection import (
     PAPER_SELECTIVITIES,
@@ -103,6 +105,7 @@ __all__ = [
     "materialize_columns",
     "materialize_block_columns",
     "evaluate_block_predicate",
+    "resolve_block",
     "QueryExecutor",
     "QueryResult",
     "Predicate",
@@ -126,6 +129,7 @@ __all__ = [
     "Sum",
     "Min",
     "Max",
+    "Avg",
     "LogicalNode",
     "Scan",
     "Filter",

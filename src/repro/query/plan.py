@@ -60,6 +60,7 @@ from .scan import (
     evaluate_block_predicate,
     materialize_block_columns,
     materialize_columns,
+    resolve_block,
 )
 
 __all__ = [
@@ -68,6 +69,7 @@ __all__ = [
     "Sum",
     "Min",
     "Max",
+    "Avg",
     "LogicalNode",
     "Scan",
     "Filter",
@@ -90,10 +92,10 @@ __all__ = [
 class AggregateFunction:
     """Base of the aggregate function descriptors.
 
-    ``kind`` names the reduction (``count``/``sum``/``min``/``max``) and
-    ``column`` the input column (``None`` for ``count``, which reduces the
-    qualifying rows themselves).  Instances are immutable descriptors; the
-    compiler decides per block whether the reduction is answered from
+    ``kind`` names the reduction (``count``/``sum``/``min``/``max``/``avg``)
+    and ``column`` the input column (``None`` for ``count``, which reduces
+    the qualifying rows themselves).  Instances are immutable descriptors;
+    the compiler decides per block whether the reduction is answered from
     statistics, in dictionary code space, or by gather-and-reduce.
     """
 
@@ -142,6 +144,22 @@ class Max(_ColumnAggregate):
 
     column: str
     kind = "max"
+
+
+@dataclass(frozen=True, repr=False)
+class Avg(_ColumnAggregate):
+    """``avg(column)`` over the qualifying rows (float result).
+
+    Internally carried as an exact ``(sum, count)`` integer pair and divided
+    only at output time, so parallel merges lose no precision and a
+    fully-covered block is answered from its ``sum_value``/row-count
+    statistics exactly like ``sum`` — including diff-encoded columns, whose
+    sums are derived from the reference and the stored deltas.  An empty
+    selection yields ``None``.
+    """
+
+    column: str
+    kind = "avg"
 
 
 #: (output name, function) pairs, in output order.
@@ -324,25 +342,33 @@ _NO_VALUE = None
 
 
 def _merge_partial(kind: str, a, b):
-    """Fold two per-block partial aggregate values (either may be None)."""
+    """Fold two per-block partial aggregate values (either may be None).
+
+    ``avg`` partials are exact ``(sum, count)`` pairs; the division happens
+    once, at output time.
+    """
     if b is None:
         return a
     if a is None:
         return b
     if kind in ("count", "sum"):
         return a + b
+    if kind == "avg":
+        return (a[0] + b[0], a[1] + b[1])
     if kind == "min":
         return a if a <= b else b
     return a if a >= b else b
 
 
-def _reduce_values(kind: str, values) -> "int | str | None":
+def _reduce_values(kind: str, values) -> "int | str | tuple | None":
     """Reduce gathered values (an int64 array or a string list) directly."""
     if len(values) == 0:
         return 0 if kind in ("count", "sum") else _NO_VALUE
     if isinstance(values, np.ndarray):
         if kind == "sum":
             return int(np.sum(values, dtype=np.int64))
+        if kind == "avg":
+            return (int(np.sum(values, dtype=np.int64)), int(values.size))
         if kind == "min":
             return int(values.min())
         return int(values.max())
@@ -351,6 +377,15 @@ def _reduce_values(kind: str, values) -> "int | str | None":
     if kind == "max":
         return max(values)
     raise ValidationError(f"cannot {kind} a string column")
+
+
+def _finalize_partial(kind: str, value):
+    """Turn a merged partial into its output value (divides avg pairs)."""
+    if kind == "avg":
+        return None if value is None or value[1] == 0 else value[0] / value[1]
+    if value is None and kind in ("count", "sum"):
+        return 0
+    return value
 
 
 class QueryCompiler:
@@ -495,8 +530,10 @@ class QueryCompiler:
             if name in output_names:
                 raise ValidationError(f"duplicate output column {name!r} in aggregation")
             output_names.append(name)
-            if fn.kind == "sum" and schema.dtype(fn.column).is_string:
-                raise ValidationError(f"sum() needs an integer column, {fn.column!r} is a string")
+            if fn.kind in ("sum", "avg") and schema.dtype(fn.column).is_string:
+                raise ValidationError(
+                    f"{fn.kind}() needs an integer column, {fn.column!r} is a string"
+                )
         return compiled
 
     # -- execution -------------------------------------------------------------
@@ -600,6 +637,7 @@ class QueryCompiler:
         predicate-decode counter) plus ``string_heap_decodes`` per
         dictionary-encoded string column actually materialised.
         """
+        block = resolve_block(block)
         partial.rows_gathered += int(positions.size)
         for name in names:
             if isinstance(block.columns.get(name), DictEncodedStringColumn):
@@ -628,10 +666,7 @@ class QueryCompiler:
                 totals[slot] = _merge_partial(fn.kind, totals[slot], state[slot])
         columns: dict[str, "np.ndarray | list"] = {}
         for slot, (name, fn) in enumerate(aggs):
-            value = totals[slot]
-            if value is None and fn.kind in ("count", "sum"):
-                value = 0
-            columns[name] = [value]
+            columns[name] = [_finalize_partial(fn.kind, totals[slot])]
         if compiled.limit == 0:
             columns = {name: [] for name in columns}
         return PlanResult(columns=columns, row_ids=None, metrics=metrics)
@@ -654,9 +689,14 @@ class QueryCompiler:
             elif full and self._use_statistics:
                 # Aggregation pushdown: a fully-covered block aggregates all
                 # of its rows, so exact zone-map statistics answer the
-                # reduction without decoding anything.
+                # reduction without decoding anything.  An avg is the block's
+                # exact sum paired with its row count.
                 stats = block.column_statistics(fn.column)
-                value = stats.aggregate_value(fn.kind) if stats is not None else None
+                if fn.kind == "avg":
+                    total = stats.aggregate_value("sum") if stats is not None else None
+                    value = None if total is None else (total, stats.row_count)
+                else:
+                    value = stats.aggregate_value(fn.kind) if stats is not None else None
                 state[slot] = value
                 if value is None:
                     pending.append(slot)
@@ -715,8 +755,8 @@ class QueryCompiler:
             else:
                 values = [_output_key(key[position]) for key in keys]
             columns[name] = values
-        for slot, (name, _) in enumerate(aggs):
-            columns[name] = [merged[key][slot] for key in keys]
+        for slot, (name, fn) in enumerate(aggs):
+            columns[name] = [_finalize_partial(fn.kind, merged[key][slot]) for key in keys]
         return PlanResult(columns=columns, row_ids=None, metrics=metrics)
 
     def _grouped_block(
@@ -728,6 +768,9 @@ class QueryCompiler:
         mask, n_selected = self._block_selection(block, compiled.predicate, full, partial)
         if n_selected == 0:
             return {}, False, partial
+        # Grouping always touches block data from here on; materialise an
+        # out-of-core proxy once instead of per accessor.
+        block = resolve_block(block)
         aggs = compiled.aggregates
         group_by = compiled.group_by
 
@@ -815,6 +858,11 @@ def _python_group_keys(group_by: tuple[str, ...], gathered: dict) -> tuple[list,
 
 def _grouped_reduce_ints(kind: str, values: np.ndarray, inverse: np.ndarray, n_groups: int) -> list:
     """Exact per-group int64 reduction via unbuffered ufunc scatter."""
+    if kind == "avg":
+        sums = np.zeros(n_groups, dtype=np.int64)
+        np.add.at(sums, inverse, values)
+        counts = np.bincount(inverse, minlength=n_groups)
+        return [(int(s), int(c)) for s, c in zip(sums, counts)]
     if kind == "sum":
         out = np.zeros(n_groups, dtype=np.int64)
         np.add.at(out, inverse, values)

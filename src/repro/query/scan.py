@@ -48,6 +48,7 @@ __all__ = [
     "materialize_columns",
     "materialize_block_columns",
     "evaluate_block_predicate",
+    "resolve_block",
     "QueryOutput",
     "BlockDecision",
     "ScanMetrics",
@@ -57,6 +58,20 @@ __all__ = [
 
 
 QueryOutput = dict[str, "np.ndarray | list[str]"]
+
+
+def resolve_block(block: CompressedBlock) -> CompressedBlock:
+    """Materialise an out-of-core block proxy once, ahead of hot-path access.
+
+    Disk-backed relations hand the planner lazy proxies whose every
+    data-access is a cache round-trip (see
+    :class:`~repro.storage.disk.LazyBlock`).  Worker bodies that are about
+    to decode call this first so one logical operation loads the block
+    exactly once — even when the cache budget is too small to retain it
+    between operations.  In-memory blocks pass through untouched.
+    """
+    loader = getattr(block, "load", None)
+    return loader() if loader is not None else block
 
 
 def _gather_block(
@@ -91,6 +106,7 @@ def materialize_block_columns(
     block: CompressedBlock, names: Sequence[str], positions: np.ndarray
 ) -> QueryOutput:
     """Materialise ``names`` at block-local ``positions`` of a single block."""
+    block = resolve_block(block)
     for name in names:
         if name not in block.columns:
             raise UnknownColumnError(name, block.column_names)
@@ -122,7 +138,7 @@ def materialize_columns(
             outputs[name] = np.empty(n, dtype=np.int64)
 
     for block_index, local_positions, output_positions in relation.locate(row_ids):
-        block = relation.block(block_index)
+        block = resolve_block(relation.block(block_index))
         block_output = _gather_block(block, names, local_positions)
         for name in names:
             values = block_output[name]
@@ -272,6 +288,7 @@ def evaluate_block_predicate(
     actually materialised; blocks answered purely in code space add
     nothing).
     """
+    block = resolve_block(block)
     decoded_cache: dict[str, "np.ndarray | list[str]"] = {}
     encoded_cache: dict[str, _CodesView] = {}
     all_positions: np.ndarray | None = None

@@ -1,6 +1,51 @@
-"""Columnar storage layer: schemas, tables, data blocks, relations, serialisation."""
+"""Columnar storage layer: schemas, tables, blocks, relations, and disk tables.
+
+In-memory path: a :class:`Table` is split into self-contained
+:class:`CompressedBlock` objects (zone maps attached) that form a
+:class:`Relation`, the unit the query engine executes over.
+
+Out-of-core path: a relation persists as a single ``.corra`` file and is
+served back lazily through a byte-budgeted block cache.  The file layout
+(see :mod:`repro.storage.format`):
+
+```
++--------------------------------------------------------------------+
+| header   "CORRATBL" | u32 format version                           |
++--------------------------------------------------------------------+
+| block segment 0   -- serialize_block() bytes, self-contained       |
+| block segment 1                                                    |
+| ...                                                                |
+| block segment N-1                                                  |
++--------------------------------------------------------------------+
+| footer   schema, block_size, n_rows,                               |
+|          per block: {offset, length, n_rows, zone map, crc32 (v2)} |
++--------------------------------------------------------------------+
+| trailer  u64 footer offset | u64 footer length | u32 version       |
+|          "CORRAEND"                                                |
++--------------------------------------------------------------------+
+```
+
+A reader seeks to the fixed-size trailer and loads the footer; from then on
+*planning is metadata-only* — :class:`DiskRelation` hands the query layer
+footer-backed block proxies whose row counts and zone maps need no block
+I/O, and only the blocks that survive pruning are fetched (through the
+single-flight LRU :class:`BlockCache`, with :class:`IOMetrics` recording
+exactly what was read).  :class:`Catalog` maps table names to ``.corra``
+files in a directory.
+"""
 
 from .block import DEFAULT_BLOCK_SIZE, ColumnDependency, CompressedBlock
+from .cache import DEFAULT_CACHE_BYTES, BlockCache, CacheStats, IOMetrics
+from .catalog import Catalog
+from .disk import DiskRelation, LazyBlock, open_table
+from .format import (
+    FORMAT_VERSION,
+    BlockEntry,
+    TableFooter,
+    TableReader,
+    TableWriter,
+    write_table,
+)
 from .relation import Relation, split_into_blocks
 from .schema import ColumnSpec, Schema
 from .serialization import (
@@ -27,4 +72,18 @@ __all__ = [
     "serialize_block",
     "deserialize_block",
     "register_column_class",
+    "BlockCache",
+    "CacheStats",
+    "IOMetrics",
+    "DEFAULT_CACHE_BYTES",
+    "FORMAT_VERSION",
+    "BlockEntry",
+    "TableFooter",
+    "TableWriter",
+    "TableReader",
+    "write_table",
+    "DiskRelation",
+    "LazyBlock",
+    "open_table",
+    "Catalog",
 ]

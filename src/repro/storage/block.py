@@ -66,9 +66,7 @@ class CompressedBlock:
         if self.statistics is not None:
             for name in self.statistics.column_names:
                 if name not in self.columns:
-                    raise SchemaError(
-                        f"statistics recorded for missing column {name!r}"
-                    )
+                    raise SchemaError(f"statistics recorded for missing column {name!r}")
         for name, encoded in self.columns.items():
             if encoded.n_values != self.n_rows:
                 raise SchemaError(
@@ -80,9 +78,7 @@ class CompressedBlock:
                 raise SchemaError(f"dependency recorded for missing column {name!r}")
             for ref in dep.references:
                 if ref not in self.columns:
-                    raise SchemaError(
-                        f"column {name!r} references missing column {ref!r}"
-                    )
+                    raise SchemaError(f"column {name!r} references missing column {ref!r}")
 
     # -- accessors ------------------------------------------------------------
 
@@ -157,7 +153,5 @@ class CompressedBlock:
         dep = self.dependencies.get(name)
         if dep is None:
             return encoded.gather(positions)
-        reference_values = {
-            ref: self.gather_column(ref, positions) for ref in dep.references
-        }
+        reference_values = {ref: self.gather_column(ref, positions) for ref in dep.references}
         return encoded.gather_with_reference(positions, reference_values)  # type: ignore[attr-defined]

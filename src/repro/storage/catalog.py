@@ -1,0 +1,129 @@
+"""A small on-disk catalog: table names mapped to ``.corra`` files.
+
+The catalog is deliberately simple — one directory, one file per table,
+the table name being the file stem.  That is enough for the CLI (and any
+embedding application) to address tables by name instead of path, and it
+leaves the door open for richer catalogs (manifest files, versioned tables,
+shards) without committing to a metadata store today.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+from ..errors import ValidationError
+from .cache import DEFAULT_CACHE_BYTES, BlockCache
+from .disk import DiskRelation
+from .format import FORMAT_VERSION, TableFooter, write_table
+from .relation import Relation
+
+__all__ = ["Catalog", "TABLE_SUFFIX"]
+
+#: File suffix of catalogued tables.
+TABLE_SUFFIX = ".corra"
+
+#: Table names: path-safe, no separators, no hidden files.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class Catalog:
+    """Name -> ``.corra`` file mapping rooted at one directory.
+
+    The directory is created on first use.  An optional shared
+    :class:`BlockCache` bounds the combined resident bytes of every table
+    opened through the catalog.
+    """
+
+    def __init__(
+        self,
+        root: "str | os.PathLike[str]",
+        cache: BlockCache | None = None,
+        cache_bytes: int | None = DEFAULT_CACHE_BYTES,
+    ):
+        # The directory is only created by save() — read paths must stay
+        # side-effect-free (a mistyped --catalog should not litter the disk).
+        self._root = Path(root)
+        self._cache = cache if cache is not None else BlockCache(cache_bytes)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    @property
+    def cache(self) -> BlockCache:
+        """The block cache shared by every table opened through this catalog."""
+        return self._cache
+
+    # -- name handling ---------------------------------------------------------
+
+    @staticmethod
+    def _validate_name(name: str) -> str:
+        if not _NAME_PATTERN.match(name or ""):
+            raise ValidationError(
+                f"invalid table name {name!r}: use letters, digits, '.', '_' "
+                "or '-', starting with a letter or digit"
+            )
+        return name
+
+    def path_of(self, name: str) -> Path:
+        """The file a table of this name lives in (whether or not it exists)."""
+        return self._root / (self._validate_name(name) + TABLE_SUFFIX)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            return self.path_of(name).is_file()
+        except ValidationError:
+            return False
+
+    def tables(self) -> tuple[str, ...]:
+        """Names of the catalogued tables, sorted."""
+        return tuple(
+            sorted(
+                path.name[: -len(TABLE_SUFFIX)]
+                for path in self._root.glob(f"*{TABLE_SUFFIX}")
+                if path.is_file()
+            )
+        )
+
+    # -- table lifecycle -------------------------------------------------------
+
+    def save(
+        self,
+        name: str,
+        relation: Relation,
+        overwrite: bool = False,
+        version: int = FORMAT_VERSION,
+    ) -> TableFooter:
+        """Write a relation into the catalog under ``name``."""
+        path = self.path_of(name)
+        if path.exists() and not overwrite:
+            raise ValidationError(
+                f"table {name!r} already exists in {self._root} "
+                "(pass overwrite=True to replace it)"
+            )
+        self._root.mkdir(parents=True, exist_ok=True)
+        return write_table(path, relation, version=version)
+
+    def open(self, name: str, use_mmap: bool = True) -> DiskRelation:
+        """Open a catalogued table as a :class:`DiskRelation`."""
+        path = self.path_of(name)
+        if not path.is_file():
+            if not self._root.is_dir():
+                raise ValidationError(f"catalog directory {self._root} does not exist")
+            available = ", ".join(self.tables()) or "(none)"
+            raise ValidationError(
+                f"no table named {name!r} in {self._root}; available: {available}"
+            )
+        return DiskRelation(path, cache=self._cache)
+
+    def remove(self, name: str) -> None:
+        """Delete a catalogued table's file."""
+        path = self.path_of(name)
+        if not path.is_file():
+            raise ValidationError(f"no table named {name!r} in {self._root}")
+        path.unlink()
+
+    def __repr__(self) -> str:
+        return f"Catalog(root={str(self._root)!r}, tables={len(self.tables())})"

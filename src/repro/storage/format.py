@@ -1,0 +1,455 @@
+"""The ``.corra`` single-file table format: header, block segments, footer.
+
+A table file is the unit the out-of-core layer serves queries from.  Its
+layout keeps the paper's block self-containment and adds the one thing a
+disk format needs on top: a footer that makes *planning* metadata-only.
+
+```
+file    := header segment* footer trailer
+header  := "CORRATBL" u32(format_version)
+segment := serialize_block(block)          -- self-contained CORRABLK bytes
+footer  := object(footer_dict)             -- tagged encoding, see below
+trailer := u64(footer_offset) u64(footer_length) u32(format_version) "CORRAEND"
+```
+
+The footer dict carries the schema, the block size, the total row count and
+one entry per block: byte offset and length of its segment, its row count,
+its serialised :class:`~repro.storage.statistics.BlockStatistics` zone map
+and (format version 2) a CRC32 checksum of the segment bytes.  A reader
+therefore seeks to the fixed-size trailer, reads the footer, and can answer
+every planning question — which blocks a predicate can touch, what a
+fully-covered block's aggregates are — without fetching a single segment.
+
+Version history:
+
+* **1** — header + segments + footer (schema, offsets, row counts, zone
+  maps).
+* **2** (current) — adds per-segment CRC32 checksums to the footer block
+  entries; verified when a segment is read.  Version-1 files stay readable
+  (they simply skip verification), and :class:`TableWriter` can still write
+  them for downgrade tests.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable
+
+from ..errors import SerializationError, ValidationError
+from .block import DEFAULT_BLOCK_SIZE, CompressedBlock
+from .cache import IOMetrics
+from .relation import Relation
+from .schema import Schema
+from .serialization import (
+    _read_exact,
+    _read_object,
+    _write_object,
+    deserialize_block,
+    serialize_block,
+)
+from .statistics import BlockStatistics
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
+    "BlockEntry",
+    "TableFooter",
+    "TableWriter",
+    "TableReader",
+    "write_table",
+]
+
+_MAGIC_HEAD = b"CORRATBL"
+_MAGIC_TAIL = b"CORRAEND"
+
+#: Current format version written by :class:`TableWriter`.
+FORMAT_VERSION = 2
+
+#: Versions :class:`TableReader` accepts.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Fixed trailer: footer offset (8) + footer length (8) + version (4) + magic.
+_TRAILER_BYTES = 8 + 8 + 4 + len(_MAGIC_TAIL)
+
+_HEADER_BYTES = len(_MAGIC_HEAD) + 4
+
+
+@dataclass(frozen=True)
+class BlockEntry:
+    """Footer metadata of one block segment.
+
+    ``statistics`` is the block's zone map re-parsed from the footer — the
+    planner reads it without touching the segment bytes.  ``checksum`` is
+    the segment's CRC32 (``None`` in version-1 files).
+    """
+
+    offset: int
+    length: int
+    n_rows: int
+    statistics: BlockStatistics | None
+    checksum: int | None = None
+
+    def to_dict(self) -> dict:
+        state = {
+            "offset": self.offset,
+            "length": self.length,
+            "n_rows": self.n_rows,
+            "statistics": self.statistics.to_dict() if self.statistics is not None else None,
+        }
+        if self.checksum is not None:
+            state["checksum"] = self.checksum
+        return state
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BlockEntry":
+        stats = data.get("statistics")
+        return cls(
+            offset=data["offset"],
+            length=data["length"],
+            n_rows=data["n_rows"],
+            statistics=BlockStatistics.from_dict(stats) if stats is not None else None,
+            checksum=data.get("checksum"),
+        )
+
+
+@dataclass(frozen=True)
+class TableFooter:
+    """Everything a reader needs to plan over a table without block I/O."""
+
+    version: int
+    schema: Schema
+    block_size: int
+    blocks: tuple[BlockEntry, ...]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def n_rows(self) -> int:
+        return sum(entry.n_rows for entry in self.blocks)
+
+    @property
+    def data_bytes(self) -> int:
+        """Total bytes of the block segments (header/footer excluded)."""
+        return sum(entry.length for entry in self.blocks)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "schema": self.schema.to_dict(),
+            "block_size": self.block_size,
+            "n_rows": self.n_rows,
+            "blocks": [entry.to_dict() for entry in self.blocks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TableFooter":
+        return cls(
+            version=data["version"],
+            schema=Schema.from_dict(data["schema"]),
+            block_size=data["block_size"],
+            blocks=tuple(BlockEntry.from_dict(entry) for entry in data["blocks"]),
+        )
+
+
+class TableWriter:
+    """Stream compressed blocks into a ``.corra`` file, then seal the footer.
+
+    Blocks are appended one at a time (so a table never needs to be resident
+    while being written) and the footer/trailer are written on :meth:`close`.
+    The writer enforces the same invariant as :class:`~repro.storage.
+    relation.Relation`: every block except the last must hold exactly
+    ``block_size`` rows.
+
+    Typical use::
+
+        with TableWriter(path, relation.schema, relation.block_size) as writer:
+            for block in relation:
+                writer.write_block(block)
+        footer = writer.footer
+    """
+
+    def __init__(
+        self,
+        path: "str | os.PathLike[str]",
+        schema: Schema,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        version: int = FORMAT_VERSION,
+    ):
+        if version not in SUPPORTED_VERSIONS:
+            raise ValidationError(
+                f"cannot write format version {version}; supported: {SUPPORTED_VERSIONS}"
+            )
+        if block_size < 1:
+            raise ValidationError("block size must be at least 1")
+        self._path = os.fspath(path)
+        self._schema = schema
+        self._block_size = int(block_size)
+        self._version = version
+        self._entries: list[BlockEntry] = []
+        self._footer: TableFooter | None = None
+        self._file: BinaryIO = open(self._path, "wb")
+        try:
+            self._file.write(_MAGIC_HEAD)
+            self._file.write(struct.pack("<I", version))
+        except BaseException:
+            self._file.close()
+            raise
+        self._offset = _HEADER_BYTES
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._entries)
+
+    @property
+    def footer(self) -> TableFooter:
+        if self._footer is None:
+            raise ValidationError("footer is available after close()")
+        return self._footer
+
+    def write_block(self, block: CompressedBlock) -> BlockEntry:
+        """Append one block segment and record its footer entry."""
+        if self._footer is not None:
+            raise ValidationError("writer is closed")
+        if self._entries and self._entries[-1].n_rows != self._block_size:
+            raise ValidationError(
+                "all blocks except the last must contain exactly "
+                f"{self._block_size} rows, found one with {self._entries[-1].n_rows}"
+            )
+        if block.n_rows > self._block_size:
+            raise ValidationError(
+                f"block has {block.n_rows} rows, exceeding the table's "
+                f"block size of {self._block_size}"
+            )
+        payload = serialize_block(block)
+        entry = BlockEntry(
+            offset=self._offset,
+            length=len(payload),
+            n_rows=block.n_rows,
+            statistics=block.statistics,
+            checksum=zlib.crc32(payload) if self._version >= 2 else None,
+        )
+        self._file.write(payload)
+        self._offset += len(payload)
+        self._entries.append(entry)
+        return entry
+
+    def close(self) -> TableFooter:
+        """Write the footer and trailer, flush, and close the file."""
+        if self._footer is not None:
+            return self._footer
+        footer = TableFooter(
+            version=self._version,
+            schema=self._schema,
+            block_size=self._block_size,
+            blocks=tuple(self._entries),
+        )
+        buffer = io.BytesIO()
+        _write_object(buffer, footer.to_dict())
+        payload = buffer.getvalue()
+        self._file.write(payload)
+        self._file.write(struct.pack("<QQI", self._offset, len(payload), self._version))
+        self._file.write(_MAGIC_TAIL)
+        self._file.close()
+        self._footer = footer
+        return footer
+
+    def __enter__(self) -> "TableWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc_info) -> None:
+        if exc_type is None:
+            self.close()
+        elif self._footer is None:
+            self._file.close()
+
+
+def write_table(
+    path: "str | os.PathLike[str]",
+    relation: "Relation | Iterable[CompressedBlock]",
+    schema: Schema | None = None,
+    block_size: int | None = None,
+    version: int = FORMAT_VERSION,
+) -> TableFooter:
+    """Write a whole relation (or block iterable) as one ``.corra`` file."""
+    if isinstance(relation, Relation):
+        schema = relation.schema if schema is None else schema
+        block_size = relation.block_size if block_size is None else block_size
+    if schema is None or block_size is None:
+        raise ValidationError("writing a block iterable needs schema and block_size")
+    with TableWriter(path, schema, block_size, version=version) as writer:
+        for block in relation:
+            writer.write_block(block)
+    return writer.footer
+
+
+class TableReader:
+    """Random access to a ``.corra`` file: footer metadata + block fetches.
+
+    The constructor reads only the fixed-size trailer and the footer; block
+    segments are fetched on demand via :meth:`read_block` (through ``mmap``
+    when available, plain seek-reads otherwise).  Every segment fetch is
+    recorded in :attr:`io` — the counters cache layers and benchmarks use to
+    prove what was *not* read.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]", use_mmap: bool = True):
+        self._path = os.fspath(path)
+        self._io = IOMetrics()
+        self._file: BinaryIO = open(self._path, "rb")
+        self._mmap = None
+        try:
+            self._footer = self._read_footer()
+            if use_mmap:
+                self._mmap = self._try_mmap()
+        except BaseException:
+            self.close()
+            raise
+        self._lock = threading.Lock()
+
+    # -- metadata --------------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def footer(self) -> TableFooter:
+        return self._footer
+
+    @property
+    def version(self) -> int:
+        return self._footer.version
+
+    @property
+    def schema(self) -> Schema:
+        return self._footer.schema
+
+    @property
+    def block_size(self) -> int:
+        return self._footer.block_size
+
+    @property
+    def n_blocks(self) -> int:
+        return self._footer.n_blocks
+
+    @property
+    def n_rows(self) -> int:
+        return self._footer.n_rows
+
+    @property
+    def io(self) -> IOMetrics:
+        return self._io
+
+    def block_entry(self, index: int) -> BlockEntry:
+        return self._footer.blocks[index]
+
+    def block_statistics(self, index: int) -> BlockStatistics | None:
+        """The zone map of one block, straight from the footer (no block I/O)."""
+        return self._footer.blocks[index].statistics
+
+    # -- block access ----------------------------------------------------------
+
+    def read_block_bytes(self, index: int) -> bytes:
+        """Fetch one segment's raw bytes, recording the read in :attr:`io`."""
+        entry = self._footer.blocks[index]
+        if self._mmap is not None:
+            data = bytes(self._mmap[entry.offset : entry.offset + entry.length])
+        else:
+            with self._lock:
+                self._file.seek(entry.offset)
+                data = _read_exact(self._file, entry.length)
+        if len(data) != entry.length:
+            raise SerializationError(
+                f"block {index} segment is truncated "
+                f"({len(data)} of {entry.length} bytes)"
+            )
+        self._io.record_block(entry.length)
+        return data
+
+    def read_block(self, index: int) -> CompressedBlock:
+        """Fetch and deserialise one block, verifying its checksum (v2+)."""
+        entry = self._footer.blocks[index]
+        data = self.read_block_bytes(index)
+        if entry.checksum is not None and zlib.crc32(data) != entry.checksum:
+            raise SerializationError(
+                f"block {index} of {self._path!r} failed checksum verification"
+            )
+        return deserialize_block(data)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "TableReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------------
+
+    def _try_mmap(self):
+        import mmap
+
+        try:
+            return mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            # Empty or unmappable file (some filesystems): seek-reads work.
+            return None
+
+    def _read_footer(self) -> TableFooter:
+        size = os.fstat(self._file.fileno()).st_size
+        if size < _HEADER_BYTES + _TRAILER_BYTES:
+            raise SerializationError(f"{self._path!r} is too small to be a Corra table")
+        self._file.seek(0)
+        if _read_exact(self._file, len(_MAGIC_HEAD)) != _MAGIC_HEAD:
+            raise SerializationError(f"{self._path!r} is not a Corra table (bad magic)")
+        (head_version,) = struct.unpack("<I", _read_exact(self._file, 4))
+        self._file.seek(size - _TRAILER_BYTES)
+        trailer = _read_exact(self._file, _TRAILER_BYTES)
+        if trailer[-len(_MAGIC_TAIL) :] != _MAGIC_TAIL:
+            raise SerializationError(
+                f"{self._path!r} has no Corra trailer (truncated or corrupt file)"
+            )
+        offset, length, tail_version = struct.unpack("<QQI", trailer[: _TRAILER_BYTES - len(_MAGIC_TAIL)])
+        if head_version != tail_version:
+            raise SerializationError(
+                f"{self._path!r} header/trailer version mismatch "
+                f"({head_version} vs {tail_version})"
+            )
+        if head_version not in SUPPORTED_VERSIONS:
+            raise SerializationError(
+                f"unsupported table format version {head_version}; "
+                f"supported: {SUPPORTED_VERSIONS}"
+            )
+        if offset + length + _TRAILER_BYTES > size:
+            raise SerializationError(f"{self._path!r} footer exceeds the file size")
+        self._file.seek(offset)
+        payload = _read_exact(self._file, length)
+        self._io.record_footer(length + _TRAILER_BYTES)
+        state = _read_object(io.BytesIO(payload))
+        if not isinstance(state, dict):
+            raise SerializationError(f"{self._path!r} footer is not a mapping")
+        footer = TableFooter.from_dict(state)
+        if footer.version != head_version:
+            raise SerializationError(
+                f"{self._path!r} footer dict version {footer.version} "
+                f"contradicts the file version {head_version}"
+            )
+        return footer

@@ -38,8 +38,12 @@ class Relation:
     #: memory address recycled (``id()`` would not give that guarantee).
     _token_counter = itertools.count()
 
-    def __init__(self, schema: Schema, blocks: Iterable[CompressedBlock],
-                 block_size: int = DEFAULT_BLOCK_SIZE):
+    def __init__(
+        self,
+        schema: Schema,
+        blocks: Iterable[CompressedBlock],
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ):
         self._schema = schema
         self._blocks = tuple(blocks)
         self._token = next(Relation._token_counter)
@@ -54,12 +58,14 @@ class Relation:
                 )
 
     @classmethod
-    def from_table(cls, table: Table, compress_block: Callable[[Table], CompressedBlock],
-                   block_size: int = DEFAULT_BLOCK_SIZE) -> "Relation":
+    def from_table(
+        cls,
+        table: Table,
+        compress_block: Callable[[Table], CompressedBlock],
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> "Relation":
         """Split ``table`` into blocks and compress each with ``compress_block``."""
-        blocks = [
-            compress_block(chunk) for chunk in split_into_blocks(table, block_size)
-        ]
+        blocks = [compress_block(chunk) for chunk in split_into_blocks(table, block_size)]
         return cls(table.schema, blocks, block_size)
 
     # -- accessors ------------------------------------------------------------

@@ -34,8 +34,13 @@ from .block import ColumnDependency, CompressedBlock
 from .schema import Schema
 from .statistics import BlockStatistics
 
-__all__ = ["serialize_block", "deserialize_block", "register_column_class",
-           "registered_column_classes", "BlockSerializer"]
+__all__ = [
+    "serialize_block",
+    "deserialize_block",
+    "register_column_class",
+    "registered_column_classes",
+    "BlockSerializer",
+]
 
 _MAGIC = b"CORRABLK"
 _VERSION = 2
@@ -190,9 +195,7 @@ def _write_object(out: BinaryIO, value) -> None:
         state = dict(vars(value))
         _write_object(out, state)
     else:
-        raise SerializationError(
-            f"cannot serialise object of type {type(value).__name__}"
-        )
+        raise SerializationError(f"cannot serialise object of type {type(value).__name__}")
 
 
 def _is_registrable(value) -> bool:
@@ -300,8 +303,11 @@ def deserialize_block(data: bytes) -> CompressedBlock:
         if dep_state is not None:
             dependencies[name] = ColumnDependency.from_dict(dep_state)
     return CompressedBlock(
-        schema=schema, n_rows=n_rows, columns=columns,
-        dependencies=dependencies, statistics=statistics,
+        schema=schema,
+        n_rows=n_rows,
+        columns=columns,
+        dependencies=dependencies,
+        statistics=statistics,
     )
 
 

@@ -75,8 +75,9 @@ class ColumnStatistics:
     # -- constructors ---------------------------------------------------------
 
     @classmethod
-    def from_values(cls, values: np.ndarray | Sequence,
-                    distinct: bool | str = True) -> "ColumnStatistics":
+    def from_values(
+        cls, values: np.ndarray | Sequence, distinct: bool | str = True
+    ) -> "ColumnStatistics":
         """Statistics computed from raw (uncompressed) column values.
 
         ``distinct`` controls the distinct-count field: ``True`` computes it
@@ -112,23 +113,30 @@ class ColumnStatistics:
         )
 
     @classmethod
-    def from_reference_and_deltas(cls, reference: "ColumnStatistics",
-                                  delta_min: int, delta_max: int,
-                                  row_count: int,
-                                  outlier_values: np.ndarray | None = None
-                                  ) -> "ColumnStatistics":
+    def from_reference_and_deltas(
+        cls,
+        reference: "ColumnStatistics",
+        delta_min: int,
+        delta_max: int,
+        row_count: int,
+        outlier_values: np.ndarray | None = None,
+        sum_value: int | None = None,
+    ) -> "ColumnStatistics":
         """Conservative bounds for a diff-encoded column.
 
         The target never strays outside ``[ref_min + delta_min,
         ref_max + delta_max]``; outlier rows are stored verbatim, so their
         values widen the range directly.  No target value is ever touched.
+
+        ``sum_value``, when given, must be the *exact* column total — the
+        caller derives it as ``sum(reference) + sum(deltas)`` (plus the
+        outlier correction) without decoding the target.  Unlike the bounds
+        it is therefore allowed to answer aggregates affirmatively.
         """
         if row_count == 0:
             return cls(row_count=0, delta_min=0, delta_max=0, exact_bounds=False)
         if reference.min_value is None or isinstance(reference.min_value, str):
-            raise ValidationError(
-                "derived bounds need integer reference statistics"
-            )
+            raise ValidationError("derived bounds need integer reference statistics")
         lo = int(reference.min_value) + int(delta_min)
         hi = int(reference.max_value) + int(delta_max)
         if outlier_values is not None and len(outlier_values):
@@ -142,6 +150,7 @@ class ColumnStatistics:
             delta_min=int(delta_min),
             delta_max=int(delta_max),
             exact_bounds=False,
+            sum_value=None if sum_value is None else int(sum_value),
         )
 
     # -- predicate support ----------------------------------------------------
@@ -225,21 +234,24 @@ class ColumnStatistics:
         ``kind`` is one of ``"count"``, ``"min"``, ``"max"``, ``"sum"``.
         Used by the query compiler to answer aggregates over blocks the
         planner classified *fully covered* without decoding a value.  Only
-        exact statistics can affirm a value (derived zone maps over-report
-        the range, so their bounds would be wrong answers, not just loose
-        ones); unknown kinds and missing statistics return ``None``, which
-        the caller treats as "decode and reduce".
+        exact statistics can affirm a value: derived zone maps over-report
+        the *range*, so conservative bounds never answer ``min``/``max``,
+        but ``sum_value`` is only ever recorded when it is exact (including
+        the ``sum(reference) + sum(deltas)`` derivation for diff-encoded
+        columns), so it may affirm even alongside conservative bounds.
+        Unknown kinds and missing statistics return ``None``, which the
+        caller treats as "decode and reduce".
         """
         if kind == "count":
             return self.row_count
+        if kind == "sum":
+            return self.sum_value
         if not self.exact_bounds:
             return None
         if kind == "min":
             return self.min_value
         if kind == "max":
             return self.max_value
-        if kind == "sum":
-            return self.sum_value
         return None
 
     # -- serialisation --------------------------------------------------------
@@ -319,6 +331,4 @@ class BlockStatistics:
 
     @classmethod
     def from_dict(cls, data: dict) -> "BlockStatistics":
-        return cls(
-            {name: ColumnStatistics.from_dict(stats) for name, stats in data.items()}
-        )
+        return cls({name: ColumnStatistics.from_dict(stats) for name, stats in data.items()})

@@ -146,7 +146,5 @@ class Table:
         return True
 
     def __repr__(self) -> str:
-        cols = ", ".join(
-            f"{spec.name}:{spec.dtype.name}" for spec in self._schema
-        )
+        cols = ", ".join(f"{spec.name}:{spec.dtype.name}" for spec in self._schema)
         return f"Table({self._n_rows} rows; {cols})"

@@ -225,6 +225,80 @@ class TestQueryCommand:
         ]) == 1
         assert "duplicate aggregate output name" in capsys.readouterr().err
 
+    def test_avg_aggregate(self, capsys):
+        assert main([
+            "query", "taxi", "--rows", "2000", "--block-size", "500",
+            "--plan", "baseline", "--agg", "mean:avg:fare_amount",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean" in out
+
+
+class TestOutOfCoreCli:
+    def test_compress_output_then_query_corra_file(self, tmp_path, capsys):
+        path = tmp_path / "lineitem.corra"
+        assert main([
+            "compress", "tpch_lineitem", "--rows", "2000", "--block-size", "500",
+            "--plan", "baseline", "--output", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 4 block(s)" in out
+        assert path.is_file()
+
+        assert main([
+            "query", str(path), "--between", "l_shipdate:9100:9130",
+            "--cache-bytes", "100000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "count:" in out
+        assert "blocks read" in out
+        assert "cache hits" in out
+
+    def test_catalog_round_trip(self, tmp_path, capsys):
+        catalog_dir = str(tmp_path / "catalog")
+        assert main([
+            "compress", "taxi", "--rows", "2000", "--block-size", "500",
+            "--plan", "baseline", "--catalog", catalog_dir,
+        ]) == 0
+        assert "catalogued 'taxi'" in capsys.readouterr().out
+        assert main([
+            "query", "taxi", "--catalog", catalog_dir, "--agg", "n:count",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2000" in out
+        assert "io metric" in out
+
+    def test_missing_corra_file_is_an_error(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "nope.corra"), "--agg", "n:count"]) == 1
+        assert "cannot open table" in capsys.readouterr().err
+
+    def test_unknown_catalog_table_is_an_error(self, tmp_path, capsys):
+        catalog_dir = tmp_path / "catalog"
+        assert main([
+            "query", "ghost", "--catalog", str(catalog_dir), "--agg", "n:count",
+        ]) == 1
+        # A mistyped catalog path is diagnosed, not silently created.
+        assert "does not exist" in capsys.readouterr().err
+        assert not catalog_dir.exists()
+        catalog_dir.mkdir()
+        assert main([
+            "query", "ghost", "--catalog", str(catalog_dir), "--agg", "n:count",
+        ]) == 1
+        assert "no table named" in capsys.readouterr().err
+
+    def test_generation_flags_rejected_for_disk_tables(self, tmp_path, capsys):
+        path = tmp_path / "t.corra"
+        assert main([
+            "compress", "taxi", "--rows", "1000", "--block-size", "500",
+            "--plan", "baseline", "--output", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "query", str(path), "--rows", "100", "--agg", "n:count",
+        ]) == 1
+        assert "--rows" in capsys.readouterr().err
+        assert main(["query", str(path), "--agg", "n:count"]) == 0
+
 
 class TestExperimentsCommand:
     def test_single_experiment(self, capsys):

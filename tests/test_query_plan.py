@@ -20,6 +20,7 @@ from repro.dtypes import DATE, INT64, STRING
 from repro.errors import UnknownColumnError, ValidationError
 from repro.query import (
     Aggregate,
+    Avg,
     Between,
     Count,
     Eq,
@@ -132,6 +133,8 @@ _aggregate_sets = st.lists(
             ("hi", Max("receipt")),
             ("vmax", Max("v")),
             ("tmin", Min("tag")),
+            ("mean", Avg("v")),
+            ("rmean", Avg("receipt")),
         ]
     ),
     min_size=1,
@@ -150,6 +153,8 @@ def _reference_aggregate(table, mask, fn):
             return int(np.sum(selected, dtype=np.int64))
         if selected.size == 0:
             return None
+        if fn.kind == "avg":
+            return int(np.sum(selected, dtype=np.int64)) / int(selected.size)
         return int(selected.min()) if fn.kind == "min" else int(selected.max())
     selected = [value for value, keep in zip(values, mask) if keep]
     if not selected:
@@ -252,13 +257,25 @@ class TestAggregationPushdown:
         assert result.metrics.rows_decoded == 0
         assert result.metrics.rows_gathered == 0
 
-    def test_derived_statistics_never_answer_aggregates(self, relation):
+    def test_derived_statistics_never_answer_min_max(self, relation):
         # receipt carries conservative (inexact) diff-derived bounds, so its
-        # aggregates must gather even over fully-covered blocks.
+        # min/max aggregates must gather even over fully-covered blocks
+        # (its sum, by contrast, is derived exactly — see TestDerivedDiffSum).
         result = relation.query().where(Between("ship", 8_250, 8_999)).agg(
             lo=Min("receipt")
         ).execute()
         assert result.metrics.rows_gathered == 750
+
+    def test_diff_encoded_sums_answered_from_statistics(self, relation, table):
+        # sum(receipt) = sum(ship) + sum(deltas) is recorded exactly at
+        # compression time, so fully-covered blocks stat-answer it.
+        result = relation.query().where(Between("ship", 8_250, 8_999)).agg(
+            rsum=Sum("receipt")
+        ).execute()
+        mask = (table.column("ship") >= 8_250) & (table.column("ship") <= 8_999)
+        assert result.scalar("rsum") == int(table.column("receipt")[mask].sum())
+        assert result.metrics.rows_gathered == 0
+        assert result.metrics.rows_decoded == 0
 
     def test_aggregate_without_predicate_covers_everything(self, relation, table):
         result = relation.query().agg(n=Count(), total=Sum("v")).execute()
@@ -619,3 +636,98 @@ class TestSumStatistic:
         restored = ColumnStatistics.from_dict(state)
         assert restored.sum_value is None
         assert restored.min_value == 1
+
+
+class TestAvgAggregate:
+    def test_avg_matches_reference(self, relation, table):
+        predicate = Between("v", 100, 300)
+        result = relation.query().where(predicate).agg(mean=Avg("v")).execute()
+        v = table.column("v")
+        selected = v[(v >= 100) & (v <= 300)]
+        assert result.scalar("mean") == selected.sum() / selected.size
+        assert isinstance(result.scalar("mean"), float)
+
+    def test_avg_answered_from_statistics_over_covered_blocks(self, relation, table):
+        # Block-aligned range: avg = stat-answered sums / row counts, and the
+        # diff-encoded receipt column is stat-answerable too.
+        result = relation.query().where(Between("ship", 8_250, 8_999)).agg(
+            mean=Avg("v"), rmean=Avg("receipt")
+        ).execute()
+        mask = (table.column("ship") >= 8_250) & (table.column("ship") <= 8_999)
+        assert result.scalar("mean") == table.column("v")[mask].sum() / 750
+        assert result.scalar("rmean") == table.column("receipt")[mask].sum() / 750
+        assert result.metrics.rows_gathered == 0
+        assert result.metrics.rows_decoded == 0
+
+    def test_avg_of_empty_selection_is_none(self, relation):
+        result = relation.query().where(Eq("v", -1)).agg(mean=Avg("v")).execute()
+        assert result.scalar("mean") is None
+
+    def test_grouped_avg_matches_python_reference(self, relation, table):
+        result = relation.query().group_by("tag").agg(mean=Avg("v"), n=Count()).execute()
+        expected: dict[str, list[int]] = {}
+        for tag, value in zip(table.column("tag"), table.column("v")):
+            expected.setdefault(tag, []).append(int(value))
+        for tag, mean in zip(result.column("tag"), result.column("mean")):
+            assert mean == sum(expected[tag]) / len(expected[tag])
+        parallel = (
+            relation.query(workers=4).group_by("tag").agg(mean=Avg("v"), n=Count()).execute()
+        )
+        assert parallel.columns == result.columns
+
+    def test_avg_of_string_column_is_rejected(self, relation):
+        with pytest.raises(ValidationError):
+            relation.query().agg(mean=Avg("tag")).execute()
+
+    def test_avg_needs_a_column(self):
+        with pytest.raises(ValidationError):
+            Avg("")
+
+    def test_avg_survives_exact_partial_merges(self, relation, table):
+        # Many blocks with different counts: the (sum, count) partials must
+        # merge exactly instead of averaging the per-block averages.
+        result = relation.query().where(Between("ship", 8_100, 8_905)).agg(
+            mean=Avg("v")
+        ).execute()
+        ship = table.column("ship")
+        mask = (ship >= 8_100) & (ship <= 8_905)
+        selected = table.column("v")[mask]
+        assert result.scalar("mean") == selected.sum() / selected.size
+
+
+class TestDerivedDiffSum:
+    def test_sum_differences_resolves_zigzag(self):
+        from repro.core.diff_encoding import DiffEncodedColumn
+
+        reference = np.arange(10, dtype=np.int64) * 10
+        target = reference + np.asarray([-3, 5, -1, 2, 0, 7, -2, 4, 1, -6])
+        column = DiffEncodedColumn(target, reference, "ref")
+        assert column.uses_zigzag
+        assert column.sum_differences() == int((target - reference).sum())
+
+    def test_block_statistics_carry_exact_diff_sum(self, relation, table):
+        for index, block in enumerate(relation.blocks):
+            stats = block.column_statistics("receipt")
+            start = index * BLOCK_SIZE
+            chunk = table.column("receipt")[start : start + BLOCK_SIZE]
+            assert stats.sum_value == int(chunk.sum())
+            assert not stats.exact_bounds  # bounds stay conservative
+
+    def test_outlier_rows_are_corrected(self):
+        from repro.core import CompressionPlan, TableCompressor
+        from repro.dtypes import INT64
+        from repro.storage import Table
+
+        rng = np.random.default_rng(3)
+        base = np.arange(500, dtype=np.int64) + 1_000
+        target = base + rng.integers(0, 4, 500)
+        target[::50] += 1_000_000  # far outside any narrow bit budget
+        t = Table.from_columns([("base", INT64, base), ("target", INT64, target)])
+        plan = (
+            CompressionPlan.builder(t.schema)
+            .diff_encode("target", reference="base", outlier_bit_budget=2)
+            .build()
+        )
+        block = TableCompressor(plan, block_size=500).compress(t).block(0)
+        assert block.column("target").outliers.n_outliers > 0
+        assert block.column_statistics("target").sum_value == int(target.sum())

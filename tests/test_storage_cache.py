@@ -1,0 +1,196 @@
+"""Unit tests for the byte-budgeted LRU block cache and the I/O counters."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.storage import BlockCache, IOMetrics
+
+
+def _loader(value, size):
+    return lambda: (value, size)
+
+
+class TestBlockCacheBasics:
+    def test_get_or_load_caches_and_hits(self):
+        cache = BlockCache(budget_bytes=100)
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return "payload", 10
+
+        assert cache.get_or_load("a", loader) == "payload"
+        assert cache.get_or_load("a", loader) == "payload"
+        assert len(calls) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.current_bytes == 10
+        assert "a" in cache
+        assert cache.get("a") == "payload"
+        assert cache.get("missing") is None
+
+    def test_lru_eviction_order(self):
+        cache = BlockCache(budget_bytes=30)
+        cache.get_or_load("a", _loader("A", 10))
+        cache.get_or_load("b", _loader("B", 10))
+        cache.get_or_load("c", _loader("C", 10))
+        # Touch "a" so "b" becomes the least recently used entry.
+        assert cache.get_or_load("a", _loader("A2", 10)) == "A"
+        cache.get_or_load("d", _loader("D", 10))
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+        assert cache.stats.evictions == 1
+        assert cache.stats.current_bytes == 30
+
+    def test_budget_zero_caches_nothing_but_stays_correct(self):
+        cache = BlockCache(budget_bytes=0)
+        for _ in range(3):
+            assert cache.get_or_load("a", _loader("A", 10)) == "A"
+        assert len(cache) == 0
+        assert cache.stats.oversized == 3
+        assert cache.stats.misses == 3
+
+    def test_oversized_entry_is_returned_uncached(self):
+        cache = BlockCache(budget_bytes=10)
+        assert cache.get_or_load("big", _loader("BIG", 50)) == "BIG"
+        assert "big" not in cache
+        assert cache.stats.oversized == 1
+        # Smaller entries still cache normally afterwards.
+        cache.get_or_load("small", _loader("S", 5))
+        assert "small" in cache
+
+    def test_unbounded_budget(self):
+        cache = BlockCache(budget_bytes=None)
+        for i in range(100):
+            cache.get_or_load(i, _loader(i, 1_000_000))
+        assert len(cache) == 100
+        assert cache.stats.evictions == 0
+
+    def test_clear_resets_entries_and_sizes(self):
+        cache = BlockCache(budget_bytes=100)
+        cache.get_or_load("a", _loader("A", 10))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.current_bytes == 0
+        assert cache.get("a") is None
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            BlockCache(budget_bytes=-1)
+
+    def test_negative_entry_size_rejected(self):
+        cache = BlockCache(budget_bytes=100)
+        with pytest.raises(ValidationError):
+            cache.get_or_load("a", _loader("A", -5))
+
+    def test_loader_error_propagates_and_caches_nothing(self):
+        cache = BlockCache(budget_bytes=100)
+
+        def failing():
+            raise OSError("disk gone")
+
+        with pytest.raises(OSError):
+            cache.get_or_load("a", failing)
+        assert "a" not in cache
+        # The key is retryable after a failed load.
+        assert cache.get_or_load("a", _loader("A", 1)) == "A"
+
+    def test_stats_describe_mentions_hit_rate(self):
+        cache = BlockCache(budget_bytes=100)
+        cache.get_or_load("a", _loader("A", 1))
+        cache.get_or_load("a", _loader("A", 1))
+        text = cache.stats.describe()
+        assert "1/2 hits" in text
+
+
+class TestBlockCacheConcurrency:
+    def test_single_flight_loading(self):
+        """Concurrent readers of one key share a single loader invocation."""
+        cache = BlockCache(budget_bytes=1_000)
+        started = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def slow_loader():
+            calls.append(1)
+            started.set()
+            release.wait(timeout=5)
+            return "payload", 10
+
+        results = []
+
+        def reader():
+            results.append(cache.get_or_load("k", slow_loader))
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        threads[0].start()
+        assert started.wait(timeout=5)
+        for t in threads[1:]:
+            t.start()
+        release.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert results == ["payload"] * 8
+        assert len(calls) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 7
+
+    def test_parallel_loads_of_distinct_keys(self):
+        cache = BlockCache(budget_bytes=10_000)
+        barrier = threading.Barrier(4, timeout=5)
+
+        def loader_for(key):
+            def loader():
+                # All four loaders must be in flight at once to pass the
+                # barrier: proves distinct keys do not serialise.
+                barrier.wait()
+                return key, 10
+
+            return loader
+
+        results = {}
+
+        def reader(key):
+            results[key] = cache.get_or_load(key, loader_for(key))
+
+        threads = [threading.Thread(target=reader, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert results == {0: 0, 1: 1, 2: 2, 3: 3}
+
+
+class TestIOMetrics:
+    def test_record_and_reset(self):
+        io = IOMetrics()
+        io.record_block(100)
+        io.record_block(50)
+        io.record_footer(10)
+        assert io.bytes_read == 150
+        assert io.blocks_read == 2
+        assert io.footer_bytes_read == 10
+        assert "2 block(s) / 150 bytes" in io.describe()
+        io.reset()
+        assert io.bytes_read == 0
+        assert io.blocks_read == 0
+        assert io.footer_bytes_read == 0
+
+    def test_thread_safe_counting(self):
+        io = IOMetrics()
+
+        def worker():
+            for _ in range(1_000):
+                io.record_block(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert io.blocks_read == 4_000
+        assert io.bytes_read == 4_000
