@@ -134,17 +134,28 @@ def test_print_out_of_core_trajectory(table_file):
 
         cold_seconds = _median(cold)
 
-        # I/O accounting of one cold run, on a fresh relation.
-        with DiskRelation(path) as relation:
+        # I/O accounting of one cold run, on a fresh relation (read-ahead
+        # off so every byte in the counters was demanded by the query).
+        with DiskRelation(path, prefetch_workers=0) as relation:
             chain = relation.query().where(predicate).agg(n=Count(), total=Sum("fare"))
             result = chain.execute()
             bytes_read = relation.io.bytes_read
-            loaded = [i for i in range(relation.n_blocks) if relation.is_block_cached(i)]
+            loaded = [
+                i
+                for i in range(relation.n_blocks)
+                if relation.is_column_cached(i, "ship")
+            ]
             metrics = result.metrics
-            # Pruned and fully-covered blocks must contribute zero bytes:
-            # what was read is exactly the surviving scan blocks' segments.
-            assert relation.io.blocks_read == len(loaded) == metrics.blocks_scanned
-            assert bytes_read == sum(footer.blocks[i].length for i in loaded)
+            # Pruned and fully-covered blocks must contribute zero bytes,
+            # and the surviving scan blocks move column-granularly: only
+            # the predicate/aggregate columns' sub-segments are fetched.
+            assert relation.io.blocks_read == 0
+            assert len(loaded) == metrics.blocks_scanned
+            assert bytes_read == relation.io.column_bytes_read
+            assert relation.io.column_block_bytes == sum(
+                footer.blocks[i].length for i in loaded
+            )
+            assert bytes_read < relation.io.column_block_bytes
 
             # Warm: same relation and chain — the cache holds the working
             # set and the planner memo holds the zone-map decisions.

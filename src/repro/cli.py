@@ -17,9 +17,12 @@ Python:
 ``query``
     Run a query through the lazy plan API — over a freshly compressed
     dataset, or *out of core* over a ``.corra`` file (pass its path, or a
-    table name with ``--catalog``): blocks are then fetched lazily through a
-    byte-budgeted cache (``--cache-bytes``) and the I/O metrics printed
-    alongside the scan metrics prove pruned blocks were never read.
+    table name with ``--catalog``): segments are then fetched lazily through
+    a byte-budgeted cache (``--cache-bytes``) — column-granular on format-v3
+    tables, with the next surviving block's columns prefetched by a
+    read-ahead pool (``--no-prefetch`` disables it for A/B runs) — and the
+    I/O metrics printed alongside the scan metrics report column bytes read
+    vs. the block bytes they avoided, the cache hit rate, and prefetch hits.
     A structured predicate prints the matching row count with the
     scan-pruning metrics; ``--agg``/``--group-by`` compute (grouped)
     aggregates (``count``/``sum``/``min``/``max``/``avg``),
@@ -62,6 +65,7 @@ from .query import (
 from .storage import (
     DEFAULT_BLOCK_SIZE,
     DEFAULT_CACHE_BYTES,
+    DEFAULT_PREFETCH_WORKERS,
     Catalog,
     DiskRelation,
     write_table,
@@ -213,6 +217,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-bytes", type=int, default=DEFAULT_CACHE_BYTES, metavar="N",
         help="block-cache budget in bytes for out-of-core tables "
              f"(default {DEFAULT_CACHE_BYTES})",
+    )
+    query.add_argument(
+        "--no-prefetch", action="store_true",
+        help="disable the read-ahead pool for out-of-core tables (every "
+             "segment fetch becomes demand-driven; for A/B comparison)",
     )
 
     experiments = subparsers.add_parser(
@@ -425,14 +434,21 @@ def _print_metrics(metrics, workers: int) -> None:
 def _print_io_metrics(relation: DiskRelation) -> None:
     io, cache = relation.io, relation.cache_stats
     rows = [
-        ("blocks read", f"{io.blocks_read:,}"),
-        ("block bytes read", f"{io.bytes_read:,}"),
+        ("blocks read (full)", f"{io.blocks_read:,}"),
+        ("column segments read", f"{io.columns_read:,}"),
+        ("column segments skipped", f"{io.columns_skipped:,}"),
+        ("column bytes read", f"{io.column_bytes_read:,}"),
+        ("block bytes available", f"{io.column_block_bytes:,}"),
+        ("total bytes read", f"{io.bytes_read:,}"),
         ("footer bytes read", f"{io.footer_bytes_read:,}"),
         ("table data bytes", f"{relation.size_bytes:,}"),
         ("cache hits", f"{cache.hits:,}"),
         ("cache misses", f"{cache.misses:,}"),
+        ("cache hit rate", f"{cache.hit_rate:.1%}"),
         ("cache evictions", f"{cache.evictions:,}"),
         ("cache resident bytes", f"{cache.current_bytes:,}"),
+        ("prefetch issued", f"{io.prefetch_issued:,}"),
+        ("prefetch hits", f"{io.prefetch_hits:,}"),
     ]
     print(format_table(("io metric", "value"), rows))
 
@@ -457,12 +473,17 @@ def _reject_generation_flags(args: argparse.Namespace, target: str) -> None:
 
 def _load_query_relation(args: argparse.Namespace):
     """The relation `corra query` runs over: compressed dataset or disk table."""
+    prefetch_workers = 0 if args.no_prefetch else DEFAULT_PREFETCH_WORKERS
     if args.catalog is not None:
         _reject_generation_flags(args, f"catalogued table {args.name!r}")
-        return Catalog(args.catalog, cache_bytes=args.cache_bytes).open(args.name)
+        return Catalog(args.catalog, cache_bytes=args.cache_bytes).open(
+            args.name, prefetch_workers=prefetch_workers
+        )
     if args.name.endswith(TABLE_SUFFIX):
         _reject_generation_flags(args, f"table file {args.name!r}")
-        return DiskRelation(args.name, cache_bytes=args.cache_bytes)
+        return DiskRelation(
+            args.name, cache_bytes=args.cache_bytes, prefetch_workers=prefetch_workers
+        )
     generator = dataset_by_name(args.name)
     table = generator.generate(args.rows, seed=args.seed)
     if args.plan == "baseline":

@@ -35,8 +35,7 @@ class HorizontalEncodedColumn(EncodedColumn):
     reference_names: tuple[str, ...] = ()
 
     @abc.abstractmethod
-    def gather_with_reference(self, positions: np.ndarray,
-                              reference_values: ReferenceValues):
+    def gather_with_reference(self, positions: np.ndarray, reference_values: ReferenceValues):
         """Decode the values at ``positions`` given the reference values there.
 
         ``reference_values`` maps each name in :attr:`reference_names` to the
@@ -66,8 +65,9 @@ class HorizontalEncodedColumn(EncodedColumn):
             "gather_with_reference() or access it through a CompressedBlock"
         )
 
-    def _check_reference_values(self, positions: np.ndarray,
-                                reference_values: ReferenceValues) -> None:
+    def _check_reference_values(
+        self, positions: np.ndarray, reference_values: ReferenceValues
+    ) -> None:
         """Validate that the caller supplied every reference at the right length."""
         n = int(np.asarray(positions).size)
         for name in self.reference_names:

@@ -120,9 +120,11 @@ def hierarchy_score(target: Sequence, reference: Sequence) -> dict:
     }
 
 
-def arithmetic_rule_coverage(target: np.ndarray,
-                             references: Mapping[str, np.ndarray],
-                             config: MultiReferenceConfig) -> dict:
+def arithmetic_rule_coverage(
+    target: np.ndarray,
+    references: Mapping[str, np.ndarray],
+    config: MultiReferenceConfig,
+) -> dict:
     """Fraction of rows each rule explains, plus the leftover outlier fraction."""
     tgt = np.asarray(target, dtype=np.int64)
     predictions = config.rule_predictions(
@@ -141,9 +143,12 @@ def arithmetic_rule_coverage(target: np.ndarray,
 class CorrelationDetector:
     """Scan a table for column pairs worth encoding horizontally."""
 
-    def __init__(self, selector: BestOfSelector | None = None,
-                 min_saving_rate: float = 0.05,
-                 sample_rows: int | None = 200_000):
+    def __init__(
+        self,
+        selector: BestOfSelector | None = None,
+        min_saving_rate: float = 0.05,
+        sample_rows: int | None = 200_000,
+    ):
         """``sample_rows`` caps how many rows the detector inspects per column
         pair (sizes are extrapolated linearly); ``None`` disables sampling."""
         self._selector = selector if selector is not None else BestOfSelector()
@@ -195,9 +200,7 @@ class CorrelationDetector:
                             references=(reference,),
                             estimated_saving_bytes=int(saving * scale),
                             estimated_saving_rate=rate,
-                            detail=(
-                                f"{score['target_bits']}b -> {score['diff_bits']}b per row"
-                            ),
+                            detail=f"{score['target_bits']}b -> {score['diff_bits']}b per row",
                         )
                     )
 
@@ -241,6 +244,9 @@ class CorrelationDetector:
         best: dict[str, EncodingSuggestion] = {}
         for suggestion in self.suggest(table):
             current = best.get(suggestion.target)
-            if current is None or suggestion.estimated_saving_bytes > current.estimated_saving_bytes:
+            if (
+                current is None
+                or suggestion.estimated_saving_bytes > current.estimated_saving_bytes
+            ):
                 best[suggestion.target] = suggestion
         return best

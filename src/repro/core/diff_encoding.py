@@ -83,9 +83,14 @@ class DiffEncodedColumn(HorizontalEncodedColumn):
 
     encoding_name = "non_hierarchical"
 
-    def __init__(self, target: np.ndarray, reference: np.ndarray,
-                 reference_name: str, outlier_bit_budget: int | None = None,
-                 use_frame: bool = False):
+    def __init__(
+        self,
+        target: np.ndarray,
+        reference: np.ndarray,
+        reference_name: str,
+        outlier_bit_budget: int | None = None,
+        use_frame: bool = False,
+    ):
         """Diff-encode ``target`` against ``reference``.
 
         Parameters
@@ -211,8 +216,9 @@ class DiffEncodedColumn(HorizontalEncodedColumn):
             return zigzag_decode(stored)
         return stored + self._frame
 
-    def gather_with_reference(self, positions: np.ndarray,
-                              reference_values: ReferenceValues) -> np.ndarray:
+    def gather_with_reference(
+        self, positions: np.ndarray, reference_values: ReferenceValues
+    ) -> np.ndarray:
         """Reconstruct target values: reference + stored difference.
 
         This is the "direct addition" reconstruction the paper credits for

@@ -225,8 +225,7 @@ class HierarchicalEncodedColumn(HorizontalEncodedColumn):
             raise DecodingError("reference value was never seen at encode time")
         return idx
 
-    def gather_with_reference(self, positions: np.ndarray,
-                              reference_values: ReferenceValues):
+    def gather_with_reference(self, positions: np.ndarray, reference_values: ReferenceValues):
         """Algorithm 1: ``group_values[offsets[group] + local_code]``."""
         self._check_reference_values(positions, reference_values)
         pos = np.asarray(positions, dtype=np.int64)

@@ -171,8 +171,12 @@ class MultiReferenceEncodedColumn(HorizontalEncodedColumn):
 
     encoding_name = "multi_reference"
 
-    def __init__(self, target: np.ndarray, references: Mapping[str, np.ndarray],
-                 config: MultiReferenceConfig):
+    def __init__(
+        self,
+        target: np.ndarray,
+        references: Mapping[str, np.ndarray],
+        config: MultiReferenceConfig,
+    ):
         tgt = ensure_int_array(target)
         self._config = config
         self.reference_names = config.reference_columns
@@ -247,8 +251,9 @@ class MultiReferenceEncodedColumn(HorizontalEncodedColumn):
 
     # -- decoding ---------------------------------------------------------------
 
-    def gather_with_reference(self, positions: np.ndarray,
-                              reference_values: ReferenceValues) -> np.ndarray:
+    def gather_with_reference(
+        self, positions: np.ndarray, reference_values: ReferenceValues
+    ) -> np.ndarray:
         """Reconstruct: pick each row's rule, evaluate it, then patch outliers."""
         self._check_reference_values(positions, reference_values)
         pos = np.asarray(positions, dtype=np.int64)

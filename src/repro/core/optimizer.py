@@ -200,8 +200,9 @@ class DiffEncodingOptimizer:
             used_as_reference.add(reference)
         return config
 
-    def optimize(self, table: Table, columns: Sequence[str] | None = None
-                 ) -> tuple[CandidateGraph, DiffEncodingConfiguration]:
+    def optimize(
+        self, table: Table, columns: Sequence[str] | None = None
+    ) -> tuple[CandidateGraph, DiffEncodingConfiguration]:
         """Build the graph for ``table`` and run the greedy selection."""
         graph = self.build_graph(table, columns)
         return graph, self.optimize_graph(graph)

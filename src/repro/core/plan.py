@@ -120,8 +120,9 @@ class CompressionPlan:
         return PlanBuilder(schema)
 
     @classmethod
-    def from_suggestions(cls, schema: Schema,
-                         suggestions: Iterable[EncodingSuggestion]) -> "CompressionPlan":
+    def from_suggestions(
+        cls, schema: Schema, suggestions: Iterable[EncodingSuggestion]
+    ) -> "CompressionPlan":
         """Build a plan from :class:`CorrelationDetector` suggestions.
 
         Suggestions are applied greedily in the given order; a suggestion is
@@ -202,8 +203,9 @@ class PlanBuilder:
             ColumnPlan(column=column, encoding="hierarchical", references=(reference,))
         )
 
-    def multi_reference_encode(self, column: str,
-                               config: MultiReferenceConfig) -> "PlanBuilder":
+    def multi_reference_encode(
+        self, column: str, config: MultiReferenceConfig
+    ) -> "PlanBuilder":
         """Multi-reference encoding of ``column`` with the given rule config."""
         return self._set(
             ColumnPlan(
@@ -244,11 +246,14 @@ class TableCompressor:
     to serial compression.
     """
 
-    def __init__(self, plan: CompressionPlan | None = None,
-                 selector: BestOfSelector | None = None,
-                 block_size: int = DEFAULT_BLOCK_SIZE,
-                 collect_statistics: bool = True,
-                 workers: int = 1):
+    def __init__(
+        self,
+        plan: CompressionPlan | None = None,
+        selector: BestOfSelector | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        collect_statistics: bool = True,
+        workers: int = 1,
+    ):
         self._plan = plan
         self._selector = selector if selector is not None else BestOfSelector()
         self._block_size = block_size
@@ -315,8 +320,9 @@ class TableCompressor:
             statistics=statistics,
         )
 
-    def _block_statistics(self, chunk: Table, plan: CompressionPlan,
-                          columns: Mapping) -> BlockStatistics:
+    def _block_statistics(
+        self, chunk: Table, plan: CompressionPlan, columns: Mapping
+    ) -> BlockStatistics:
         """Compute the block's zone map at compression time.
 
         Vertical, hierarchical and multi-reference columns get exact bounds
@@ -360,8 +366,9 @@ class TableCompressor:
         return BlockStatistics(per_column)
 
     @staticmethod
-    def _derived_diff_sum(encoded, reference_stats: ColumnStatistics,
-                          reference_values, outliers) -> int | None:
+    def _derived_diff_sum(
+        encoded, reference_stats: ColumnStatistics, reference_values, outliers
+    ) -> int | None:
         """Exact diff-encoded column sum without decoding the target.
 
         ``sum(reference) + sum(stored differences)``; an outlier row stores

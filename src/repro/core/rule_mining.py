@@ -187,10 +187,13 @@ def discover_groups(target: np.ndarray, candidates: Mapping[str, np.ndarray],
     return groups
 
 
-def mine_rules(target: np.ndarray, candidates: Mapping[str, np.ndarray],
-               groups: Mapping[str, tuple[str, ...]] | None = None,
-               max_rules: int = DEFAULT_MAX_RULES,
-               outlier_budget: float = DEFAULT_OUTLIER_BUDGET) -> RuleMiningResult:
+def mine_rules(
+    target: np.ndarray,
+    candidates: Mapping[str, np.ndarray],
+    groups: Mapping[str, tuple[str, ...]] | None = None,
+    max_rules: int = DEFAULT_MAX_RULES,
+    outlier_budget: float = DEFAULT_OUTLIER_BUDGET,
+) -> RuleMiningResult:
     """Mine up to ``max_rules`` reconstruction rules for ``target``.
 
     Rules are combinations "base group (+ optional groups)" ranked by how many
@@ -248,8 +251,9 @@ def mine_rules(target: np.ndarray, candidates: Mapping[str, np.ndarray],
             break
         coverage = float(predictions[best_rule].mean()) if tgt.size else 0.0
         marginal = best_gain / tgt.size if tgt.size else 0.0
-        mined.append(MinedRule(groups=best_rule, coverage=coverage,
-                               marginal_coverage=marginal))
+        mined.append(
+            MinedRule(groups=best_rule, coverage=coverage, marginal_coverage=marginal)
+        )
         unexplained &= ~predictions[best_rule]
         if tgt.size and unexplained.mean() <= outlier_budget:
             break

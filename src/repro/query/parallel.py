@@ -15,7 +15,12 @@ releases the GIL.  :class:`ParallelEngine` lifts that limit:
   routing included) and recording a private :class:`ScanMetrics`;
 * per-morsel results are merged back in block order, so row ids come out
   sorted and identical to serial execution, and the per-worker metrics are
-  folded into one object with :meth:`ScanMetrics.merge`.
+  folded into one object with :meth:`ScanMetrics.merge`;
+* over an out-of-core relation, each worker hints the *next* surviving
+  block's required (predicate) columns to the relation's read-ahead pool
+  before running the current block's kernel, so cold fetches overlap with
+  compute — on column-granular tables (format v3) only the predicate
+  columns' sub-segments move.
 
 Threads (not processes) are the right vehicle here because the kernels are
 NumPy-bound; morsels only coordinate which Python-level loop iteration runs
@@ -187,18 +192,40 @@ class ParallelEngine:
             offset += block.n_rows
         return scan_items, full_items, metrics
 
+    def _next_block_map(self, scan_items: Sequence[tuple[int, int]]) -> dict[int, int]:
+        """Each scan block mapped to the scan block that follows it in plan order.
+
+        This is what read-ahead keys on: while block ``i``'s predicate
+        kernel runs, the next *surviving* block's required columns are
+        already being fetched.
+        """
+        indices = [index for index, _ in scan_items]
+        return dict(zip(indices, indices[1:]))
+
     def _evaluate_morsel(
-        self, morsel: Morsel, predicate: Predicate, count_only: bool = False
+        self,
+        morsel: Morsel,
+        predicate: Predicate,
+        count_only: bool = False,
+        required_columns: tuple[str, ...] | None = None,
+        next_block: "dict[int, int] | None" = None,
     ) -> tuple[list[tuple[int, np.ndarray]], ScanMetrics]:
         """Worker body: per-block qualifying row ids plus private metrics.
 
         ``count_only`` skips materialising row-id arrays (mirroring the
         serial ``count`` path's ``np.count_nonzero``) — only the counters in
-        the returned metrics matter then.
+        the returned metrics matter then.  When the relation supports
+        read-ahead, the next surviving block's ``required_columns`` are
+        prefetched before this block's kernel runs.
         """
         partial = ScanMetrics()
         matches: list[tuple[int, np.ndarray]] = []
+        prefetch = getattr(self._relation, "prefetch_block_columns", None)
         for index, offset in zip(morsel.block_indices, morsel.row_offsets):
+            if prefetch is not None and next_block is not None:
+                following = next_block.get(index)
+                if following is not None:
+                    prefetch(following, required_columns)
             block = self._relation.block(index)
             mask = evaluate_block_predicate(
                 block, predicate, metrics=partial, use_dictionary=self._use_dictionary
@@ -230,9 +257,19 @@ class ParallelEngine:
         return list(self._pool.map(fn, items))
 
     def _run_morsels(
-        self, morsels: Sequence[Morsel], predicate: Predicate, count_only: bool = False
+        self,
+        morsels: Sequence[Morsel],
+        predicate: Predicate,
+        count_only: bool = False,
+        required_columns: tuple[str, ...] | None = None,
+        next_block: "dict[int, int] | None" = None,
     ) -> list[tuple[list[tuple[int, np.ndarray]], ScanMetrics]]:
-        return self.map_items(morsels, lambda m: self._evaluate_morsel(m, predicate, count_only))
+        return self.map_items(
+            morsels,
+            lambda m: self._evaluate_morsel(
+                m, predicate, count_only, required_columns, next_block
+            ),
+        )
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent; the engine stays usable —
@@ -254,7 +291,12 @@ class ParallelEngine:
         executor's output.
         """
         scan_items, full_items, metrics = self.classify(predicate)
-        results = self._run_morsels(self.morsels(scan_items), predicate)
+        results = self._run_morsels(
+            self.morsels(scan_items),
+            predicate,
+            required_columns=predicate.columns(),
+            next_block=self._next_block_map(scan_items),
+        )
 
         per_block: dict[int, np.ndarray] = {}
         for matches, partial in results:
@@ -274,7 +316,13 @@ class ParallelEngine:
     def count(self, predicate: Predicate) -> tuple[int, ScanMetrics]:
         """Number of qualifying rows plus merged metrics (no ids built)."""
         scan_items, full_items, metrics = self.classify(predicate)
-        results = self._run_morsels(self.morsels(scan_items), predicate, count_only=True)
+        results = self._run_morsels(
+            self.morsels(scan_items),
+            predicate,
+            count_only=True,
+            required_columns=predicate.columns(),
+            next_block=self._next_block_map(scan_items),
+        )
         total = 0
         for matches, partial in results:
             metrics.merge(partial)

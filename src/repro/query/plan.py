@@ -292,6 +292,23 @@ class CompiledQuery:
                 seen.append(name)
         return tuple(seen)
 
+    def gather_columns(self) -> tuple[str, ...]:
+        """The group-by and aggregate input columns, in first-use order.
+
+        This is the per-block required-column set of the *gather* side of an
+        aggregation — what a block must materialise beyond the predicate
+        columns.  A column-granular table fetches only these columns'
+        sub-segments for blocks whose aggregates statistics cannot answer.
+        """
+        seen: list[str] = []
+        for name in self.group_by:
+            if name not in seen:
+                seen.append(name)
+        for _, fn in self.aggregates:
+            if fn.column is not None and fn.column not in seen:
+                seen.append(fn.column)
+        return tuple(seen)
+
 
 @dataclass
 class PlanResult:
@@ -635,29 +652,69 @@ class QueryCompiler:
 
         Charged to ``rows_gathered`` (``rows_decoded`` stays a pure
         predicate-decode counter) plus ``string_heap_decodes`` per
-        dictionary-encoded string column actually materialised.
+        dictionary-encoded string column actually materialised.  An
+        out-of-core proxy materialises only ``names`` (plus dependency
+        closure) — column-granular on format-v3 tables.
         """
-        block = resolve_block(block)
+        block = resolve_block(block, columns=names)
         partial.rows_gathered += int(positions.size)
         for name in names:
             if isinstance(block.columns.get(name), DictEncodedStringColumn):
                 partial.string_heap_decodes += int(positions.size)
         return materialize_block_columns(block, names, positions)
 
+    def _make_prefetcher(self, compiled: CompiledQuery, tasks: list[tuple[int, bool]]):
+        """A per-block read-ahead hint for the aggregate path, or ``None``.
+
+        Each task's worker body calls the hint with its block index; the
+        hint prefetches the *next scan-classified* block's required columns
+        (predicate + gather inputs) while the current block's kernel runs.
+        Fully-covered blocks are skipped as targets — statistics usually
+        answer them without any data, so prefetching them would waste reads.
+        """
+        prefetch = getattr(self._relation, "prefetch_block_columns", None)
+        if prefetch is None or len(tasks) < 2:
+            return None
+        columns: list[str] = []
+        if compiled.predicate is not None:
+            columns.extend(compiled.predicate.columns())
+        for name in compiled.gather_columns():
+            if name not in columns:
+                columns.append(name)
+        required = tuple(columns)
+        next_scan: dict[int, int | None] = {}
+        following: int | None = None
+        for index, full in reversed(tasks):
+            next_scan[index] = following
+            if not full:
+                following = index
+
+        def hint(index: int) -> None:
+            target = next_scan.get(index)
+            if target is not None:
+                prefetch(target, required)
+
+        return hint
+
     def _execute_aggregate(self, compiled: CompiledQuery) -> PlanResult:
         tasks, metrics = self._classify_blocks(compiled.predicate)
+        prefetcher = self._make_prefetcher(compiled, tasks)
         if compiled.group_by:
-            return self._run_grouped(compiled, tasks, metrics)
-        return self._run_ungrouped(compiled, tasks, metrics)
+            return self._run_grouped(compiled, tasks, metrics, prefetcher)
+        return self._run_ungrouped(compiled, tasks, metrics, prefetcher)
 
     # .. ungrouped ..............................................................
 
     def _run_ungrouped(
-        self, compiled: CompiledQuery, tasks: list[tuple[int, bool]], metrics: ScanMetrics
+        self,
+        compiled: CompiledQuery,
+        tasks: list[tuple[int, bool]],
+        metrics: ScanMetrics,
+        prefetcher=None,
     ) -> PlanResult:
         aggs = compiled.aggregates
         results = self._engine.map_items(
-            tasks, lambda task: self._ungrouped_block(compiled, task[0], task[1])
+            tasks, lambda task: self._ungrouped_block(compiled, task[0], task[1], prefetcher)
         )
         totals: list = [None] * len(aggs)
         for state, partial in results:
@@ -672,9 +729,11 @@ class QueryCompiler:
         return PlanResult(columns=columns, row_ids=None, metrics=metrics)
 
     def _ungrouped_block(
-        self, compiled: CompiledQuery, index: int, full: bool
+        self, compiled: CompiledQuery, index: int, full: bool, prefetcher=None
     ) -> tuple[list, ScanMetrics]:
         """Worker body: one block's partial aggregate values plus metrics."""
+        if prefetcher is not None:
+            prefetcher(index)
         block = self._relation.block(index)
         partial = ScanMetrics()
         mask, n_selected = self._block_selection(block, compiled.predicate, full, partial)
@@ -718,11 +777,15 @@ class QueryCompiler:
     # .. grouped ................................................................
 
     def _run_grouped(
-        self, compiled: CompiledQuery, tasks: list[tuple[int, bool]], metrics: ScanMetrics
+        self,
+        compiled: CompiledQuery,
+        tasks: list[tuple[int, bool]],
+        metrics: ScanMetrics,
+        prefetcher=None,
     ) -> PlanResult:
         aggs = compiled.aggregates
         results = self._engine.map_items(
-            tasks, lambda task: self._grouped_block(compiled, task[0], task[1])
+            tasks, lambda task: self._grouped_block(compiled, task[0], task[1], prefetcher)
         )
         merged: dict = {}
         any_code_space = False
@@ -760,17 +823,20 @@ class QueryCompiler:
         return PlanResult(columns=columns, row_ids=None, metrics=metrics)
 
     def _grouped_block(
-        self, compiled: CompiledQuery, index: int, full: bool
+        self, compiled: CompiledQuery, index: int, full: bool, prefetcher=None
     ) -> tuple[dict, bool, ScanMetrics]:
         """Worker body: one block's per-group partial states plus metrics."""
+        if prefetcher is not None:
+            prefetcher(index)
         block = self._relation.block(index)
         partial = ScanMetrics()
         mask, n_selected = self._block_selection(block, compiled.predicate, full, partial)
         if n_selected == 0:
             return {}, False, partial
         # Grouping always touches block data from here on; materialise an
-        # out-of-core proxy once instead of per accessor.
-        block = resolve_block(block)
+        # out-of-core proxy once — column-granular tables fetch only the
+        # group keys and aggregate inputs.
+        block = resolve_block(block, columns=compiled.gather_columns())
         aggs = compiled.aggregates
         group_by = compiled.group_by
 

@@ -60,7 +60,9 @@ __all__ = [
 QueryOutput = dict[str, "np.ndarray | list[str]"]
 
 
-def resolve_block(block: CompressedBlock) -> CompressedBlock:
+def resolve_block(
+    block: CompressedBlock, columns: "Sequence[str] | None" = None
+) -> CompressedBlock:
     """Materialise an out-of-core block proxy once, ahead of hot-path access.
 
     Disk-backed relations hand the planner lazy proxies whose every
@@ -68,8 +70,15 @@ def resolve_block(block: CompressedBlock) -> CompressedBlock:
     :class:`~repro.storage.disk.LazyBlock`).  Worker bodies that are about
     to decode call this first so one logical operation loads the block
     exactly once — even when the cache budget is too small to retain it
-    between operations.  In-memory blocks pass through untouched.
+    between operations.  ``columns`` names the columns the operation will
+    touch: a column-granular table (format v3) then fetches only those
+    columns' sub-segments (plus their dependency closure) instead of the
+    whole block.  In-memory blocks pass through untouched.
     """
+    if columns is not None:
+        loader = getattr(block, "load_columns", None)
+        if loader is not None:
+            return loader(columns)
     loader = getattr(block, "load", None)
     return loader() if loader is not None else block
 
@@ -106,7 +115,7 @@ def materialize_block_columns(
     block: CompressedBlock, names: Sequence[str], positions: np.ndarray
 ) -> QueryOutput:
     """Materialise ``names`` at block-local ``positions`` of a single block."""
-    block = resolve_block(block)
+    block = resolve_block(block, columns=names)
     for name in names:
         if name not in block.columns:
             raise UnknownColumnError(name, block.column_names)
@@ -137,8 +146,14 @@ def materialize_columns(
         else:
             outputs[name] = np.empty(n, dtype=np.int64)
 
-    for block_index, local_positions, output_positions in relation.locate(row_ids):
-        block = resolve_block(relation.block(block_index))
+    groups = relation.locate(row_ids)
+    prefetch = getattr(relation, "prefetch_block_columns", None)
+    for position, (block_index, local_positions, output_positions) in enumerate(groups):
+        if prefetch is not None and position + 1 < len(groups):
+            # Read-ahead: schedule the next block's projection columns while
+            # this block's gather kernels run.
+            prefetch(groups[position + 1][0], names)
+        block = resolve_block(relation.block(block_index), columns=names)
         block_output = _gather_block(block, names, local_positions)
         for name in names:
             values = block_output[name]
@@ -286,9 +301,11 @@ def evaluate_block_predicate(
     ``rows_dict_evaluated`` and ``string_heap_decodes`` accounting
     (``rows_decoded`` is charged once per block, on the first column
     actually materialised; blocks answered purely in code space add
-    nothing).
+    nothing).  An out-of-core proxy is materialised with the predicate's
+    column set only — on a column-granular table the non-predicate columns'
+    bytes are never fetched.
     """
-    block = resolve_block(block)
+    block = resolve_block(block, columns=predicate.columns())
     decoded_cache: dict[str, "np.ndarray | list[str]"] = {}
     encoded_cache: dict[str, _CodesView] = {}
     all_positions: np.ndarray | None = None
@@ -366,6 +383,17 @@ class ScanPlan:
     @property
     def n_blocks(self) -> int:
         return len(self.decisions)
+
+    @property
+    def required_columns(self) -> tuple[str, ...]:
+        """Columns a *scan* block must materialise to evaluate the predicate.
+
+        This is the per-block required-column set the execution layer
+        threads down to the fetch layer: a column-granular table then reads
+        (and prefetches) only these columns' sub-segments for the blocks
+        classified :data:`BlockDecision.SCAN`.
+        """
+        return self.predicate.columns() if self.predicate is not None else ()
 
     def count_of(self, decision: str) -> int:
         return sum(1 for d in self.decisions if d == decision)

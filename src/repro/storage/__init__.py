@@ -9,38 +9,49 @@ served back lazily through a byte-budgeted block cache.  The file layout
 (see :mod:`repro.storage.format`):
 
 ```
-+--------------------------------------------------------------------+
-| header   "CORRATBL" | u32 format version                           |
-+--------------------------------------------------------------------+
-| block segment 0   -- serialize_block() bytes, self-contained       |
-| block segment 1                                                    |
-| ...                                                                |
-| block segment N-1                                                  |
-+--------------------------------------------------------------------+
-| footer   schema, block_size, n_rows,                               |
-|          per block: {offset, length, n_rows, zone map, crc32 (v2)} |
-+--------------------------------------------------------------------+
-| trailer  u64 footer offset | u64 footer length | u32 version       |
-|          "CORRAEND"                                                |
-+--------------------------------------------------------------------+
++----------------------------------------------------------------------+
+| header   "CORRATBL" | u32 format version                             |
++----------------------------------------------------------------------+
+| block segment 0   -- serialize_block() bytes, self-contained         |
+|   +---------------+----------+----------+-----+----------+           |
+|   | block prelude | column 0 | column 1 | ... | column C |  (v3:     |
+|   +---------------+----------+----------+-----+----------+   footer- |
+|    each column sub-segment = name + dependency + encoded     indexed |
+|    object bytes, independently addressable and checksummed)          |
+| block segment 1                                                      |
+| ...                                                                  |
+| block segment N-1                                                    |
++----------------------------------------------------------------------+
+| footer   schema, block_size, n_rows, per block:                      |
+|            {offset, length, n_rows, zone map, crc32 (v2+),           |
+|             per column (v3): {offset, length, crc32, references}}    |
++----------------------------------------------------------------------+
+| trailer  u64 footer offset | u64 footer length | u32 version         |
+|          "CORRAEND"                                                  |
++----------------------------------------------------------------------+
 ```
 
-A reader seeks to the fixed-size trailer and loads the footer; from then on
-*planning is metadata-only* — :class:`DiskRelation` hands the query layer
-footer-backed block proxies whose row counts and zone maps need no block
-I/O, and only the blocks that survive pruning are fetched (through the
-single-flight LRU :class:`BlockCache`, with :class:`IOMetrics` recording
-exactly what was read).  :class:`Catalog` maps table names to ``.corra``
-files in a directory.
+A reader seeks to the fixed-size trailer and loads the footer (zone maps
+parse lazily, per column, on first planner access); from then on *planning
+is metadata-only* — :class:`DiskRelation` hands the query layer
+footer-backed block proxies whose row counts, zone maps and (v3) column
+dependencies need no block I/O.  Only the blocks that survive pruning are
+fetched, and on a format-v3 table only the *columns the query references*
+(plus their dependency closure, resolved from the footer) move — each
+``(block, column)`` sub-segment cached independently by the single-flight
+LRU :class:`BlockCache`, with :class:`IOMetrics` recording exactly what was
+read, skipped, and prefetched by the relation's read-ahead pool.
+:class:`Catalog` maps table names to ``.corra`` files in a directory.
 """
 
 from .block import DEFAULT_BLOCK_SIZE, ColumnDependency, CompressedBlock
 from .cache import DEFAULT_CACHE_BYTES, BlockCache, CacheStats, IOMetrics
 from .catalog import Catalog
-from .disk import DiskRelation, LazyBlock, open_table
+from .disk import DEFAULT_PREFETCH_WORKERS, DiskRelation, LazyBlock, open_table
 from .format import (
     FORMAT_VERSION,
     BlockEntry,
+    ColumnSegment,
     TableFooter,
     TableReader,
     TableWriter,
@@ -51,10 +62,12 @@ from .schema import ColumnSpec, Schema
 from .serialization import (
     BlockSerializer,
     deserialize_block,
+    deserialize_column,
     register_column_class,
     serialize_block,
+    serialize_block_with_layout,
 )
-from .statistics import BlockStatistics, ColumnStatistics
+from .statistics import BlockStatistics, ColumnStatistics, LazyBlockStatistics
 from .table import Table
 
 __all__ = [
@@ -65,19 +78,24 @@ __all__ = [
     "ColumnDependency",
     "BlockStatistics",
     "ColumnStatistics",
+    "LazyBlockStatistics",
     "DEFAULT_BLOCK_SIZE",
     "Relation",
     "split_into_blocks",
     "BlockSerializer",
     "serialize_block",
+    "serialize_block_with_layout",
     "deserialize_block",
+    "deserialize_column",
     "register_column_class",
     "BlockCache",
     "CacheStats",
     "IOMetrics",
     "DEFAULT_CACHE_BYTES",
+    "DEFAULT_PREFETCH_WORKERS",
     "FORMAT_VERSION",
     "BlockEntry",
+    "ColumnSegment",
     "TableFooter",
     "TableWriter",
     "TableReader",

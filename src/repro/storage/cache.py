@@ -71,11 +71,33 @@ class CacheStats:
 
 @dataclass
 class IOMetrics:
-    """Bytes and blocks fetched from one table file (cache hits excluded)."""
+    """Bytes, blocks and column segments fetched from one table file.
+
+    Cache hits never touch these counters.  ``bytes_read`` is the total
+    fetched from the data region — full block segments plus column
+    sub-segments; ``column_bytes_read``/``columns_read`` is the
+    column-granular sub-account.  ``column_block_bytes`` accumulates the
+    *whole-segment* size of every block that was served column-granularly
+    (each block charged once), so ``column_bytes_read / column_block_bytes``
+    is the read amplification column pruning avoided, and
+    ``columns_skipped`` counts the column segments of those blocks that were
+    never fetched.  ``prefetch_issued``/``prefetch_hits`` account the
+    read-ahead pool: segments it scheduled, and demand fetches that found
+    their segment already resident (or in flight) because of it.
+    """
 
     bytes_read: int = 0
     blocks_read: int = 0
     footer_bytes_read: int = 0
+    columns_read: int = 0
+    column_bytes_read: int = 0
+    columns_skipped: int = 0
+    column_block_bytes: int = 0
+    prefetch_issued: int = 0
+    prefetch_hits: int = 0
+    #: Bumped by :meth:`reset` so owners of derived per-block state (the
+    #: table reader's touched-column map) know to restart their accounting.
+    epoch: int = field(default=0, compare=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def record_block(self, n_bytes: int) -> None:
@@ -87,16 +109,48 @@ class IOMetrics:
         with self._lock:
             self.footer_bytes_read += int(n_bytes)
 
+    def record_column_block(self, block_bytes: int, n_columns: int) -> None:
+        """First column fetch of a block: its whole segment becomes the
+        baseline (``column_block_bytes``) and every column starts skipped."""
+        with self._lock:
+            self.column_block_bytes += int(block_bytes)
+            self.columns_skipped += int(n_columns)
+
+    def record_column(self, n_bytes: int, new_column: bool = True) -> None:
+        with self._lock:
+            self.bytes_read += int(n_bytes)
+            self.column_bytes_read += int(n_bytes)
+            self.columns_read += 1
+            if new_column:
+                self.columns_skipped -= 1
+
+    def record_prefetch_issued(self, n_segments: int = 1) -> None:
+        with self._lock:
+            self.prefetch_issued += int(n_segments)
+
+    def record_prefetch_hit(self) -> None:
+        with self._lock:
+            self.prefetch_hits += 1
+
     def reset(self) -> None:
         with self._lock:
             self.bytes_read = 0
             self.blocks_read = 0
             self.footer_bytes_read = 0
+            self.columns_read = 0
+            self.column_bytes_read = 0
+            self.columns_skipped = 0
+            self.column_block_bytes = 0
+            self.prefetch_issued = 0
+            self.prefetch_hits = 0
+            self.epoch += 1
 
     def describe(self) -> str:
         return (
-            f"{self.blocks_read} block(s) / {self.bytes_read:,} bytes read "
-            f"(+{self.footer_bytes_read:,} footer bytes)"
+            f"{self.blocks_read} block(s) + {self.columns_read} column segment(s) / "
+            f"{self.bytes_read:,} bytes read "
+            f"({self.columns_skipped} column segment(s) skipped, "
+            f"+{self.footer_bytes_read:,} footer bytes)"
         )
 
 
@@ -164,6 +218,20 @@ class BlockCache:
                 return None
             self._entries.move_to_end(key)
             return entry.value
+
+    def status(self, key: Hashable) -> str:
+        """``"cached"``, ``"loading"`` (a loader is in flight) or ``"absent"``.
+
+        A point-in-time probe that never blocks and never counts as a
+        request; the read-ahead layer uses it to tell whether a demand fetch
+        was saved by a prefetch already resident or in flight.
+        """
+        with self._lock:
+            if key in self._entries:
+                return "cached"
+            if key in self._loading:
+                return "loading"
+            return "absent"
 
     def get_or_load(self, key: Hashable, loader: Callable[[], tuple[V, int]]) -> V:
         """Return the cached value for ``key``, loading it at most once.

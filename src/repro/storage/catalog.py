@@ -15,7 +15,7 @@ from pathlib import Path
 
 from ..errors import ValidationError
 from .cache import DEFAULT_CACHE_BYTES, BlockCache
-from .disk import DiskRelation
+from .disk import DEFAULT_PREFETCH_WORKERS, DiskRelation
 from .format import FORMAT_VERSION, TableFooter, write_table
 from .relation import Relation
 
@@ -106,7 +106,12 @@ class Catalog:
         self._root.mkdir(parents=True, exist_ok=True)
         return write_table(path, relation, version=version)
 
-    def open(self, name: str, use_mmap: bool = True) -> DiskRelation:
+    def open(
+        self,
+        name: str,
+        use_mmap: bool = True,
+        prefetch_workers: int = DEFAULT_PREFETCH_WORKERS,
+    ) -> DiskRelation:
         """Open a catalogued table as a :class:`DiskRelation`."""
         path = self.path_of(name)
         if not path.is_file():
@@ -116,7 +121,12 @@ class Catalog:
             raise ValidationError(
                 f"no table named {name!r} in {self._root}; available: {available}"
             )
-        return DiskRelation(path, cache=self._cache)
+        return DiskRelation(
+            path,
+            cache=self._cache,
+            use_mmap=use_mmap,
+            prefetch_workers=prefetch_workers,
+        )
 
     def remove(self, name: str) -> None:
         """Delete a catalogued table's file."""

@@ -5,26 +5,39 @@
 :class:`LazyBlock` proxies instead of materialised blocks — so the whole
 query stack (``ScanPlanner``, ``QueryCompiler``, ``ParallelEngine``, the
 fluent ``Relation.query()`` chain) runs over it unchanged.  The difference
-is *when* bytes move:
+is *when* (and since format v3, *how much of*) a block moves:
 
 * **planning is metadata-only** — a proxy answers ``n_rows``,
-  ``statistics`` and ``column_statistics`` straight from the table footer,
-  so the planner prunes and stat-answers blocks without a single segment
-  read;
-* **data access faults the block in** — the first decode-path attribute on
-  a proxy loads its segment through the relation's byte-budgeted
-  :class:`~repro.storage.cache.BlockCache` (single-flight, so concurrent
-  morsel workers fetch each block once) and the per-table
-  :class:`~repro.storage.cache.IOMetrics` records exactly what was read.
+  ``statistics``, ``column_statistics`` and (v3) dependency questions
+  straight from the table footer, so the planner prunes and stat-answers
+  blocks without a single segment read;
+* **data access faults segments in at column granularity** — on a format-v3
+  table, :meth:`LazyBlock.load_columns` resolves the requested columns'
+  dependency closure from footer metadata and fetches only those columns'
+  sub-segments through the relation's byte-budgeted
+  :class:`~repro.storage.cache.BlockCache` (keyed per *(relation, block,
+  column)*, single-flight); :meth:`LazyBlock.load` remains the whole-block
+  fallback, and the only path for v1/v2 files;
+* **read-ahead hides cold latency** — :meth:`DiskRelation.
+  prefetch_block_columns` schedules the next surviving block's required
+  columns on a small bounded pool while the current block's kernel runs;
+  the single-flight cache guarantees a demand fetch and its prefetch never
+  duplicate I/O, and :class:`~repro.storage.cache.IOMetrics` counts the
+  demand fetches the pool saved (``prefetch_hits``).
 
 A table larger than the cache budget is therefore queryable end-to-end with
-results bit-identical to the in-memory relation, and pruned blocks provably
-contribute zero bytes read.
+results bit-identical to the in-memory relation, pruned blocks provably
+contribute zero bytes read, and a selective projection over a wide v3 table
+reads only the referenced columns' bytes (``IOMetrics.column_bytes_read``
+vs ``column_block_bytes``).
 """
 
 from __future__ import annotations
 
 import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
 
 import numpy as np
 
@@ -35,16 +48,27 @@ from .format import TableFooter, TableReader
 from .relation import Relation
 from .statistics import BlockStatistics, ColumnStatistics
 
-__all__ = ["DiskRelation", "LazyBlock", "open_table"]
+__all__ = ["DiskRelation", "LazyBlock", "open_table", "DEFAULT_PREFETCH_WORKERS"]
+
+#: Read-ahead pool size for a private :class:`DiskRelation`; 0 disables
+#: prefetching entirely (every fetch is demand-driven).
+DEFAULT_PREFETCH_WORKERS = 2
+
+#: Prefetch submissions allowed in flight before further hints are dropped —
+#: read-ahead must never queue unboundedly ahead of the kernels consuming it.
+_PREFETCH_PENDING_LIMIT = 4
 
 
 class LazyBlock:
     """A footer-backed stand-in for one :class:`CompressedBlock`.
 
     Metadata reads (``n_rows``, ``statistics``, ``column_statistics``,
-    ``schema``) are answered from the footer entry; everything on the decode
-    path (``column``/``columns``/``gather_column``/...) transparently loads
-    the real block through the owning relation's cache.
+    ``schema``, and — on v3 tables — ``dependency``/``is_horizontal``) are
+    answered from the footer entry.  Data access faults segments in through
+    the owning relation's cache: column-granular on v3 tables
+    (:meth:`load_columns`, and the per-column accessors ``column``/
+    ``decode_column``/``gather_column``/``code_space_column``), whole-block
+    otherwise (:meth:`load`).
     """
 
     __slots__ = ("_relation", "_index", "_entry")
@@ -79,7 +103,7 @@ class LazyBlock:
 
     @property
     def is_loaded(self) -> bool:
-        """Whether the block is currently resident in the relation's cache."""
+        """Whether the whole block is currently resident in the cache."""
         return self._relation.is_block_cached(self._index)
 
     def column_statistics(self, name: str) -> ColumnStatistics | None:
@@ -90,11 +114,42 @@ class LazyBlock:
             return None
         return self._entry.statistics.column(name)
 
-    # -- data access (faults the block in) -------------------------------------
+    def dependency(self, name: str) -> ColumnDependency | None:
+        """The column's dependency record — footer-answered on v3 tables."""
+        segment = self._entry.column_segment(name)
+        if segment is not None:
+            return segment.dependency
+        if self._entry.columns is not None:
+            # v3 entry, vertical column: the footer is authoritative.
+            self._check_column(name)
+            return None
+        return self.load().dependency(name)
+
+    def is_horizontal(self, name: str) -> bool:
+        if self._entry.columns is not None:
+            self._check_column(name)
+            segment = self._entry.column_segment(name)
+            return bool(segment is not None and segment.references)
+        return self.load().is_horizontal(name)
+
+    def _check_column(self, name: str) -> None:
+        if name not in self._relation.schema:
+            raise UnknownColumnError(name, self._relation.schema.names)
+
+    # -- data access (faults segments in) --------------------------------------
 
     def load(self) -> CompressedBlock:
-        """The materialised block, fetched through the relation's cache."""
+        """The fully materialised block, fetched through the relation's cache."""
         return self._relation._load_block(self._index)
+
+    def load_columns(self, names: Sequence[str]) -> CompressedBlock:
+        """A block holding ``names`` plus their dependency closure.
+
+        On a v3 table only those columns' sub-segments are fetched (each
+        cached independently); on v1/v2 tables — or when the closure covers
+        the whole block anyway — this is :meth:`load`.
+        """
+        return self._relation.load_block_columns(self._index, names)
 
     @property
     def columns(self) -> dict:
@@ -106,6 +161,8 @@ class LazyBlock:
 
     @property
     def column_names(self) -> tuple[str, ...]:
+        if self._entry.columns is not None:
+            return tuple(self._entry.columns)
         return self.load().column_names
 
     @property
@@ -113,28 +170,33 @@ class LazyBlock:
         return self.load().size_bytes
 
     def column(self, name: str):
+        if self._relation.column_granular:
+            self._check_column(name)
+            encoded, _ = self._relation._load_column(self._index, name)
+            return encoded
         return self.load().column(name)
 
-    def dependency(self, name: str) -> ColumnDependency | None:
-        return self.load().dependency(name)
-
-    def is_horizontal(self, name: str) -> bool:
-        return self.load().is_horizontal(name)
-
     def code_space_column(self, name: str):
+        if self._relation.column_granular:
+            if self.dependency(name) is not None:
+                return None
+            encoded = self.column(name)
+            if hasattr(encoded, "codes") and hasattr(encoded, "lookup_codes"):
+                return encoded
+            return None
         return self.load().code_space_column(name)
 
     def column_size(self, name: str) -> int:
-        return self.load().column_size(name)
+        return self.column(name).size_bytes
 
     def encoding_of(self, name: str) -> str:
-        return self.load().encoding_of(name)
+        return self.column(name).encoding_name
 
     def decode_column(self, name: str):
-        return self.load().decode_column(name)
+        return self.load_columns((name,)).decode_column(name)
 
     def gather_column(self, name: str, positions: np.ndarray):
-        return self.load().gather_column(name, positions)
+        return self.load_columns((name,)).gather_column(name, positions)
 
     def __repr__(self) -> str:
         state = "cached" if self.is_loaded else "on disk"
@@ -157,6 +219,10 @@ class DiskRelation(Relation):
     use_mmap:
         Serve segment reads from ``mmap`` when possible (default); plain
         seek-reads otherwise.
+    prefetch_workers:
+        Threads of the read-ahead pool serving
+        :meth:`prefetch_block_columns` hints (created lazily on the first
+        hint); ``0`` disables prefetching.
     """
 
     def __init__(
@@ -165,9 +231,17 @@ class DiskRelation(Relation):
         cache: BlockCache | None = None,
         cache_bytes: int | None = DEFAULT_CACHE_BYTES,
         use_mmap: bool = True,
+        prefetch_workers: int = DEFAULT_PREFETCH_WORKERS,
     ):
         self._reader = TableReader(path, use_mmap=use_mmap)
         self._cache = cache if cache is not None else BlockCache(cache_bytes)
+        self._prefetch_workers = max(0, int(prefetch_workers))
+        self._prefetch_pool: ThreadPoolExecutor | None = None
+        self._prefetch_pending = 0
+        self._prefetched: set = set()
+        self._prefetch_inflight: set = set()
+        self._prefetch_lock = threading.Lock()
+        self._closing = False
         footer = self._reader.footer
         blocks = tuple(
             LazyBlock(self, index, entry) for index, entry in enumerate(footer.blocks)
@@ -189,8 +263,13 @@ class DiskRelation(Relation):
         return self._reader.version
 
     @property
+    def column_granular(self) -> bool:
+        """Whether the file indexes per-column sub-segments (format v3)."""
+        return self._reader.column_granular
+
+    @property
     def io(self) -> IOMetrics:
-        """Bytes/blocks actually fetched from disk (cache hits excluded)."""
+        """Bytes/segments actually fetched from disk (cache hits excluded)."""
         return self._reader.io
 
     @property
@@ -207,30 +286,239 @@ class DiskRelation(Relation):
         return self._reader.footer.data_bytes
 
     def is_block_cached(self, index: int) -> bool:
-        return self._cache_key(index) in self._cache
+        """Whether the whole block is resident — as one entry or, on a
+        column-granular table, as the complete set of column entries."""
+        if self._cache_key(index) in self._cache:
+            return True
+        entry = self._reader.block_entry(index)
+        if not entry.columns:
+            return False
+        return all(self._cache_key(index, name) in self._cache for name in entry.columns)
 
-    def _cache_key(self, index: int) -> tuple[int, int]:
+    def is_column_cached(self, index: int, name: str) -> bool:
+        return self._cache_key(index, name) in self._cache
+
+    def _cache_key(self, index: int, column: str | None = None) -> tuple[int, int, str | None]:
         # cache_token is process-unique per relation, so one BlockCache can
-        # be shared across every open table without key collisions.
-        return (self.cache_token, index)
+        # be shared across every open table without key collisions; the
+        # column component addresses v3 sub-segments (None = whole block).
+        return (self.cache_token, index, column)
+
+    # -- fetching --------------------------------------------------------------
 
     def _load_block(self, index: int) -> CompressedBlock:
-        """Fetch one block through the cache (single-flight, budgeted).
+        """Fetch one whole block through the cache (single-flight, budgeted).
 
         The cache charges the segment's on-disk length — a faithful proxy
         for the decoded block's resident footprint, since the wire format
         stores the packed buffers verbatim.
         """
+        key = self._cache_key(index)
+        self._note_demand(key)
         entry = self._reader.block_entry(index)
         return self._cache.get_or_load(
-            self._cache_key(index),
+            key,
             lambda: (self._reader.read_block(index), entry.length),
         )
+
+    def _load_column(self, index: int, name: str):
+        """Fetch one (block, column) sub-segment through the cache.
+
+        Returns ``(encoded_column, dependency)`` as cached together — the
+        dependency record travels inside the sub-segment bytes.
+        """
+        key = self._cache_key(index, name)
+        self._note_demand(key)
+        segment = self._reader.column_segment(index, name)
+        return self._cache.get_or_load(
+            key,
+            lambda: (self._reader.read_column(index, name), segment.length),
+        )
+
+    def column_closure(self, index: int, names: Sequence[str]) -> tuple[str, ...]:
+        """``names`` plus every reference column they transitively need.
+
+        Resolved entirely from footer metadata (v3), so the read set of a
+        partial materialisation is known before any I/O is issued.
+        """
+        entry = self._reader.block_entry(index)
+        order: list[str] = []
+
+        def visit(name: str) -> None:
+            if name in order:
+                return
+            segment = entry.column_segment(name)
+            if segment is None:
+                raise UnknownColumnError(name, self.schema.names)
+            order.append(name)
+            for ref in segment.references:
+                visit(ref)
+
+        for name in names:
+            visit(name)
+        return tuple(order)
+
+    def load_block_columns(self, index: int, names: Sequence[str]) -> CompressedBlock:
+        """A block materialising ``names`` (plus dependency closure) only.
+
+        Falls back to the whole block when the file predates column
+        segments (v1/v2), when the closure covers every column anyway, or
+        when the full block is already resident.
+        """
+        for name in names:
+            if name not in self.schema:
+                raise UnknownColumnError(name, self.schema.names)
+        cached = self._cache.get(self._cache_key(index))
+        if cached is not None:
+            return cached
+        entry = self._reader.block_entry(index)
+        if entry.columns is None:
+            return self._load_block(index)
+        closure = self.column_closure(index, names)
+        if len(closure) >= len(entry.columns):
+            return self._load_block(index)
+        columns = {}
+        dependencies = {}
+        for name in closure:
+            encoded, dependency = self._load_column(index, name)
+            columns[name] = encoded
+            if dependency is not None:
+                dependencies[name] = dependency
+        return CompressedBlock(
+            schema=self.schema,
+            n_rows=entry.n_rows,
+            columns=columns,
+            dependencies=dependencies,
+            statistics=self._partial_statistics(entry, closure),
+        )
+
+    def _partial_statistics(self, entry, names: Sequence[str]) -> BlockStatistics | None:
+        """The footer zone map restricted to ``names`` (parsed lazily)."""
+        stats = entry.statistics
+        if stats is None:
+            return None
+        subset = {}
+        for name in names:
+            column_stats = stats.column(name)
+            if column_stats is not None:
+                subset[name] = column_stats
+        return BlockStatistics(subset) if subset else None
+
+    # -- read-ahead ------------------------------------------------------------
+
+    def prefetch_block_columns(self, index: int, names: Sequence[str] | None = None) -> bool:
+        """Hint: fetch a block's required columns in the background.
+
+        ``names=None`` (or a pre-v3 file) prefetches the whole block;
+        otherwise the names' dependency closure of sub-segments.  Hints are
+        dropped — never queued — when prefetching is disabled, everything is
+        already resident, or the pool is saturated; returns whether a fetch
+        was actually scheduled.  The single-flight cache makes an
+        overlapping demand fetch piggyback on the prefetch (a cache hit,
+        counted in ``IOMetrics.prefetch_hits``) instead of reading twice.
+        """
+        if self._prefetch_workers <= 0 or self._closing:
+            return False
+        if not 0 <= index < self.n_blocks:
+            return False
+        entry = self._reader.block_entry(index)
+        if names is None or entry.columns is None:
+            keys = [self._cache_key(index)]
+        else:
+            closure = self.column_closure(index, names)
+            if len(closure) >= len(entry.columns):
+                keys = [self._cache_key(index)]
+            else:
+                keys = [self._cache_key(index, name) for name in closure]
+        candidates = [key for key in keys if self._cache.status(key) == "absent"]
+        if not candidates:
+            return False
+        with self._prefetch_lock:
+            if self._closing or self._prefetch_pending >= _PREFETCH_PENDING_LIMIT:
+                return False
+            # A submitted-but-not-started load is invisible to the cache's
+            # status(); _prefetch_inflight dedupes hints in that window so
+            # repeated hints for the same block neither inflate the issued
+            # counter nor burn pending slots.
+            targets = [key for key in candidates if key not in self._prefetch_inflight]
+            if not targets:
+                return False
+            if self._prefetch_pool is None:
+                self._prefetch_pool = ThreadPoolExecutor(
+                    max_workers=self._prefetch_workers,
+                    thread_name_prefix="corra-prefetch",
+                )
+            self._prefetch_pending += 1
+            self._prefetch_inflight.update(targets)
+            if len(self._prefetched) > 4_096:
+                # Keys linger only when a hinted segment is never demanded;
+                # drop the backlog rather than grow it unboundedly (the only
+                # cost is an undercounted prefetch hit).
+                self._prefetched.clear()
+            self._prefetched.update(targets)
+            try:
+                # Submit while still holding the lock: close() nulls the
+                # pool under the same lock, so the pool cannot disappear
+                # (or be shut down) between the checks above and here.
+                self._prefetch_pool.submit(self._prefetch_task, index, targets)
+            except RuntimeError:
+                self._prefetch_pending -= 1
+                self._prefetch_inflight.difference_update(targets)
+                return False
+        self.io.record_prefetch_issued(len(targets))
+        return True
+
+    def _prefetch_task(self, index: int, targets: list) -> None:
+        try:
+            for key in targets:
+                column = key[2]
+                if column is None:
+                    self._cache.get_or_load(
+                        key,
+                        lambda: (
+                            self._reader.read_block(index),
+                            self._reader.block_entry(index).length,
+                        ),
+                    )
+                else:
+                    segment = self._reader.column_segment(index, column)
+                    self._cache.get_or_load(
+                        key,
+                        lambda column=column, segment=segment: (
+                            self._reader.read_column(index, column),
+                            segment.length,
+                        ),
+                    )
+        except Exception:
+            # Background hints must never surface errors; the demand fetch
+            # retries the load and reports the real failure.
+            pass
+        finally:
+            with self._prefetch_lock:
+                self._prefetch_pending -= 1
+                self._prefetch_inflight.difference_update(targets)
+
+    def _note_demand(self, key) -> None:
+        """Record a demand fetch that a prefetch made (or is making) warm."""
+        if not self._prefetched:
+            return
+        with self._prefetch_lock:
+            if key not in self._prefetched:
+                return
+            self._prefetched.discard(key)
+        if self._cache.status(key) != "absent":
+            self.io.record_prefetch_hit()
 
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the file handle/mmap (cached blocks stay usable)."""
+        """Release the prefetch pool and file handle (cached blocks stay usable)."""
+        with self._prefetch_lock:
+            self._closing = True
+            pool = self._prefetch_pool
+            self._prefetch_pool = None
+        if pool is not None:
+            pool.shutdown(wait=True)
         self._reader.close()
 
     def __enter__(self) -> "DiskRelation":
@@ -245,6 +533,13 @@ def open_table(
     cache: BlockCache | None = None,
     cache_bytes: int | None = DEFAULT_CACHE_BYTES,
     use_mmap: bool = True,
+    prefetch_workers: int = DEFAULT_PREFETCH_WORKERS,
 ) -> DiskRelation:
     """Open a ``.corra`` file as a lazily-loaded, cache-governed relation."""
-    return DiskRelation(path, cache=cache, cache_bytes=cache_bytes, use_mmap=use_mmap)
+    return DiskRelation(
+        path,
+        cache=cache,
+        cache_bytes=cache_bytes,
+        use_mmap=use_mmap,
+        prefetch_workers=prefetch_workers,
+    )

@@ -36,7 +36,9 @@ from .statistics import BlockStatistics
 
 __all__ = [
     "serialize_block",
+    "serialize_block_with_layout",
     "deserialize_block",
+    "deserialize_column",
     "register_column_class",
     "registered_column_classes",
     "BlockSerializer",
@@ -254,11 +256,14 @@ def _read_object(buf: BinaryIO):
     raise SerializationError(f"unknown tag {tag} in serialised block")
 
 
-def serialize_block(block: CompressedBlock) -> bytes:
-    """Serialise a compressed block to a self-contained byte string."""
-    if not _COLUMN_CLASSES:
-        _register_builtin_classes()
-    out = io.BytesIO()
+def _serialize_block_into(out: io.BytesIO, block: CompressedBlock) -> dict[str, tuple[int, int]]:
+    """Write the block wire format, returning each column's (offset, length).
+
+    Offsets are relative to the start of the serialised block.  Each column's
+    span covers exactly its ``name + dependency + encoded object`` bytes, so
+    a span can be parsed on its own by :func:`deserialize_column` — this is
+    what the table format's column-granular sub-segments (format v3) index.
+    """
     out.write(_MAGIC)
     out.write(struct.pack("<I", _VERSION))
     _write_object(out, block.schema.to_dict())
@@ -266,12 +271,40 @@ def serialize_block(block: CompressedBlock) -> bytes:
     stats = block.statistics
     _write_object(out, stats.to_dict() if stats is not None else None)
     out.write(struct.pack("<I", len(block.columns)))
+    spans: dict[str, tuple[int, int]] = {}
     for name, column in block.columns.items():
+        start = out.tell()
         _write_str(out, name)
         dep = block.dependencies.get(name)
         _write_object(out, dep.to_dict() if dep is not None else None)
         _write_object(out, column)
+        spans[name] = (start, out.tell() - start)
+    return spans
+
+
+def serialize_block(block: CompressedBlock) -> bytes:
+    """Serialise a compressed block to a self-contained byte string."""
+    if not _COLUMN_CLASSES:
+        _register_builtin_classes()
+    out = io.BytesIO()
+    _serialize_block_into(out, block)
     return out.getvalue()
+
+
+def serialize_block_with_layout(
+    block: CompressedBlock,
+) -> tuple[bytes, dict[str, tuple[int, int]]]:
+    """Serialise a block and report each column's (offset, length) span.
+
+    The bytes are identical to :func:`serialize_block` output — the layout
+    is metadata *about* them, recorded by format-v3 table footers so a
+    reader can fetch one column's sub-segment without the rest of the block.
+    """
+    if not _COLUMN_CLASSES:
+        _register_builtin_classes()
+    out = io.BytesIO()
+    spans = _serialize_block_into(out, block)
+    return out.getvalue(), spans
 
 
 def deserialize_block(data: bytes) -> CompressedBlock:
@@ -309,6 +342,26 @@ def deserialize_block(data: bytes) -> CompressedBlock:
         dependencies=dependencies,
         statistics=statistics,
     )
+
+
+def deserialize_column(data: bytes):
+    """Reconstruct one column from its sub-segment bytes.
+
+    ``data`` is one span of :func:`serialize_block_with_layout` output —
+    the ``name + dependency + encoded object`` bytes of a single column.
+    Returns ``(name, dependency, encoded_column)`` with ``dependency`` being
+    a :class:`~repro.storage.block.ColumnDependency` or ``None``.
+    """
+    if not _COLUMN_CLASSES:
+        _register_builtin_classes()
+    buf = io.BytesIO(data)
+    name = _read_str(buf)
+    dep_state = _read_object(buf)
+    column = _read_object(buf)
+    if buf.read(1):
+        raise SerializationError(f"trailing bytes after serialised column {name!r}")
+    dependency = ColumnDependency.from_dict(dep_state) if dep_state is not None else None
+    return name, dependency, column
 
 
 class BlockSerializer:

@@ -30,7 +30,7 @@ import numpy as np
 
 from ..errors import ValidationError
 
-__all__ = ["ColumnStatistics", "BlockStatistics"]
+__all__ = ["ColumnStatistics", "BlockStatistics", "LazyBlockStatistics"]
 
 #: Bytes charged per column for min/max/sum (3 x 8), counts (2 x 4) and flags.
 _BYTES_PER_COLUMN = 8 + 8 + 8 + 4 + 4 + 4
@@ -295,6 +295,10 @@ class BlockStatistics:
         """Statistics for ``name``, or ``None`` when none were recorded."""
         return self._columns.get(name)
 
+    def _as_mapping(self) -> dict:
+        """Every column's parsed statistics (lazy subclasses parse here)."""
+        return self._columns
+
     def __contains__(self, name: str) -> bool:
         return name in self._columns
 
@@ -309,26 +313,74 @@ class BlockStatistics:
     def size_bytes(self) -> int:
         """Approximate on-disk footprint of the zone map (not charged to the
         block's compressed size; reported separately)."""
+        columns = self._as_mapping()
         string_bounds = sum(
             len(s.min_value) + len(s.max_value)
-            for s in self._columns.values()
+            for s in columns.values()
             if isinstance(s.min_value, str)
         )
-        return _BYTES_PER_COLUMN * len(self._columns) + string_bounds
+        return _BYTES_PER_COLUMN * len(columns) + string_bounds
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, BlockStatistics) and self._columns == other._columns
+        return isinstance(other, BlockStatistics) and self._as_mapping() == other._as_mapping()
 
     def __repr__(self) -> str:
         parts = ", ".join(
             f"{name}=[{s.min_value!r}, {s.max_value!r}]"
-            for name, s in self._columns.items()
+            for name, s in self._as_mapping().items()
         )
-        return f"BlockStatistics({parts})"
+        return f"{type(self).__name__}({parts})"
 
     def to_dict(self) -> dict:
-        return {name: stats.to_dict() for name, stats in self._columns.items()}
+        return {name: stats.to_dict() for name, stats in self._as_mapping().items()}
 
     @classmethod
     def from_dict(cls, data: dict) -> "BlockStatistics":
         return cls({name: ColumnStatistics.from_dict(stats) for name, stats in data.items()})
+
+
+class LazyBlockStatistics(BlockStatistics):
+    """A zone map whose per-column statistics parse on first access.
+
+    The table footer of a wide table carries one serialised
+    :class:`ColumnStatistics` dict per (block, column); parsing all of them
+    at open time is wasted work for queries that reference a handful of
+    columns.  This subclass keeps the raw footer dicts and materialises a
+    column's statistics the first time :meth:`column` asks for it — the
+    planner therefore only ever parses the zone maps of predicate columns.
+    Whole-map operations (equality, ``to_dict``, ``size_bytes``) parse
+    everything via :meth:`_as_mapping`.
+    """
+
+    def __init__(self, raw: Mapping[str, dict]):
+        self._raw = dict(raw)
+        self._columns: dict[str, ColumnStatistics] = {}
+
+    def column(self, name: str) -> ColumnStatistics | None:
+        stats = self._columns.get(name)
+        if stats is None:
+            state = self._raw.get(name)
+            if state is None:
+                return None
+            stats = self._columns[name] = ColumnStatistics.from_dict(state)
+        return stats
+
+    def _as_mapping(self) -> dict:
+        for name in self._raw:
+            self.column(name)
+        return self._columns
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._raw
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._raw)
+
+    @property
+    def parsed_column_names(self) -> tuple[str, ...]:
+        """Columns whose statistics have been parsed so far (for tests)."""
+        return tuple(self._columns)

@@ -199,13 +199,26 @@ class TestMetadataOnlyPlanning:
 
     def test_only_surviving_blocks_are_fetched(self, table_path):
         with DiskRelation(table_path) as fresh:
-            # A non-aligned range scans exactly the two boundary blocks.
-            fresh.query().where(Between("ship", 8_100, 8_260)).execute()
-            scanned = [i for i in range(fresh.n_blocks) if fresh.is_block_cached(i)]
+            # A non-aligned range counts over exactly the two boundary
+            # blocks, and only their predicate column's sub-segments move:
+            # the v3 footer makes the scan column-granular.
+            fresh.query().where(Between("ship", 8_100, 8_260)).count()
+            scanned = [
+                i for i in range(fresh.n_blocks) if fresh.is_column_cached(i, "ship")
+            ]
             assert scanned == [0, 1]
-            expected_bytes = sum(fresh.footer.blocks[i].length for i in scanned)
-            assert fresh.io.blocks_read == 2
+            expected_bytes = sum(
+                fresh.footer.blocks[i].column_segment("ship").length for i in scanned
+            )
+            assert fresh.io.blocks_read == 0
+            assert fresh.io.columns_read == 2
             assert fresh.io.bytes_read == expected_bytes
+            assert fresh.io.column_bytes_read == expected_bytes
+            # The block-granular baseline those reads avoided.
+            assert fresh.io.column_block_bytes == sum(
+                fresh.footer.blocks[i].length for i in scanned
+            )
+            assert fresh.io.column_bytes_read < fresh.io.column_block_bytes
 
     def test_aggregates_over_covered_blocks_read_nothing(self, table_path):
         with DiskRelation(table_path) as fresh:
@@ -314,25 +327,30 @@ class TestFormatRoundTrip:
 
 class TestCacheBehaviourOnDisk:
     def test_eviction_under_small_budget_keeps_results_exact(self, table_path, relation):
-        budget = 3 * 4_000  # roughly three of the ~3-4 KB blocks
-        with DiskRelation(table_path, cache_bytes=budget) as small:
+        # A budget of roughly three of the ~300-byte column sub-segments:
+        # a scan touching every block must evict as it goes.
+        budget = 3 * 300
+        with DiskRelation(table_path, cache_bytes=budget, prefetch_workers=0) as small:
             predicate = Between("v", 0, 250)  # unsorted: every block scans
             expected = relation.query().where(predicate).count()
             assert small.query().where(predicate).count() == expected
             stats = small.cache_stats
             assert stats.evictions > 0
             assert stats.current_bytes <= budget
-            # Re-running faults evicted blocks back in, still correctly.
+            # Re-running faults evicted segments back in, still correctly.
             assert small.query().where(predicate).count() == expected
 
     def test_starved_cache_loads_each_block_once_per_scan(self, table_path):
-        # Budget below every block: nothing is retained, but a worker body
-        # resolves its proxy once, so a full scan reads each block exactly
-        # once — not once per proxy attribute access.
-        with DiskRelation(table_path, cache_bytes=1) as starved:
+        # Budget below every segment: nothing is retained, but a worker body
+        # resolves its proxy once, so a full scan reads each block's
+        # predicate column exactly once — not once per proxy access.
+        with DiskRelation(table_path, cache_bytes=1, prefetch_workers=0) as starved:
             starved.query().where(Between("v", 0, 250)).count()
-            assert starved.io.blocks_read == starved.n_blocks
-            assert starved.io.bytes_read == starved.footer.data_bytes
+            assert starved.io.columns_read == starved.n_blocks
+            assert starved.io.blocks_read == 0
+            assert starved.io.bytes_read == sum(
+                entry.column_segment("v").length for entry in starved.footer.blocks
+            )
 
     def test_warm_cache_serves_hits_without_io(self, table_path):
         with DiskRelation(table_path) as fresh:
@@ -350,11 +368,12 @@ class TestCacheBehaviourOnDisk:
         write_table(path_a, relation)
         write_table(path_b, relation)
         with DiskRelation(path_a, cache=cache) as a, DiskRelation(path_b, cache=cache) as b:
-            a.query().where(Between("ship", 8_100, 8_260)).execute()
-            b.query().where(Between("ship", 8_100, 8_260)).execute()
-            # Same block indices, distinct tables: keys must not collide.
-            assert a.io.blocks_read == 2
-            assert b.io.blocks_read == 2
+            a.query().where(Between("ship", 8_100, 8_260)).count()
+            b.query().where(Between("ship", 8_100, 8_260)).count()
+            # Same (block, column) coordinates, distinct tables: the
+            # relation token in the key must keep them from colliding.
+            assert a.io.columns_read == 2
+            assert b.io.columns_read == 2
             assert len(cache) == 4
 
 

@@ -174,11 +174,36 @@ class TestIOMetrics:
         assert io.bytes_read == 150
         assert io.blocks_read == 2
         assert io.footer_bytes_read == 10
-        assert "2 block(s) / 150 bytes" in io.describe()
+        assert "2 block(s)" in io.describe()
+        assert "150 bytes" in io.describe()
         io.reset()
         assert io.bytes_read == 0
         assert io.blocks_read == 0
         assert io.footer_bytes_read == 0
+
+    def test_column_granular_accounting(self):
+        io = IOMetrics()
+        # First column fetch of a 1000-byte, 4-column block: the block's
+        # bytes become the baseline and all 4 columns start skipped.
+        io.record_column_block(1_000, 4)
+        io.record_column(100, new_column=True)
+        io.record_column(150, new_column=True)
+        io.record_column(100, new_column=False)  # re-read after eviction
+        assert io.column_block_bytes == 1_000
+        assert io.column_bytes_read == 350
+        assert io.columns_read == 3
+        assert io.columns_skipped == 2
+        # Column reads count into the total alongside full-block reads.
+        io.record_block(1_000)
+        assert io.bytes_read == 1_350
+        io.record_prefetch_issued(2)
+        io.record_prefetch_hit()
+        assert io.prefetch_issued == 2
+        assert io.prefetch_hits == 1
+        io.reset()
+        assert io.column_bytes_read == 0
+        assert io.columns_skipped == 0
+        assert io.prefetch_issued == 0
 
     def test_thread_safe_counting(self):
         io = IOMetrics()
