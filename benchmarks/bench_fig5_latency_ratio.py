@@ -76,13 +76,19 @@ def test_print_figure5_ratios(tpch_latency_relations, ldbc_latency_relations):
     n_vectors = latency_vectors()
     print()
     series = (
-        ("non-hierarchical", tpch_latency_relations, ["l_receiptdate"],
-         ["l_shipdate", "l_receiptdate"]),
+        (
+            "non-hierarchical",
+            tpch_latency_relations,
+            ["l_receiptdate"],
+            ["l_shipdate", "l_receiptdate"],
+        ),
         ("hierarchical", ldbc_latency_relations, ["ip"], ["countryid", "ip"]),
     )
     for name, (baseline, corra, _), diff_columns, both_columns in series:
-        for label, columns in (("diff-encoded column", diff_columns),
-                               ("both columns", both_columns)):
+        for label, columns in (
+            ("diff-encoded column", diff_columns),
+            ("both columns", both_columns),
+        ):
             ours = sweep_query_latency(corra, columns, PAPER_SELECTIVITIES, n_vectors)
             base = sweep_query_latency(baseline, columns, PAPER_SELECTIVITIES, n_vectors)
             ratios = latency_ratio(ours, base)

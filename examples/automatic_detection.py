@@ -27,11 +27,20 @@ from repro import (
 
 def main(n_rows: int = 100_000) -> None:
     table = TaxiGenerator().generate(n_rows).select(
-        ["pickup", "dropoff", "fare_amount", "tip_amount", "total_amount",
-         "congestion_surcharge", "passenger_count"]
+        [
+            "pickup",
+            "dropoff",
+            "fare_amount",
+            "tip_amount",
+            "total_amount",
+            "congestion_surcharge",
+            "passenger_count",
+        ]
     )
-    print(f"scanning {table.n_rows:,} rows x {len(table.column_names)} columns "
-          "for exploitable correlations...\n")
+    print(
+        f"scanning {table.n_rows:,} rows x {len(table.column_names)} columns "
+        "for exploitable correlations...\n"
+    )
 
     detector = CorrelationDetector(min_saving_rate=0.05)
     suggestions = detector.suggest(table)
@@ -55,8 +64,10 @@ def main(n_rows: int = 100_000) -> None:
 
     total_corra = sum(corra_sizes.values())
     total_saving = 1 - total_corra / baseline.total_size
-    print(f"\ntotal: {baseline.total_size:,} -> {total_corra:,} bytes ({total_saving:.1%} saving) "
-          "without naming a single column pair by hand")
+    print(
+        f"\ntotal: {baseline.total_size:,} -> {total_corra:,} bytes ({total_saving:.1%} saving) "
+        "without naming a single column pair by hand"
+    )
 
 
 if __name__ == "__main__":

@@ -50,7 +50,8 @@ def main(n_rows: int = 200_000) -> None:
         saving = 1 - encoded.size_bytes / baseline.size_of(target)
         print(
             f"\n({reference} -> {target}): {baseline.size_of(target):,} bytes baseline, "
-            f"{encoded.size_bytes:,} bytes hierarchical ({saving:.1%} saving; paper: {paper_rate:.1%})"
+            f"{encoded.size_bytes:,} bytes hierarchical "
+            f"({saving:.1%} saving; paper: {paper_rate:.1%})"
         )
         print(
             f"  {stats.n_groups:,} groups, max fan-out {stats.max_group_fanout}, "

@@ -41,8 +41,10 @@ def main(n_rows: int = 200_000) -> None:
 
     print("\ngreedy configuration:")
     print("  " + config.describe().replace("\n", "\n  "))
-    print(f"\ntotal saving scaled to SF 10: {config.total_saving * scale / 1e6:.1f} MB "
-          "(paper: 82.5 MB)")
+    print(
+        f"\ntotal saving scaled to SF 10: {config.total_saving * scale / 1e6:.1f} MB "
+        "(paper: 82.5 MB)"
+    )
 
     exhaustive = optimal_configuration_exhaustive(graph)
     assert exhaustive.total_size == config.total_size

@@ -109,7 +109,8 @@ def main(n_rows: int = 200_000) -> None:
         for selectivity in SELECTIVITIES:
             base_ms = baseline_sweep.measurement(selectivity).mean_milliseconds()
             corra_ms = corra_sweep.measurement(selectivity).mean_milliseconds()
-            print(f"  {selectivity:>12} {base_ms:>12.2f} {corra_ms:>10.2f} {ratios[selectivity]:>6.2f}x")
+            ratio = ratios[selectivity]
+            print(f"  {selectivity:>12} {base_ms:>12.2f} {corra_ms:>10.2f} {ratio:>6.2f}x")
 
     demo_scan_pruning(n_rows)
 

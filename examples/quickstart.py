@@ -67,7 +67,9 @@ def main(n_rows: int = 200_000) -> None:
     output = materialize_columns(relation, ["l_shipdate", "l_receiptdate"], vector)
     expected = np.asarray(table.column("l_receiptdate"))[vector.row_ids]
     assert np.array_equal(output["l_receiptdate"], expected)
-    print(f"\nqueried {vector.n_selected:,} rows; decompressed values verified against the original")
+    print(
+        f"\nqueried {vector.n_selected:,} rows; decompressed values verified against the original"
+    )
 
 
 if __name__ == "__main__":

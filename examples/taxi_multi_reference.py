@@ -55,8 +55,10 @@ def main(n_rows: int = 200_000) -> None:
         f"\ntotal_amount: {baseline:,} bytes baseline -> {encoded.size_bytes:,} bytes "
         f"with multi-reference encoding ({saving:.1%} saving; paper: 85.16%)"
     )
-    print(f"outliers stored explicitly: {encoded.outliers.n_outliers:,} rows "
-          f"({encoded.outliers.fraction_of(table.n_rows):.2%})")
+    print(
+        f"outliers stored explicitly: {encoded.outliers.n_outliers:,} rows "
+        f"({encoded.outliers.fraction_of(table.n_rows):.2%})"
+    )
 
     # Full pipeline: plan -> blocks -> positional query -> verification.
     plan = (
@@ -69,8 +71,10 @@ def main(n_rows: int = 200_000) -> None:
     output = materialize_columns(relation, ["total_amount"], vector)
     expected = np.asarray(table.column("total_amount"))[vector.row_ids]
     assert np.array_equal(output["total_amount"], expected)
-    print(f"\nqueried {vector.n_selected:,} rows through the block layer; "
-          "reconstruction verified (including outliers)")
+    print(
+        f"\nqueried {vector.n_selected:,} rows through the block layer; "
+        "reconstruction verified (including outliers)"
+    )
 
 
 if __name__ == "__main__":

@@ -42,8 +42,9 @@ class BaselineReport:
 class SingleColumnBaseline:
     """Best-of FOR/Dict (+bit-packing) baseline over whole tables."""
 
-    def __init__(self, selector: BestOfSelector | None = None,
-                 block_size: int = DEFAULT_BLOCK_SIZE):
+    def __init__(
+        self, selector: BestOfSelector | None = None, block_size: int = DEFAULT_BLOCK_SIZE
+    ):
         self._selector = selector if selector is not None else BestOfSelector()
         self._block_size = block_size
 

@@ -114,8 +114,7 @@ def _baseline_size(baseline: SingleColumnBaseline, table: Table, column: str) ->
     return baseline.select_column(table, column).size_bytes
 
 
-def compression_table2(n_rows: int = DEFAULT_COMPRESSION_ROWS,
-                       seed: int = 42) -> ExperimentResult:
+def compression_table2(n_rows: int = DEFAULT_COMPRESSION_ROWS, seed: int = 42) -> ExperimentResult:
     """Reproduce Table 2: per-column sizes with and without diff-encoding."""
     baseline = SingleColumnBaseline()
     non_hierarchical = NonHierarchicalEncoding()
@@ -281,8 +280,9 @@ def rule_mixture_table1(n_rows: int = DEFAULT_COMPRESSION_ROWS,
 # Table 3: Corra vs C3
 # ---------------------------------------------------------------------------
 
-def c3_comparison_table3(n_rows: int = DEFAULT_COMPRESSION_ROWS,
-                         seed: int = 42) -> ExperimentResult:
+def c3_comparison_table3(
+    n_rows: int = DEFAULT_COMPRESSION_ROWS, seed: int = 42
+) -> ExperimentResult:
     """Reproduce Table 3: saving rates of Corra vs the C3 comparator."""
     baseline = SingleColumnBaseline()
     non_hierarchical = NonHierarchicalEncoding()
@@ -297,13 +297,18 @@ def c3_comparison_table3(n_rows: int = DEFAULT_COMPRESSION_ROWS,
         experiment_id="table3",
         title="Saving rates compared to the independent work C3",
         headers=(
-            "Column-Pair", "Corra (ours)", "C3", "C3 scheme",
-            "Paper Corra", "Paper C3",
+            "Column-Pair",
+            "Corra (ours)",
+            "C3",
+            "C3 scheme",
+            "Paper Corra",
+            "Paper C3",
         ),
     )
 
-    def add_pair(table: Table, reference: str, target: str, corra_bytes: int,
-                 paper_key: tuple[str, str]) -> None:
+    def add_pair(
+        table: Table, reference: str, target: str, corra_bytes: int, paper_key: tuple[str, str]
+    ) -> None:
         baseline_bytes = _baseline_size(baseline, table, target)
         c3_estimate = c3.best(table, target, reference)
         corra_rate = 1.0 - corra_bytes / baseline_bytes
@@ -356,8 +361,7 @@ def c3_comparison_table3(n_rows: int = DEFAULT_COMPRESSION_ROWS,
 # Figure 2: optimal diff-encoding configuration
 # ---------------------------------------------------------------------------
 
-def optimizer_figure2(n_rows: int = DEFAULT_COMPRESSION_ROWS,
-                      seed: int = 42) -> ExperimentResult:
+def optimizer_figure2(n_rows: int = DEFAULT_COMPRESSION_ROWS, seed: int = 42) -> ExperimentResult:
     """Reproduce Fig. 2: the candidate graph and the greedy configuration."""
     generator = TpchLineitemGenerator()
     dates = generator.generate_dates_only(n_rows, seed)
@@ -461,14 +465,16 @@ def latency_figure5(n_rows: int = DEFAULT_LATENCY_ROWS,
     ldbc_baseline, ldbc_corra, _ = _ldbc_relations(n_rows, seed, block_size)
 
     series = (
-        ("non-hierarchical", "diff-encoded column", tpch_corra, tpch_baseline,
-         ["l_receiptdate"]),
-        ("non-hierarchical", "both columns", tpch_corra, tpch_baseline,
-         ["l_shipdate", "l_receiptdate"]),
-        ("hierarchical", "diff-encoded column", ldbc_corra, ldbc_baseline,
-         ["ip"]),
-        ("hierarchical", "both columns", ldbc_corra, ldbc_baseline,
-         ["countryid", "ip"]),
+        ("non-hierarchical", "diff-encoded column", tpch_corra, tpch_baseline, ["l_receiptdate"]),
+        (
+            "non-hierarchical",
+            "both columns",
+            tpch_corra,
+            tpch_baseline,
+            ["l_shipdate", "l_receiptdate"],
+        ),
+        ("hierarchical", "diff-encoded column", ldbc_corra, ldbc_baseline, ["ip"]),
+        ("hierarchical", "both columns", ldbc_corra, ldbc_baseline, ["countryid", "ip"]),
     )
     for encoding, query, corra_relation, baseline_relation, columns in series:
         corra_sweep = sweep_query_latency(
@@ -487,11 +493,17 @@ def latency_figure5(n_rows: int = DEFAULT_LATENCY_ROWS,
     return result
 
 
-def _zoom_experiment(experiment_id: str, title: str,
-                     relations: tuple[Relation, Relation, Relation],
-                     diff_column: str, reference_column: str,
-                     selectivities: Sequence[float], n_vectors: int,
-                     repeats: int, seed: int) -> ExperimentResult:
+def _zoom_experiment(
+    experiment_id: str,
+    title: str,
+    relations: tuple[Relation, Relation, Relation],
+    diff_column: str,
+    reference_column: str,
+    selectivities: Sequence[float],
+    n_vectors: int,
+    repeats: int,
+    seed: int,
+) -> ExperimentResult:
     baseline, corra, uncompressed = relations
     result = ExperimentResult(
         experiment_id=experiment_id,
@@ -519,10 +531,14 @@ def _zoom_experiment(experiment_id: str, title: str,
     return result
 
 
-def latency_zoom_figure6(n_rows: int = DEFAULT_LATENCY_ROWS,
-                         selectivities: Sequence[float] = PAPER_ZOOM_SELECTIVITIES,
-                         n_vectors: int = 5, repeats: int = 1, seed: int = 42,
-                         block_size: int = 1_000_000) -> ExperimentResult:
+def latency_zoom_figure6(
+    n_rows: int = DEFAULT_LATENCY_ROWS,
+    selectivities: Sequence[float] = PAPER_ZOOM_SELECTIVITIES,
+    n_vectors: int = 5,
+    repeats: int = 1,
+    seed: int = 42,
+    block_size: int = 1_000_000,
+) -> ExperimentResult:
     """Reproduce Fig. 6: absolute latency, non-hierarchical encoding."""
     return _zoom_experiment(
         "figure6",
@@ -537,10 +553,14 @@ def latency_zoom_figure6(n_rows: int = DEFAULT_LATENCY_ROWS,
     )
 
 
-def latency_zoom_figure7(n_rows: int = DEFAULT_LATENCY_ROWS,
-                         selectivities: Sequence[float] = PAPER_ZOOM_SELECTIVITIES,
-                         n_vectors: int = 5, repeats: int = 1, seed: int = 42,
-                         block_size: int = 1_000_000) -> ExperimentResult:
+def latency_zoom_figure7(
+    n_rows: int = DEFAULT_LATENCY_ROWS,
+    selectivities: Sequence[float] = PAPER_ZOOM_SELECTIVITIES,
+    n_vectors: int = 5,
+    repeats: int = 1,
+    seed: int = 42,
+    block_size: int = 1_000_000,
+) -> ExperimentResult:
     """Reproduce Fig. 7: absolute latency, hierarchical encoding."""
     return _zoom_experiment(
         "figure7",
@@ -613,11 +633,13 @@ def _sorted_dates_relations(n_rows: int, n_blocks: int,
     return relation, sorted_table
 
 
-def scan_pruning_experiment(n_rows: int = DEFAULT_LATENCY_ROWS,
-                            selectivities: Sequence[float] = (0.001, 0.01, 0.05,
-                                                              0.1, 0.5),
-                            n_blocks: int = 16, repeats: int = 5,
-                            seed: int = 42) -> ExperimentResult:
+def scan_pruning_experiment(
+    n_rows: int = DEFAULT_LATENCY_ROWS,
+    selectivities: Sequence[float] = (0.001, 0.01, 0.05, 0.1, 0.5),
+    n_blocks: int = 16,
+    repeats: int = 5,
+    seed: int = 42,
+) -> ExperimentResult:
     """Zone-map pruning on a sorted date column: blocks pruned and speedup.
 
     For each target selectivity a ``Between`` predicate covering the leading
@@ -638,8 +660,14 @@ def scan_pruning_experiment(n_rows: int = DEFAULT_LATENCY_ROWS,
     result = ExperimentResult(
         experiment_id="scan",
         title="Zone-map scan pruning on sorted l_shipdate",
-        headers=("Selectivity", "Blocks skipped", "Rows decoded",
-                 "Pruned ms", "Full-decode ms", "Speedup"),
+        headers=(
+            "Selectivity",
+            "Blocks skipped",
+            "Rows decoded",
+            "Pruned ms",
+            "Full-decode ms",
+            "Speedup",
+        ),
     )
     pruned_executor = QueryExecutor(relation)
     full_executor = QueryExecutor(relation, use_statistics=False)

@@ -22,6 +22,7 @@ scale the same way.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 
 import numpy as np
@@ -153,7 +154,15 @@ def gather(words: np.ndarray, bit_width: int, positions: np.ndarray) -> np.ndarr
         return np.zeros(0, dtype=np.int64)
     if pos.min() < 0:
         raise DecodingError("positions must be non-negative")
+    return _extract_unsigned(words, bit_width, pos).astype(np.int64, copy=False)
 
+
+def _extract_unsigned(words: np.ndarray, bit_width: int, pos: np.ndarray) -> np.ndarray:
+    """The two-word extraction at the heart of :func:`gather`, kept unsigned.
+
+    Word-space comparison kernels use this directly so they can run fused
+    unsigned range checks over the raw lanes without the ``int64`` cast.
+    """
     bit_pos = pos.astype(np.uint64) * np.uint64(bit_width)
     word_idx = (bit_pos >> np.uint64(6)).astype(np.int64)
     offset = bit_pos & np.uint64(63)
@@ -176,7 +185,7 @@ def gather(words: np.ndarray, bit_width: int, positions: np.ndarray) -> np.ndarr
     if bit_width < _WORD_BITS:
         mask = np.uint64((1 << bit_width) - 1)
         combined &= mask
-    return combined.astype(np.int64, copy=False)
+    return combined
 
 
 @dataclass
@@ -213,6 +222,77 @@ class BitPackedArray:
                 f"{self.n_values} values"
             )
         return gather(self.words, self.bit_width, pos)
+
+    # -- word-space comparison kernels ----------------------------------------
+
+    def _lane_view(self) -> np.ndarray | None:
+        """A zero-copy fixed-width lane view over the packed words.
+
+        When the bit width is a machine lane width (8/16/32/64) the
+        back-to-back little-endian layout means reinterpreting the word
+        buffer *is* the value array — comparisons can then run directly over
+        the packed bytes with no unpack pass at all.  Returns ``None`` when
+        no such view exists (odd widths, big-endian hosts).
+        """
+        lane_dtype = {8: np.uint8, 16: np.uint16, 32: np.uint32, 64: np.uint64}.get(self.bit_width)
+        if lane_dtype is None or sys.byteorder != "little":
+            return None
+        return self.words.view(lane_dtype)[: self.n_values]
+
+    def _lanes(self) -> np.ndarray:
+        """All packed values as unsigned lanes (zero-copy when possible)."""
+        if self.bit_width == 0 or self.n_values == 0:
+            # Width-0 columns store no words at all; every value is zero.
+            return np.zeros(self.n_values, dtype=np.uint64)
+        view = self._lane_view()
+        if view is not None:
+            return view
+        return _extract_unsigned(
+            np.asarray(self.words, dtype=np.uint64),
+            self.bit_width,
+            np.arange(self.n_values, dtype=np.int64),
+        )
+
+    def compare_range(self, low: int | None, high: int | None) -> np.ndarray:
+        """Mask of packed values inside ``[low, high]`` (``None`` = open).
+
+        Bounds are in the *packed* (unsigned offset) domain — callers shift
+        by their frame of reference first.  Out-of-domain bounds clamp, so an
+        empty or all-covering range short-circuits without touching words.
+        """
+        n = self.n_values
+        max_code = (1 << self.bit_width) - 1 if self.bit_width else 0
+        lo = 0 if low is None else max(int(low), 0)
+        hi = max_code if high is None else min(int(high), max_code)
+        if lo > hi:
+            return np.zeros(n, dtype=bool)
+        if lo == 0 and hi == max_code:
+            return np.ones(n, dtype=bool)
+        lanes = self._lane_view()
+        if lanes is not None:
+            if lo == 0:
+                return lanes <= hi
+            if hi == max_code:
+                return lanes >= lo
+            return (lanes >= lo) & (lanes <= hi)
+        # Generic widths: one unsigned extraction, then the fused range check
+        # ``(x - lo) <= (hi - lo)`` (valid in modular arithmetic).
+        lanes = self._lanes()
+        return (lanes - np.uint64(lo)) <= np.uint64(hi - lo)
+
+    def compare_values(self, values) -> np.ndarray:
+        """Mask of packed values equal to any candidate (packed domain)."""
+        n = self.n_values
+        max_code = (1 << self.bit_width) - 1 if self.bit_width else 0
+        candidates = np.unique(
+            np.array([int(v) for v in values if 0 <= int(v) <= max_code], dtype=np.uint64)
+        )
+        if candidates.size == 0 or n == 0:
+            return np.zeros(n, dtype=bool)
+        if candidates.size == 1:
+            lanes = self._lanes()
+            return lanes == candidates[0]
+        return np.isin(self._lanes(), candidates)
 
     def __len__(self) -> int:
         return self.n_values

@@ -24,7 +24,9 @@ Python:
     I/O metrics printed alongside the scan metrics report column bytes read
     vs. the block bytes they avoided, the cache hit rate, and prefetch hits.
     A structured predicate prints the matching row count with the
-    scan-pruning metrics; ``--agg``/``--group-by`` compute (grouped)
+    scan-pruning metrics — including the compressed-domain kernel counters
+    (``--no-kernels`` restores the decode baseline for A/B runs);
+    ``--agg``/``--group-by`` compute (grouped)
     aggregates (``count``/``sum``/``min``/``max``/``avg``),
     ``--select``/``--limit`` materialise qualifying rows, and
     ``--explain`` renders the logical plan plus per-block decisions.
@@ -90,8 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
     datasets.add_argument("--rows", type=int, default=None, help="rows to generate")
     datasets.add_argument("--seed", type=int, default=42)
     datasets.add_argument("--output", default="-", help="CSV output path (default stdout)")
-    datasets.add_argument("--limit", type=int, default=20,
-                          help="rows to write when exporting to stdout")
+    datasets.add_argument(
+        "--limit", type=int, default=20, help="rows to write when exporting to stdout"
+    )
 
     compress = subparsers.add_parser(
         "compress", help="compress a dataset and report per-column sizes"
@@ -101,34 +104,50 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("--seed", type=int, default=42)
     compress.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
     compress.add_argument(
-        "--plan", choices=("baseline", "auto"), default="auto",
+        "--plan",
+        choices=("baseline", "auto"),
+        default="auto",
         help="'baseline' = best single-column scheme per column; "
-             "'auto' = correlation detection + mined horizontal encodings",
+        "'auto' = correlation detection + mined horizontal encodings",
     )
     compress.add_argument(
-        "--diff-encode", action="append", default=[], metavar="TARGET:REFERENCE",
+        "--diff-encode",
+        action="append",
+        default=[],
+        metavar="TARGET:REFERENCE",
         help="add an explicit non-hierarchical encoding (may be repeated)",
     )
     compress.add_argument(
-        "--hierarchical", action="append", default=[], metavar="TARGET:REFERENCE",
+        "--hierarchical",
+        action="append",
+        default=[],
+        metavar="TARGET:REFERENCE",
         help="add an explicit hierarchical encoding (may be repeated)",
     )
     compress.add_argument(
-        "--mine-rules-for", default=None, metavar="TARGET",
+        "--mine-rules-for",
+        default=None,
+        metavar="TARGET",
         help="mine a multi-reference configuration for TARGET and use it",
     )
     compress.add_argument(
-        "--workers", type=int, default=1,
+        "--workers",
+        type=int,
+        default=1,
         help="threads for block compression (0 = one per core; default 1)",
     )
     compress.add_argument(
-        "--output", default=None, metavar="TABLE.corra",
+        "--output",
+        default=None,
+        metavar="TABLE.corra",
         help="also persist the compressed relation as a single-file table",
     )
     compress.add_argument(
-        "--catalog", default=None, metavar="DIR",
+        "--catalog",
+        default=None,
+        metavar="DIR",
         help="also register the table in a catalog directory under the "
-             "dataset name (combine with `query --catalog`)",
+        "dataset name (combine with `query --catalog`)",
     )
 
     detect = subparsers.add_parser(
@@ -141,94 +160,131 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--top", type=int, default=15, help="suggestions to print")
 
     query = subparsers.add_parser(
-        "query", help="run a structured predicate over a compressed dataset "
-                      "or a .corra table file"
+        "query",
+        help="run a structured predicate over a compressed dataset or a .corra table file",
     )
     query.add_argument(
         "name",
         help="dataset name (see `datasets`), a path to a .corra table file, "
-             "or a catalogued table name when --catalog is given",
+        "or a catalogued table name when --catalog is given",
     )
     query.add_argument("--rows", type=int, default=None)
     query.add_argument("--seed", type=int, default=42)
     query.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
     query.add_argument(
-        "--plan", choices=("baseline", "auto"), default="auto",
+        "--plan",
+        choices=("baseline", "auto"),
+        default="auto",
         help="compression plan used before querying (see `compress`)",
     )
     query.add_argument(
-        "--equals", action="append", default=[], metavar="COLUMN:VALUE",
+        "--equals",
+        action="append",
+        default=[],
+        metavar="COLUMN:VALUE",
         help="add an equality predicate (may be repeated; ANDed together)",
     )
     query.add_argument(
-        "--between", action="append", default=[], metavar="COLUMN:LOW:HIGH",
+        "--between",
+        action="append",
+        default=[],
+        metavar="COLUMN:LOW:HIGH",
         help="add an inclusive range predicate; leave LOW or HIGH empty for "
-             "an open-ended range (may be repeated; ANDed together)",
+        "an open-ended range (may be repeated; ANDed together)",
     )
     query.add_argument(
-        "--in", dest="is_in", action="append", default=[],
+        "--in",
+        dest="is_in",
+        action="append",
+        default=[],
         metavar="COLUMN:V1,V2,...",
         help="add a membership predicate (may be repeated; ANDed together)",
     )
     query.add_argument(
-        "--no-pruning", action="store_true",
+        "--no-pruning",
+        action="store_true",
         help="disable zone-map pruning (decode every block; for comparison)",
     )
     query.add_argument(
-        "--workers", type=int, default=1,
+        "--workers",
+        type=int,
+        default=1,
         help="threads for the morsel-driven scan and for block compression "
-             "(0 = one per core; default 1 = serial)",
+        "(0 = one per core; default 1 = serial)",
     )
     query.add_argument(
-        "--no-dictionary", action="store_true",
+        "--no-dictionary",
+        action="store_true",
         help="disable dictionary-domain predicate evaluation (decode and "
-             "compare instead; for comparison)",
+        "compare instead; for comparison)",
     )
     query.add_argument(
-        "--select", default=None, metavar="COL1,COL2,...",
+        "--no-kernels",
+        action="store_true",
+        help="disable compressed-domain kernels for RLE/FOR/delta/frequency "
+        "columns (decode and compare instead; for comparison)",
+    )
+    query.add_argument(
+        "--select",
+        default=None,
+        metavar="COL1,COL2,...",
         help="materialise and print the named columns of the qualifying rows "
-             "(combine with --limit to bound the output)",
+        "(combine with --limit to bound the output)",
     )
     query.add_argument(
-        "--agg", action="append", default=[], metavar="NAME:FUNC[:COLUMN]",
+        "--agg",
+        action="append",
+        default=[],
+        metavar="NAME:FUNC[:COLUMN]",
         help="add a named aggregate output, e.g. n:count, total:sum:fare, "
-             "hi:max:tip (may be repeated; FUNC is count/sum/min/max/avg)",
+        "hi:max:tip (may be repeated; FUNC is count/sum/min/max/avg)",
     )
     query.add_argument(
-        "--group-by", default=None, metavar="COL1,COL2,...",
+        "--group-by",
+        default=None,
+        metavar="COL1,COL2,...",
         help="group the aggregates by the named columns",
     )
     query.add_argument(
-        "--limit", type=int, default=None, metavar="N",
-        help="keep at most N output rows (applied before materialisation "
-             "for --select)",
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep at most N output rows (applied before materialisation for --select)",
     )
     query.add_argument(
-        "--explain", action="store_true",
+        "--explain",
+        action="store_true",
         help="print the logical plan and the per-block prune/full/scan "
-             "decisions before executing",
+        "decisions before executing",
     )
     query.add_argument(
-        "--catalog", default=None, metavar="DIR",
+        "--catalog",
+        default=None,
+        metavar="DIR",
         help="resolve the table name through a catalog directory of .corra "
-             "files (see `compress --catalog`)",
+        "files (see `compress --catalog`)",
     )
     query.add_argument(
-        "--cache-bytes", type=int, default=DEFAULT_CACHE_BYTES, metavar="N",
-        help="block-cache budget in bytes for out-of-core tables "
-             f"(default {DEFAULT_CACHE_BYTES})",
+        "--cache-bytes",
+        type=int,
+        default=DEFAULT_CACHE_BYTES,
+        metavar="N",
+        help=f"block-cache budget in bytes for out-of-core tables (default {DEFAULT_CACHE_BYTES})",
     )
     query.add_argument(
-        "--no-prefetch", action="store_true",
+        "--no-prefetch",
+        action="store_true",
         help="disable the read-ahead pool for out-of-core tables (every "
-             "segment fetch becomes demand-driven; for A/B comparison)",
+        "segment fetch becomes demand-driven; for A/B comparison)",
     )
 
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the paper's tables and figures"
     )
-    experiments.add_argument("ids", nargs="*", default=None,
-                             help="experiment ids (e.g. table2 figure5); default all")
+    experiments.add_argument(
+        "ids", nargs="*", default=None, help="experiment ids (e.g. table2 figure5); default all"
+    )
     experiments.add_argument("--rows", type=int, default=None)
 
     return parser
@@ -320,21 +376,25 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         if column_plan.is_horizontal:
             encoding += f" ({', '.join(column_plan.references)})"
         rows.append((name, f"{base:,}", f"{corra:,}", f"{saving:.1%}", encoding))
-    print(format_table(
-        ("column", "baseline bytes", "corra bytes", "saving", "encoding"), rows
-    ))
+    print(format_table(("column", "baseline bytes", "corra bytes", "saving", "encoding"), rows))
     total_saving = 1 - relation.size_bytes / max(baseline.total_size, 1)
-    print(f"\ntotal: {baseline.total_size:,} -> {relation.size_bytes:,} bytes "
-          f"({total_saving:.1%} saving), {relation.n_blocks} block(s) of "
-          f"{args.block_size:,} tuples")
+    print(
+        f"\ntotal: {baseline.total_size:,} -> {relation.size_bytes:,} bytes "
+        f"({total_saving:.1%} saving), {relation.n_blocks} block(s) of "
+        f"{args.block_size:,} tuples"
+    )
     if args.output:
         footer = write_table(args.output, relation)
-        print(f"wrote {footer.n_blocks} block(s) / {footer.data_bytes:,} data "
-              f"bytes to {args.output} (format v{footer.version})")
+        print(
+            f"wrote {footer.n_blocks} block(s) / {footer.data_bytes:,} data "
+            f"bytes to {args.output} (format v{footer.version})"
+        )
     if args.catalog:
         footer = Catalog(args.catalog).save(args.name, relation, overwrite=True)
-        print(f"catalogued {args.name!r} in {args.catalog} "
-              f"({footer.n_blocks} block(s), format v{footer.version})")
+        print(
+            f"catalogued {args.name!r} in {args.catalog} "
+            f"({footer.n_blocks} block(s), format v{footer.version})"
+        )
     return 0
 
 
@@ -347,13 +407,19 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         print("no exploitable correlations found")
         return 0
     rows = [
-        (s.target, s.kind, ", ".join(s.references),
-         f"{s.estimated_saving_rate:.1%}", f"{s.estimated_saving_bytes:,}", s.detail)
+        (
+            s.target,
+            s.kind,
+            ", ".join(s.references),
+            f"{s.estimated_saving_rate:.1%}",
+            f"{s.estimated_saving_bytes:,}",
+            s.detail,
+        )
         for s in suggestions[: args.top]
     ]
-    print(format_table(
-        ("target", "encoding", "references", "saving", "bytes saved", "detail"), rows
-    ))
+    print(
+        format_table(("target", "encoding", "references", "saving", "bytes saved", "detail"), rows)
+    )
     return 0
 
 
@@ -425,6 +491,10 @@ def _print_metrics(metrics, workers: int) -> None:
         ("decoded fraction", f"{metrics.decoded_fraction:.2%}"),
         ("rows gathered", f"{metrics.rows_gathered:,}"),
         ("rows dict-evaluated", f"{metrics.rows_dict_evaluated:,}"),
+        ("rows rle-evaluated", f"{metrics.rows_rle_evaluated:,}"),
+        ("runs evaluated", f"{metrics.runs_evaluated:,}"),
+        ("rows for-evaluated", f"{metrics.rows_for_evaluated:,}"),
+        ("rows kernel-aggregated", f"{metrics.rows_kernel_aggregated:,}"),
         ("string heap decodes", f"{metrics.string_heap_decodes:,}"),
         ("scan workers", f"{workers:,}"),
     ]
@@ -437,6 +507,7 @@ def _print_io_metrics(relation: DiskRelation) -> None:
         ("blocks read (full)", f"{io.blocks_read:,}"),
         ("column segments read", f"{io.columns_read:,}"),
         ("column segments skipped", f"{io.columns_skipped:,}"),
+        ("reads coalesced", f"{io.reads_coalesced:,}"),
         ("column bytes read", f"{io.column_bytes_read:,}"),
         ("block bytes available", f"{io.column_block_bytes:,}"),
         ("total bytes read", f"{io.bytes_read:,}"),
@@ -535,6 +606,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         workers=args.workers,
         use_statistics=not args.no_pruning,
         use_dictionary=not args.no_dictionary,
+        use_kernels=not args.no_kernels,
     )
     if predicate is not None:
         lazy = lazy.where(predicate)
@@ -570,8 +642,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     # reported count but not the fraction of rows that actually matched.
     matched = metrics.rows_matched
     limited = " (limited)" if count < matched else ""
-    print(f"count: {count:,}{limited} of {relation.n_rows:,} rows "
-          f"({matched / max(relation.n_rows, 1):.2%} selectivity)")
+    print(
+        f"count: {count:,}{limited} of {relation.n_rows:,} rows "
+        f"({matched / max(relation.n_rows, 1):.2%} selectivity)"
+    )
     _print_metrics(metrics, workers)
     if isinstance(relation, DiskRelation):
         print()

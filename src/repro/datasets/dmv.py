@@ -67,9 +67,14 @@ class DmvGenerator(DatasetGenerator):
     paper_rows = 12_176_621
     default_rows = 100_000
 
-    def __init__(self, n_cities: int | None = None, n_zip_codes: int | None = None,
-                 ny_city_share: float = 0.85, ny_row_share: float = 0.92,
-                 max_zips_per_city: int = 200):
+    def __init__(
+        self,
+        n_cities: int | None = None,
+        n_zip_codes: int | None = None,
+        ny_city_share: float = 0.85,
+        ny_row_share: float = 0.92,
+        max_zips_per_city: int = 200,
+    ):
         self.n_cities = n_cities
         self.n_zip_codes = n_zip_codes
         self.ny_city_share = float(ny_city_share)

@@ -45,9 +45,12 @@ class LdbcMessageGenerator(DatasetGenerator):
     paper_rows = 76_388_857  # SF 30, as used in the paper
     default_rows = 100_000
 
-    def __init__(self, n_countries: int = _N_COUNTRIES,
-                 messages_per_distinct_ip: int = 50,
-                 popularity_skew: float = 1.0):
+    def __init__(
+        self,
+        n_countries: int = _N_COUNTRIES,
+        messages_per_distinct_ip: int = 50,
+        popularity_skew: float = 1.0,
+    ):
         self.n_countries = int(n_countries)
         self.messages_per_distinct_ip = int(messages_per_distinct_ip)
         self.popularity_skew = float(popularity_skew)

@@ -113,14 +113,16 @@ class TaxiGenerator(DatasetGenerator):
         fare_amount = rng.integers(250, 5_001, size=rows, dtype=np.int64)
         mta_tax = np.full(rows, 50, dtype=np.int64)
         improvement_surcharge = np.full(rows, 30, dtype=np.int64)
-        extra = rng.choice(np.array([0, 50, 100], dtype=np.int64), size=rows,
-                           p=[0.5, 0.3, 0.2])
-        tip_amount = (fare_amount * rng.choice(
-            np.array([0, 10, 15, 20, 25], dtype=np.int64), size=rows,
-            p=[0.35, 0.15, 0.25, 0.2, 0.05]
-        )) // 100
-        tolls_amount = rng.choice(np.array([0, 612, 1_025], dtype=np.int64),
-                                  size=rows, p=[0.92, 0.06, 0.02])
+        extra = rng.choice(np.array([0, 50, 100], dtype=np.int64), size=rows, p=[0.5, 0.3, 0.2])
+        tip_ratio = rng.choice(
+            np.array([0, 10, 15, 20, 25], dtype=np.int64),
+            size=rows,
+            p=[0.35, 0.15, 0.25, 0.2, 0.05],
+        )
+        tip_amount = (fare_amount * tip_ratio) // 100
+        tolls_amount = rng.choice(
+            np.array([0, 612, 1_025], dtype=np.int64), size=rows, p=[0.92, 0.06, 0.02]
+        )
 
         # Surcharges exist on (almost) every row so the four rules stay
         # distinguishable; whether they are *included* in the total is what the
@@ -128,8 +130,7 @@ class TaxiGenerator(DatasetGenerator):
         congestion_surcharge = np.full(rows, 250, dtype=np.int64)
         airport_fee = np.full(rows, 125, dtype=np.int64)
 
-        group_a = (mta_tax + fare_amount + improvement_surcharge + extra
-                   + tip_amount + tolls_amount)
+        group_a = mta_tax + fare_amount + improvement_surcharge + extra + tip_amount + tolls_amount
         group_b = congestion_surcharge
         group_c = airport_fee
 
@@ -186,8 +187,8 @@ class TaxiGenerator(DatasetGenerator):
     def generate_monetary_only(self, n_rows: int | None = None, seed: int = 42) -> Table:
         """Only the nine monetary columns used in §2.3 / Table 1 / Fig. 8."""
         table = self.generate(n_rows, seed)
-        columns = list(TAXI_GROUP_A_COLUMNS + TAXI_GROUP_B_COLUMNS
-                       + TAXI_GROUP_C_COLUMNS) + ["total_amount"]
+        columns = list(TAXI_GROUP_A_COLUMNS + TAXI_GROUP_B_COLUMNS + TAXI_GROUP_C_COLUMNS)
+        columns.append("total_amount")
         return table.select(columns)
 
     def generate_timestamps_only(self, n_rows: int | None = None, seed: int = 42) -> Table:

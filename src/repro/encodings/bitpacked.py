@@ -61,6 +61,23 @@ class ForBitPackedColumn(EncodedColumn):
     def gather(self, positions: np.ndarray) -> np.ndarray:
         return self._packed.gather(positions) + self._frame
 
+    # -- word-space comparisons -----------------------------------------------
+
+    def compare_range(self, low: int | None, high: int | None) -> np.ndarray:
+        """Row mask for ``low <= value <= high`` without decoding.
+
+        The bounds are shifted by the frame of reference and compared in the
+        packed word domain (:meth:`BitPackedArray.compare_range`), so a
+        ``Between`` over a FOR column never materialises the decoded array.
+        """
+        lo = None if low is None else int(low) - self._frame
+        hi = None if high is None else int(high) - self._frame
+        return self._packed.compare_range(lo, hi)
+
+    def compare_values(self, values) -> np.ndarray:
+        """Row mask for ``value in values`` in the packed word domain."""
+        return self._packed.compare_values([int(v) - self._frame for v in values])
+
 
 class ForBitPackEncoding(ColumnEncoding):
     """Scheme wrapper for FOR + bit-packing on integer-like columns."""

@@ -98,6 +98,79 @@ class DeltaEncodedColumn(EncodedColumn):
             out[start:end] = np.cumsum(seg)
         return out
 
+    # -- word-space comparisons -----------------------------------------------
+
+    def is_monotonic(self) -> bool:
+        """Whether the column is non-decreasing (no negative delta).
+
+        Zig-zag maps negative deltas to odd codes, so monotonicity is a
+        single parity scan over the packed deltas — no prefix sum.  Memoized
+        under a ``_cached`` attribute (excluded from serialization).
+        """
+        cached = getattr(self, "_cached_monotonic", None)
+        if cached is None:
+            if self._n == 0:
+                cached = True
+            else:
+                cached = not bool(np.any(self._deltas.to_numpy() & 1))
+            self._cached_monotonic = cached
+        return cached
+
+    def _segment(self, seg_index: int) -> np.ndarray:
+        """Decode exactly one checkpoint segment to values."""
+        start = seg_index * self._interval
+        end = min(start + self._interval, self._n)
+        seg = zigzag_decode(self._deltas.gather(np.arange(start, end)))
+        seg[0] = self._checkpoints[seg_index]
+        return np.cumsum(seg)
+
+    def searchsorted(self, value: int, side: str = "left") -> int:
+        """Insertion point of ``value`` via the checkpoint index.
+
+        Only meaningful when :meth:`is_monotonic` holds: a binary search over
+        the checkpoints narrows the answer to one segment, and only that
+        segment's deltas are decoded.
+        """
+        if self._n == 0:
+            return 0
+        j = int(np.searchsorted(self._checkpoints, value, side=side))
+        seg_index = max(j - 1, 0)
+        local = int(np.searchsorted(self._segment(seg_index), value, side=side))
+        return seg_index * self._interval + local
+
+    def compare_range(self, low: int | None, high: int | None) -> np.ndarray | None:
+        """Row mask for ``low <= value <= high`` via the checkpoint index.
+
+        On a monotonic column the matches form one contiguous span, found by
+        two checkpoint searches that each decode a single segment — the full
+        array is never materialised.  Returns ``None`` for non-monotonic
+        columns (the caller falls back to the decode path).
+        """
+        if not self.is_monotonic():
+            return None
+        mask = np.zeros(self._n, dtype=bool)
+        if self._n == 0:
+            return mask
+        lo_idx = 0 if low is None else self.searchsorted(int(low), "left")
+        hi_idx = self._n if high is None else self.searchsorted(int(high), "right")
+        if hi_idx > lo_idx:
+            mask[lo_idx:hi_idx] = True
+        return mask
+
+    def compare_values(self, values) -> np.ndarray | None:
+        """Row mask for ``value in values`` (monotonic columns only)."""
+        if not self.is_monotonic():
+            return None
+        mask = np.zeros(self._n, dtype=bool)
+        if self._n == 0:
+            return mask
+        for value in values:
+            lo_idx = self.searchsorted(int(value), "left")
+            hi_idx = self.searchsorted(int(value), "right")
+            if hi_idx > lo_idx:
+                mask[lo_idx:hi_idx] = True
+        return mask
+
     def gather(self, positions: np.ndarray) -> np.ndarray:
         """Positional access by decoding from the nearest checkpoint.
 

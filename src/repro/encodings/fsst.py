@@ -112,8 +112,9 @@ class SymbolTable:
         return bytes(out)
 
 
-def train_symbol_table(strings: Sequence[str], max_symbols: int = _MAX_SYMBOLS,
-                       sample_size: int = 4096) -> SymbolTable:
+def train_symbol_table(
+    strings: Sequence[str], max_symbols: int = _MAX_SYMBOLS, sample_size: int = 4096
+) -> SymbolTable:
     """Learn a symbol table from (a sample of) the input strings.
 
     A simplified single-pass trainer: count substrings of length 2..8 on a

@@ -27,6 +27,29 @@ Layers, bottom to top:
   dictionary-encoded columns in *code space* (integer kernels over packed
   codes, zero string-heap materialisation).  :class:`ScanMetrics` reports
   what both layers saved.
+* **Compressed-domain kernels** (:mod:`~repro.query.kernels`) — a
+  :class:`KernelRegistry` the scan consults per (encoding, predicate) pair
+  before falling back to decode-then-compare::
+
+      predicate subtree over column c
+        │
+        ├─ c is dictionary-encoded ──────────▶ code space (predicates.py)
+        │
+        └─ KernelRegistry[encoding_name(c)]
+             ├─ rle ────────▶ run space: evaluate per (value, length) run,
+             │                fan out with np.repeat; run-weighted
+             │                aggregates and run-space group-by
+             ├─ for_bitpack ─▶ word space: shift constants by the frame,
+             │                compare the packed words (zero-copy lane
+             │                views for 8/16/32/64-bit widths)
+             ├─ delta ───────▶ checkpoint space: two binary searches over
+             │                the checkpoint index (monotonic columns)
+             ├─ frequency ───▶ hot-value space: verdicts over the hot
+             │                values + exceptions fan out through codes
+             └─ (no kernel, or kernel declines) ─▶ decode then compare
+
+  Every kernel is exact — bit-identical to the decode baseline — and
+  ``use_kernels=False`` (CLI ``--no-kernels``) disables the registry.
 * **Morsel-driven parallelism** (:mod:`~repro.query.parallel`) — post-
   pruning blocks fan out over a persistent thread pool; the NumPy kernels
   release the GIL, and results are bit-identical to serial execution.
@@ -48,6 +71,15 @@ paper's selection-vector workload and its latency harness unchanged.
 """
 
 from .executor import QueryExecutor, QueryResult
+from .kernels import (
+    DEFAULT_KERNELS,
+    ColumnKernel,
+    DeltaKernel,
+    ForKernel,
+    FrequencyKernel,
+    KernelRegistry,
+    RleKernel,
+)
 from .latency import (
     LatencyMeasurement,
     LatencySweep,
@@ -120,6 +152,13 @@ __all__ = [
     "ScanMetrics",
     "ScanPlan",
     "ScanPlanner",
+    "ColumnKernel",
+    "RleKernel",
+    "ForKernel",
+    "DeltaKernel",
+    "FrequencyKernel",
+    "KernelRegistry",
+    "DEFAULT_KERNELS",
     "Morsel",
     "ParallelEngine",
     "parallel_map",

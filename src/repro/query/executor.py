@@ -65,7 +65,10 @@ class QueryExecutor:
     parallelism (``None``/``0`` = all cores; the default of 1 evaluates
     inline on the calling thread).  ``use_dictionary=False`` disables
     dictionary-domain predicate evaluation, forcing the decode-then-compare
-    path the benchmarks use as a baseline.
+    path the benchmarks use as a baseline.  ``use_kernels=False`` likewise
+    disables the per-encoding compressed-domain kernels
+    (:mod:`repro.query.kernels`), restoring the decode baseline for RLE,
+    FOR/delta and frequency columns.
     """
 
     def __init__(
@@ -74,6 +77,7 @@ class QueryExecutor:
         use_statistics: bool = True,
         workers: int | None = 1,
         use_dictionary: bool = True,
+        use_kernels: bool = True,
     ):
         self._relation = relation
         self._compiler = QueryCompiler(
@@ -81,6 +85,7 @@ class QueryExecutor:
             use_statistics=use_statistics,
             workers=workers,
             use_dictionary=use_dictionary,
+            use_kernels=use_kernels,
         )
         # Shared with the compiler; kept as attributes for callers (and
         # tests) that reach for the physical pipeline directly.

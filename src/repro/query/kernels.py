@@ -1,0 +1,336 @@
+"""Compressed-domain predicate and aggregate kernels per encoding.
+
+PR 2-3 taught the scan pipeline to answer ``Eq``/``In``/``Between`` over
+dictionary columns in *code space*.  This module carries the same idea to the
+remaining vertical encodings, each exploiting its own physical layout:
+
+* **RLE — run space.**  Any single-column subtree of element-wise nodes
+  (``Eq``/``Between``/``In`` composed with ``And``/``Or``/``Not``) is
+  evaluated once per *run* over the (value, length) arrays and fanned out to
+  a row mask with ``np.repeat``.  Aggregates become run-weighted sums
+  (Σ value·run_length over surviving runs) and group-by keys are the
+  surviving run values — the row values are never materialised.
+* **FOR/bit-packing — word space.**  Constant comparisons are shifted by the
+  frame of reference and run directly over the packed words
+  (:meth:`~repro.bitpack.BitPackedArray.compare_range`); machine lane widths
+  (8/16/32/64) compare a zero-copy view of the packed buffer.
+* **Delta — checkpoint space.**  On monotonic columns a range predicate is
+  two binary searches over the checkpoint index, each decoding exactly one
+  segment; the mask is a contiguous span.  Non-monotonic columns decline and
+  fall back to the decode path.
+* **Frequency — hot-value space.**  The predicate runs over the (at most
+  ``n_hot``) hot values plus the exception list, and the verdicts fan out to
+  rows through the packed codes.
+
+A :class:`KernelRegistry` maps ``encoding_name`` to its kernel; the scan,
+aggregation and group-by layers consult it per (encoding, predicate) pair,
+exactly as they consult the dictionary code-space path.  Every kernel is
+*exact*: it answers with the same mask/aggregate the decode-then-compare
+baseline would produce, or returns ``None`` to decline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..encodings.bitpacked import ForBitPackedColumn
+from ..encodings.delta import DeltaEncodedColumn
+from ..encodings.frequency import FrequencyEncodedColumn
+from ..encodings.rle import RleEncodedColumn
+from .predicates import And, Between, Eq, In, Not, Or, Predicate
+
+__all__ = [
+    "ColumnKernel",
+    "RleKernel",
+    "ForKernel",
+    "DeltaKernel",
+    "FrequencyKernel",
+    "KernelRegistry",
+    "DEFAULT_KERNELS",
+]
+
+
+def _run_space_safe(node: Predicate) -> bool:
+    """Whether a predicate subtree is element-wise (safe to evaluate per run).
+
+    ``Eq``/``Between``/``In`` decide each row from its value alone, and
+    ``And``/``Or``/``Not`` preserve that, so the whole subtree can run once
+    per distinct run value.  Opaque nodes (``ColumnPredicate``) may inspect
+    positions or neighbours and are excluded.
+    """
+    if isinstance(node, Not):
+        return _run_space_safe(node.child)
+    if isinstance(node, (And, Or)):
+        return all(_run_space_safe(child) for child in node.children)
+    return isinstance(node, (Eq, Between, In))
+
+
+def _is_int(value) -> bool:
+    return isinstance(value, (int, np.integer))
+
+
+class ColumnKernel:
+    """Compressed-domain evaluation for one encoding.
+
+    Subclasses answer what they can and return ``None`` for everything else;
+    the caller then falls back to the decode-then-compare path, so a kernel
+    never needs to be complete — only correct.
+    """
+
+    #: ``EncodedColumn.encoding_name`` this kernel serves.
+    encoding_name: str = ""
+
+    def predicate_mask(self, name: str, column, node: Predicate) -> np.ndarray | None:
+        """Row mask for ``node`` over the encoded column, or ``None``."""
+        return None
+
+    def aggregate(self, column, mask: np.ndarray, kind: str):
+        """Partial aggregate of ``kind`` over the rows selected by ``mask``.
+
+        Only called with at least one selected row, so ``None`` always means
+        *unsupported* (never an empty-selection result).
+        """
+        return None
+
+    def group_keys(self, column, mask: np.ndarray):
+        """``(keys, inverse)`` for grouping the selected rows, or ``None``.
+
+        ``keys`` are the distinct selected values (sorted, as Python ints)
+        and ``inverse`` maps each selected row — in ascending row order — to
+        its index in ``keys``.
+        """
+        return None
+
+    def charge(self, metrics, column) -> None:
+        """Record one answered predicate in the scan metrics."""
+
+
+class RleKernel(ColumnKernel):
+    """Run-space evaluation over :class:`RleEncodedColumn`.
+
+    The only kernel that answers *compound* single-column subtrees: every
+    element-wise node evaluates over the ``n_runs`` distinct run values, so
+    the whole subtree collapses to one pass over runs plus one fan-out.
+    """
+
+    encoding_name = "rle"
+
+    def predicate_mask(self, name: str, column, node: Predicate) -> np.ndarray | None:
+        if not isinstance(column, RleEncodedColumn) or not _run_space_safe(node):
+            return None
+        run_mask = np.asarray(node.evaluate({name: column.run_values()}), dtype=bool)
+        return column.expand_run_mask(run_mask)
+
+    def _selected_per_run(self, column, mask: np.ndarray) -> np.ndarray:
+        """How many selected rows fall in each run.
+
+        The ``int64`` cast matters: ``np.add.reduceat`` over a boolean array
+        computes logical OR per segment, not a sum.
+        """
+        if column.n_runs == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.add.reduceat(np.asarray(mask, dtype=np.int64), column.run_starts)
+
+    def aggregate(self, column, mask: np.ndarray, kind: str):
+        if not isinstance(column, RleEncodedColumn):
+            return None
+        counts = self._selected_per_run(column, mask)
+        selected = int(counts.sum())
+        if kind == "count":
+            return selected
+        run_values = column.run_values()
+        if kind == "sum":
+            return int(np.sum(run_values * counts, dtype=np.int64))
+        if kind in ("min", "max"):
+            surviving = run_values[counts > 0]
+            if surviving.size == 0:
+                return None
+            return int(surviving.min()) if kind == "min" else int(surviving.max())
+        if kind == "avg":
+            return (int(np.sum(run_values * counts, dtype=np.int64)), selected)
+        return None
+
+    def group_keys(self, column, mask: np.ndarray):
+        if not isinstance(column, RleEncodedColumn):
+            return None
+        counts = self._selected_per_run(column, mask)
+        survivors = counts > 0
+        unique_values, run_inverse = np.unique(
+            column.run_values()[survivors], return_inverse=True
+        )
+        # Rows expand run by run (runs are in row order), so repeating each
+        # run's group id by its selected count yields the inverse in the same
+        # ascending row order as ``np.flatnonzero(mask)``.
+        mapped = np.zeros(column.n_runs, dtype=np.int64)
+        mapped[survivors] = run_inverse
+        inverse = np.repeat(mapped, counts)
+        return [int(v) for v in unique_values], inverse
+
+    def charge(self, metrics, column) -> None:
+        metrics.rows_rle_evaluated += column.n_values
+        metrics.runs_evaluated += column.n_runs
+
+
+class ForKernel(ColumnKernel):
+    """Word-space comparisons over :class:`ForBitPackedColumn`.
+
+    Constants shift by the frame of reference and compare against the packed
+    words; non-integer constants decline (the decode path already implements
+    the mixed-type degrade semantics).
+    """
+
+    encoding_name = "for_bitpack"
+
+    def predicate_mask(self, name: str, column, node: Predicate) -> np.ndarray | None:
+        if not isinstance(column, ForBitPackedColumn):
+            return None
+        if isinstance(node, Between):
+            if (node.low is not None and not _is_int(node.low)) or (
+                node.high is not None and not _is_int(node.high)
+            ):
+                return None
+            return column.compare_range(node.low, node.high)
+        if isinstance(node, Eq):
+            if not _is_int(node.value):
+                return None
+            return column.compare_values((node.value,))
+        if isinstance(node, In):
+            if not all(_is_int(v) for v in node.values):
+                return None
+            return column.compare_values(node.values)
+        return None
+
+    def charge(self, metrics, column) -> None:
+        metrics.rows_for_evaluated += column.n_values
+
+
+class DeltaKernel(ColumnKernel):
+    """Checkpoint-index comparisons over monotonic :class:`DeltaEncodedColumn`.
+
+    The column's ``compare_*`` helpers return ``None`` on non-monotonic data,
+    which this kernel passes through — the caller falls back to decoding.
+    """
+
+    encoding_name = "delta"
+
+    def predicate_mask(self, name: str, column, node: Predicate) -> np.ndarray | None:
+        if not isinstance(column, DeltaEncodedColumn):
+            return None
+        if isinstance(node, Between):
+            if (node.low is not None and not _is_int(node.low)) or (
+                node.high is not None and not _is_int(node.high)
+            ):
+                return None
+            return column.compare_range(node.low, node.high)
+        if isinstance(node, Eq):
+            if not _is_int(node.value):
+                return None
+            return column.compare_values((node.value,))
+        if isinstance(node, In):
+            if not all(_is_int(v) for v in node.values):
+                return None
+            return column.compare_values(node.values)
+        return None
+
+    def charge(self, metrics, column) -> None:
+        metrics.rows_for_evaluated += column.n_values
+
+
+class FrequencyKernel(ColumnKernel):
+    """Hot-value evaluation over :class:`FrequencyEncodedColumn`.
+
+    The predicate runs over the hot values and the exception list only, then
+    fans out through the packed codes — a small dictionary in disguise, so it
+    charges the dictionary code-space counter.
+    """
+
+    encoding_name = "frequency"
+
+    def predicate_mask(self, name: str, column, node: Predicate) -> np.ndarray | None:
+        if not isinstance(column, FrequencyEncodedColumn):
+            return None
+        if not isinstance(node, (Eq, Between, In)):
+            return None
+        return column.evaluate_hot(
+            lambda values: np.asarray(node.evaluate({name: values}), dtype=bool)
+        )
+
+    def charge(self, metrics, column) -> None:
+        metrics.rows_dict_evaluated += column.n_values
+
+
+class KernelRegistry:
+    """Dispatch table from ``encoding_name`` to its compressed-domain kernel.
+
+    Consulted by :func:`~repro.query.scan.evaluate_block_predicate` (masks),
+    the aggregation layer (run-weighted aggregates) and the group-by layer
+    (run-space group keys).  Horizontally encoded columns never dispatch — a
+    kernel sees only self-contained vertical columns.  Dictionary columns are
+    deliberately *not* registered here: their code-space path predates this
+    registry and keeps its own dispatch.
+    """
+
+    def __init__(self, kernels: Iterable[ColumnKernel] = ()):
+        self._kernels: dict[str, ColumnKernel] = {}
+        for kernel in kernels:
+            self.register(kernel)
+
+    def register(self, kernel: ColumnKernel) -> None:
+        self._kernels[kernel.encoding_name] = kernel
+
+    @property
+    def encodings(self) -> tuple[str, ...]:
+        return tuple(self._kernels)
+
+    def _lookup(self, block, name: str):
+        if block.dependency(name) is not None:
+            return None, None
+        columns = getattr(block, "columns", None)
+        if not isinstance(columns, dict):
+            return None, None
+        column = columns.get(name)
+        if column is None:
+            return None, None
+        kernel = self._kernels.get(getattr(column, "encoding_name", ""))
+        return kernel, column
+
+    def predicate_mask(self, block, name: str, node: Predicate, metrics=None) -> np.ndarray | None:
+        """``node``'s row mask over ``block``'s encoded column, or ``None``.
+
+        Charges the kernel's scan-metrics counters on success.
+        """
+        kernel, column = self._lookup(block, name)
+        if kernel is None:
+            return None
+        mask = kernel.predicate_mask(name, column, node)
+        if mask is None:
+            return None
+        if metrics is not None:
+            kernel.charge(metrics, column)
+        return np.asarray(mask, dtype=bool)
+
+    def aggregate(self, block, name: str, mask: np.ndarray, kind: str):
+        """Partial aggregate over the selected rows, or ``None``.
+
+        Must only be called with a non-empty selection (see
+        :meth:`ColumnKernel.aggregate`).
+        """
+        kernel, column = self._lookup(block, name)
+        if kernel is None:
+            return None
+        return kernel.aggregate(column, mask, kind)
+
+    def group_keys(self, block, name: str, mask: np.ndarray):
+        """Run-space ``(keys, inverse)`` for a group-by column, or ``None``."""
+        kernel, column = self._lookup(block, name)
+        if kernel is None:
+            return None
+        return kernel.group_keys(column, mask)
+
+
+#: The registry the query layers use unless handed a custom one.
+DEFAULT_KERNELS = KernelRegistry(
+    (RleKernel(), ForKernel(), DeltaKernel(), FrequencyKernel())
+)

@@ -113,6 +113,10 @@ class ParallelEngine:
     use_dictionary:
         Route ``Eq``/``In``/``Between`` over dictionary-encoded columns
         through code space (default) or force decode-then-compare.
+    use_kernels:
+        Offer single-column subtrees to the compressed-domain kernel
+        registry (RLE run space, FOR/delta word space — default) or force
+        the decode path.
     """
 
     def __init__(
@@ -122,6 +126,7 @@ class ParallelEngine:
         planner: ScanPlanner | None = None,
         morsel_blocks: int = DEFAULT_MORSEL_BLOCKS,
         use_dictionary: bool = True,
+        use_kernels: bool = True,
     ):
         if morsel_blocks < 1:
             raise ValidationError("morsel size must be at least one block")
@@ -130,6 +135,7 @@ class ParallelEngine:
         self._planner = planner if planner is not None else ScanPlanner(relation)
         self._morsel_blocks = morsel_blocks
         self._use_dictionary = use_dictionary
+        self._use_kernels = use_kernels
         #: Lazily-created persistent pool: repeated queries must not pay
         #: thread start-up on every call.  Idle threads cost nothing and are
         #: joined cleanly at interpreter shutdown (or via :meth:`close`).
@@ -228,7 +234,11 @@ class ParallelEngine:
                     prefetch(following, required_columns)
             block = self._relation.block(index)
             mask = evaluate_block_predicate(
-                block, predicate, metrics=partial, use_dictionary=self._use_dictionary
+                block,
+                predicate,
+                metrics=partial,
+                use_dictionary=self._use_dictionary,
+                use_kernels=self._use_kernels,
             )
             if count_only:
                 partial.rows_matched += int(np.count_nonzero(mask))

@@ -51,6 +51,7 @@ from ..encodings.dictionary import DictEncodedIntColumn, DictEncodedStringColumn
 from ..errors import UnknownColumnError, ValidationError
 from ..storage.block import CompressedBlock
 from ..storage.relation import Relation
+from .kernels import DEFAULT_KERNELS
 from .parallel import ParallelEngine, resolve_workers
 from .predicates import And, Predicate
 from .scan import (
@@ -412,7 +413,9 @@ class QueryCompiler:
     engine, so repeated queries reuse zone-map decisions and the worker
     pool.  ``use_statistics=False`` disables both pruning and stat-answered
     aggregates (the decode-and-reduce baseline); ``use_dictionary=False``
-    disables every code-space path.
+    disables every code-space path; ``use_kernels=False`` disables the
+    compressed-domain kernel registry (RLE run space, FOR/delta word space,
+    run-weighted aggregates and run-space group-by).
     """
 
     def __init__(
@@ -423,10 +426,12 @@ class QueryCompiler:
         use_dictionary: bool = True,
         planner: ScanPlanner | None = None,
         engine: ParallelEngine | None = None,
+        use_kernels: bool = True,
     ):
         self._relation = relation
         self._use_statistics = use_statistics
         self._use_dictionary = use_dictionary
+        self._use_kernels = use_kernels
         self._workers = resolve_workers(workers)
         self._planner = (
             planner if planner is not None else ScanPlanner(relation, use_statistics=use_statistics)
@@ -439,6 +444,7 @@ class QueryCompiler:
                 workers=self._workers,
                 planner=self._planner,
                 use_dictionary=use_dictionary,
+                use_kernels=use_kernels,
             )
         )
 
@@ -608,7 +614,9 @@ class QueryCompiler:
         if compiled.projection is None:
             columns: dict[str, "np.ndarray | list"] = {}
         else:
-            columns = materialize_columns(self._relation, compiled.projection, row_ids)
+            columns = materialize_columns(
+                self._relation, compiled.projection, row_ids, workers=self._workers
+            )
         return PlanResult(columns=columns, row_ids=row_ids, metrics=metrics)
 
     # -- aggregate execution ---------------------------------------------------
@@ -635,7 +643,11 @@ class QueryCompiler:
             partial.rows_matched += block.n_rows
             return None, block.n_rows
         mask = evaluate_block_predicate(
-            block, predicate, metrics=partial, use_dictionary=self._use_dictionary
+            block,
+            predicate,
+            metrics=partial,
+            use_dictionary=self._use_dictionary,
+            use_kernels=self._use_kernels,
         )
         n_selected = int(np.count_nonzero(mask))
         partial.rows_matched += n_selected
@@ -761,6 +773,29 @@ class QueryCompiler:
                     pending.append(slot)
             else:
                 pending.append(slot)
+        if pending and self._use_kernels:
+            # Run-weighted aggregation: an RLE input column answers each
+            # pending reduction as Σ value·selected_count over its runs —
+            # nothing is gathered.  Pending slots always have a non-empty
+            # selection, so ``None`` unambiguously means "kernel declined"
+            # (0 is a valid sum).
+            names = []
+            for slot in pending:
+                column = aggs[slot][1].column
+                if column not in names:
+                    names.append(column)
+            block = resolve_block(block, columns=names)
+            kernel_mask = mask if mask is not None else np.ones(block.n_rows, dtype=bool)
+            remaining = []
+            for slot in pending:
+                fn = aggs[slot][1]
+                value = DEFAULT_KERNELS.aggregate(block, fn.column, kernel_mask, fn.kind)
+                if value is None:
+                    remaining.append(slot)
+                else:
+                    state[slot] = value
+                    partial.rows_kernel_aggregated += n_selected
+            pending = remaining
         if pending:
             names = []
             for slot in pending:
@@ -860,7 +895,20 @@ class QueryCompiler:
             used_code_space = True
             gather_names: list[str] = []
         else:
-            gather_names = list(group_by)
+            run_groups = None
+            if self._use_kernels and len(group_by) == 1:
+                # Run-space group-by: an RLE group column's groups are its
+                # surviving run values; the per-row inverse comes from
+                # repeating each run's group id by its selected count, in
+                # the same ascending row order the gather path would use.
+                kernel_mask = mask if mask is not None else np.ones(block.n_rows, dtype=bool)
+                run_groups = DEFAULT_KERNELS.group_keys(block, group_by[0], kernel_mask)
+            if run_groups is not None:
+                keys, inverse = run_groups
+                partial.rows_kernel_aggregated += n_selected
+                gather_names = []
+            else:
+                gather_names = list(group_by)
 
         value_names = []
         for _, fn in aggs:
@@ -983,11 +1031,12 @@ class LazyQuery:
         )
         by_tag = relation.query().group_by("tag").agg(n=Count()).execute()
 
-    ``workers``/``use_statistics``/``use_dictionary`` mirror the
-    :class:`~repro.query.executor.QueryExecutor` knobs and are fixed when
-    the chain starts (via :meth:`~repro.storage.relation.Relation.query`).
-    The metrics of the most recent terminal run on *this* chain link are
-    available as :attr:`last_metrics`.
+    ``workers``/``use_statistics``/``use_dictionary``/``use_kernels``
+    mirror the :class:`~repro.query.executor.QueryExecutor` knobs and are
+    fixed when the chain starts (via
+    :meth:`~repro.storage.relation.Relation.query`).  The metrics of the
+    most recent terminal run on *this* chain link are available as
+    :attr:`last_metrics`.
     """
 
     def __init__(
@@ -996,6 +1045,7 @@ class LazyQuery:
         workers: int | None = 1,
         use_statistics: bool = True,
         use_dictionary: bool = True,
+        use_kernels: bool = True,
         _spec: _QuerySpec | None = None,
         _compiler_box: "list[QueryCompiler | None] | None" = None,
     ):
@@ -1003,6 +1053,7 @@ class LazyQuery:
         self._workers = workers
         self._use_statistics = use_statistics
         self._use_dictionary = use_dictionary
+        self._use_kernels = use_kernels
         self._spec = _spec if _spec is not None else _QuerySpec()
         #: One compiler per chain, created on the first terminal and shared
         #: by every link derived from the same ``relation.query()`` root
@@ -1022,6 +1073,7 @@ class LazyQuery:
             workers=self._workers,
             use_statistics=self._use_statistics,
             use_dictionary=self._use_dictionary,
+            use_kernels=self._use_kernels,
             _spec=replace(self._spec, **changes),
             _compiler_box=self._compiler_box,
         )
@@ -1102,6 +1154,7 @@ class LazyQuery:
                 use_statistics=self._use_statistics,
                 workers=self._workers,
                 use_dictionary=self._use_dictionary,
+                use_kernels=self._use_kernels,
             )
         return self._compiler_box[0]
 

@@ -41,6 +41,7 @@ from ..encodings.dictionary import DictEncodedStringColumn
 from ..errors import UnknownColumnError, ValidationError
 from ..storage.block import CompressedBlock
 from ..storage.relation import Relation
+from .kernels import DEFAULT_KERNELS, KernelRegistry
 from .predicates import And, Not, Or, Predicate
 from .selection import SelectionVector
 
@@ -123,11 +124,16 @@ def materialize_block_columns(
 
 
 def materialize_columns(
-    relation: Relation, names: Sequence[str], selection: SelectionVector | np.ndarray
+    relation: Relation,
+    names: Sequence[str],
+    selection: SelectionVector | np.ndarray,
+    workers: int = 1,
 ) -> QueryOutput:
     """Materialise ``names`` at the globally-selected rows of a relation.
 
-    The output preserves the selection vector's row order.
+    The output preserves the selection vector's row order.  ``workers > 1``
+    gathers the per-block groups concurrently: each block writes a disjoint
+    slice of the preallocated outputs, so no merge step is needed.
     """
     row_ids = (
         selection.row_ids if isinstance(selection, SelectionVector) else np.asarray(selection)
@@ -147,12 +153,9 @@ def materialize_columns(
             outputs[name] = np.empty(n, dtype=np.int64)
 
     groups = relation.locate(row_ids)
-    prefetch = getattr(relation, "prefetch_block_columns", None)
-    for position, (block_index, local_positions, output_positions) in enumerate(groups):
-        if prefetch is not None and position + 1 < len(groups):
-            # Read-ahead: schedule the next block's projection columns while
-            # this block's gather kernels run.
-            prefetch(groups[position + 1][0], names)
+
+    def gather_group(group) -> None:
+        block_index, local_positions, output_positions = group
         block = resolve_block(relation.block(block_index), columns=names)
         block_output = _gather_block(block, names, local_positions)
         for name in names:
@@ -163,6 +166,21 @@ def materialize_columns(
                     target_list[int(out_pos)] = value
             else:
                 outputs[name][output_positions] = np.asarray(values)
+
+    if workers != 1 and len(groups) > 1:
+        # Imported lazily: repro.query.parallel itself imports this module.
+        from .parallel import parallel_map
+
+        parallel_map(gather_group, groups, workers=workers)
+        return outputs
+
+    prefetch = getattr(relation, "prefetch_block_columns", None)
+    for position, group in enumerate(groups):
+        if prefetch is not None and position + 1 < len(groups):
+            # Read-ahead: schedule the next block's projection columns while
+            # this block's gather kernels run.
+            prefetch(groups[position + 1][0], names)
+        gather_group(group)
     return outputs
 
 
@@ -198,6 +216,13 @@ class ScanMetrics:
     values during predicate evaluation or projection, plus one entry per
     distinct group when a group-by is answered in code space.  It is the
     quantity the code-space paths drive to (near) zero.
+
+    The kernel counters account the remaining compressed-domain paths:
+    ``rows_rle_evaluated`` rows answered in RLE run space (with
+    ``runs_evaluated`` the runs actually compared — the work really done),
+    ``rows_for_evaluated`` rows answered by FOR/delta word-space
+    comparisons, and ``rows_kernel_aggregated`` selected rows whose
+    aggregate or group-by was computed run-weighted instead of gathered.
     """
 
     n_blocks: int = 0
@@ -210,6 +235,10 @@ class ScanMetrics:
     rows_dict_evaluated: int = 0
     string_heap_decodes: int = 0
     rows_gathered: int = 0
+    rows_rle_evaluated: int = 0
+    runs_evaluated: int = 0
+    rows_for_evaluated: int = 0
+    rows_kernel_aggregated: int = 0
 
     def merge(self, other: "ScanMetrics") -> "ScanMetrics":
         """Fold another metrics object (covering disjoint work) into this one.
@@ -228,6 +257,10 @@ class ScanMetrics:
         self.rows_dict_evaluated += other.rows_dict_evaluated
         self.string_heap_decodes += other.string_heap_decodes
         self.rows_gathered += other.rows_gathered
+        self.rows_rle_evaluated += other.rows_rle_evaluated
+        self.runs_evaluated += other.runs_evaluated
+        self.rows_for_evaluated += other.rows_for_evaluated
+        self.rows_kernel_aggregated += other.rows_kernel_aggregated
         return self
 
     @property
@@ -250,6 +283,8 @@ class ScanMetrics:
             f"({self.blocks_pruned} pruned, {self.blocks_full} fully covered); "
             f"{self.rows_decoded:,}/{self.rows_total:,} rows decoded, "
             f"{self.rows_dict_evaluated:,} dict-evaluated, "
+            f"{self.rows_rle_evaluated:,} rle-evaluated, "
+            f"{self.rows_for_evaluated:,} for-evaluated, "
             f"{self.rows_matched:,} matched"
         )
 
@@ -285,27 +320,36 @@ def evaluate_block_predicate(
     predicate: Predicate,
     metrics: ScanMetrics | None = None,
     use_dictionary: bool = True,
+    use_kernels: bool = True,
+    kernels: KernelRegistry | None = None,
 ) -> np.ndarray:
     """Evaluate ``predicate`` over one block, returning a boolean row mask.
 
-    The predicate tree is walked leaf by leaf.  A leaf whose column is
+    The predicate tree is walked leaf by leaf.  Before recursing into any
+    node, a single-column subtree is offered to the compressed-domain
+    :class:`~repro.query.kernels.KernelRegistry` (``kernels``, defaulting to
+    the standard registry): RLE columns answer whole element-wise subtrees
+    in run space, FOR/delta columns answer constant comparisons in word
+    space, frequency columns in hot-value space.  A leaf whose column is
     dictionary-encoded in this block and which can translate itself to code
     space (``Eq``/``In``/``Between``) is answered from the packed codes
     without decoding any value; ``Not`` nodes negate their child's mask, so
-    a negated code-space leaf stays in code space.  Other leaves decode
+    a negated code-space leaf stays in code space.  Remaining leaves decode
     their column once per block (a shared cache deduplicates columns used by
     several leaves) and apply the generic vectorized kernel.
-    ``use_dictionary=False`` forces the decode path for every leaf — the
-    decode-then-compare baseline the benchmarks measure against.
+    ``use_dictionary=False`` forces the decode path past the dictionary
+    route, ``use_kernels=False`` past the kernel registry — together they
+    restore the decode-then-compare baseline the benchmarks measure against.
     ``metrics``, when given, receives the ``rows_decoded``,
-    ``rows_dict_evaluated`` and ``string_heap_decodes`` accounting
-    (``rows_decoded`` is charged once per block, on the first column
-    actually materialised; blocks answered purely in code space add
-    nothing).  An out-of-core proxy is materialised with the predicate's
-    column set only — on a column-granular table the non-predicate columns'
-    bytes are never fetched.
+    ``rows_dict_evaluated``, kernel-counter and ``string_heap_decodes``
+    accounting (``rows_decoded`` is charged once per block, on the first
+    column actually materialised; blocks answered purely in an encoded
+    domain add nothing).  An out-of-core proxy is materialised with the
+    predicate's column set only — on a column-granular table the
+    non-predicate columns' bytes are never fetched.
     """
     block = resolve_block(block, columns=predicate.columns())
+    registry = (kernels if kernels is not None else DEFAULT_KERNELS) if use_kernels else None
     decoded_cache: dict[str, "np.ndarray | list[str]"] = {}
     encoded_cache: dict[str, _CodesView] = {}
     all_positions: np.ndarray | None = None
@@ -339,6 +383,15 @@ def evaluate_block_predicate(
         return decoded_cache[name]
 
     def walk(node: Predicate) -> np.ndarray:
+        if registry is not None:
+            kernel_names = node.columns()
+            if len(kernel_names) == 1:
+                # Kernel-first: RLE answers compound single-column subtrees in
+                # run space, so the offer happens before any recursion; the
+                # other kernels simply decline non-leaf nodes.
+                kernel_mask = registry.predicate_mask(block, kernel_names[0], node, metrics)
+                if kernel_mask is not None:
+                    return kernel_mask
         if isinstance(node, Not):
             return ~walk(node.child)
         if isinstance(node, (And, Or)):

@@ -154,4 +154,6 @@ class CompressedBlock:
         if dep is None:
             return encoded.gather(positions)
         reference_values = {ref: self.gather_column(ref, positions) for ref in dep.references}
-        return encoded.gather_with_reference(positions, reference_values)  # type: ignore[attr-defined]
+        return encoded.gather_with_reference(
+            positions, reference_values
+        )  # type: ignore[attr-defined]

@@ -84,6 +84,9 @@ class IOMetrics:
     never fetched.  ``prefetch_issued``/``prefetch_hits`` account the
     read-ahead pool: segments it scheduled, and demand fetches that found
     their segment already resident (or in flight) because of it.
+    ``reads_coalesced`` counts the ``pread`` calls *saved* by merging
+    byte-adjacent column segments into one ranged read (a run of *n*
+    contiguous segments fetched together adds *n − 1*).
     """
 
     bytes_read: int = 0
@@ -95,6 +98,7 @@ class IOMetrics:
     column_block_bytes: int = 0
     prefetch_issued: int = 0
     prefetch_hits: int = 0
+    reads_coalesced: int = 0
     #: Bumped by :meth:`reset` so owners of derived per-block state (the
     #: table reader's touched-column map) know to restart their accounting.
     epoch: int = field(default=0, compare=False)
@@ -132,6 +136,10 @@ class IOMetrics:
         with self._lock:
             self.prefetch_hits += 1
 
+    def record_coalesced(self, n_saved: int) -> None:
+        with self._lock:
+            self.reads_coalesced += int(n_saved)
+
     def reset(self) -> None:
         with self._lock:
             self.bytes_read = 0
@@ -143,6 +151,7 @@ class IOMetrics:
             self.column_block_bytes = 0
             self.prefetch_issued = 0
             self.prefetch_hits = 0
+            self.reads_coalesced = 0
             self.epoch += 1
 
     def describe(self) -> str:

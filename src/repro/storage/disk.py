@@ -16,8 +16,11 @@ is *when* (and since format v3, *how much of*) a block moves:
   dependency closure from footer metadata and fetches only those columns'
   sub-segments through the relation's byte-budgeted
   :class:`~repro.storage.cache.BlockCache` (keyed per *(relation, block,
-  column)*, single-flight); :meth:`LazyBlock.load` remains the whole-block
-  fallback, and the only path for v1/v2 files;
+  column)*, single-flight); byte-adjacent sub-segments of not-yet-cached
+  columns are merged into one ranged read
+  (``IOMetrics.reads_coalesced`` counts the seeks saved);
+  :meth:`LazyBlock.load` remains the whole-block fallback, and the only
+  path for v1/v2 files;
 * **read-ahead hides cold latency** — :meth:`DiskRelation.
   prefetch_block_columns` schedules the next surviving block's required
   columns on a small bounded pool while the current block's kernel runs;
@@ -377,10 +380,31 @@ class DiskRelation(Relation):
         closure = self.column_closure(index, names)
         if len(closure) >= len(entry.columns):
             return self._load_block(index)
+        # Coalesced fast path: columns the cache has never seen (probed via
+        # status(), which never counts as a request) are fetched together —
+        # byte-adjacent sub-segments merge into one ranged read — and then
+        # injected through get_or_load so single-flight semantics and cache
+        # accounting are preserved.  Columns already cached or in flight
+        # take the ordinary per-column path and piggyback on the loader.
+        absent = [
+            name
+            for name in closure
+            if self._cache.status(self._cache_key(index, name)) == "absent"
+        ]
+        preloaded = self._reader.read_columns(index, absent) if len(absent) > 1 else {}
         columns = {}
         dependencies = {}
         for name in closure:
-            encoded, dependency = self._load_column(index, name)
+            if name in preloaded:
+                key = self._cache_key(index, name)
+                self._note_demand(key)
+                segment = self._reader.column_segment(index, name)
+                encoded, dependency = self._cache.get_or_load(
+                    key,
+                    lambda name=name, segment=segment: (preloaded[name], segment.length),
+                )
+            else:
+                encoded, dependency = self._load_column(index, name)
             columns[name] = encoded
             if dependency is not None:
                 dependencies[name] = dependency

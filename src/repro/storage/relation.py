@@ -116,6 +116,7 @@ class Relation:
         workers: int | None = 1,
         use_statistics: bool = True,
         use_dictionary: bool = True,
+        use_kernels: bool = True,
     ):
         """Start a lazy query chain over this relation.
 
@@ -134,6 +135,7 @@ class Relation:
             workers=workers,
             use_statistics=use_statistics,
             use_dictionary=use_dictionary,
+            use_kernels=use_kernels,
         )
 
     # -- sizes ----------------------------------------------------------------

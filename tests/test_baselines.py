@@ -127,5 +127,7 @@ class TestC3Selector:
         receipt = tpch_dates.column("l_receiptdate")
         baseline = SingleColumnBaseline().select_column(tpch_dates, "l_receiptdate").size_bytes
         corra_rate = 1 - NonHierarchicalEncoding().encode(receipt, ship, "s").size_bytes / baseline
-        c3_rate = 1 - C3Selector().best(tpch_dates, "l_receiptdate", "l_shipdate").size_bytes / baseline
+        c3_rate = (
+            1 - C3Selector().best(tpch_dates, "l_receiptdate", "l_shipdate").size_bytes / baseline
+        )
         assert corra_rate == pytest.approx(c3_rate, abs=0.05)

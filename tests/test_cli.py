@@ -13,7 +13,9 @@ class TestParser:
     def test_known_subcommands(self):
         parser = build_parser()
         for command in ("datasets", "compress", "detect", "query", "experiments"):
-            args = parser.parse_args([command] + (["taxi"] if command in ("compress", "detect", "query") else []))
+            args = parser.parse_args(
+                [command] + (["taxi"] if command in ("compress", "detect", "query") else [])
+            )
             assert args.command == command
 
 
@@ -44,8 +46,7 @@ class TestDatasetsCommand:
 
 class TestCompressCommand:
     def test_baseline_plan(self, capsys):
-        assert main(["compress", "tpch_lineitem", "--rows", "5000",
-                     "--plan", "baseline"]) == 0
+        assert main(["compress", "tpch_lineitem", "--rows", "5000", "--plan", "baseline"]) == 0
         out = capsys.readouterr().out
         assert "l_shipdate" in out
         assert "total:" in out
@@ -102,8 +103,7 @@ class TestDetectCommand:
         assert "dropoff" in out
 
     def test_detect_nothing_found(self, capsys):
-        assert main(["detect", "taxi", "--rows", "500",
-                     "--min-saving-rate", "0.99"]) == 0
+        assert main(["detect", "taxi", "--rows", "500", "--min-saving-rate", "0.99"]) == 0
         assert "no exploitable correlations" in capsys.readouterr().out
 
 
@@ -142,7 +142,8 @@ class TestQueryCommand:
             "--between", "l_shipdate:9100:9130",
         ]) == 0
         out = capsys.readouterr().out
-        assert "blocks pruned         0" in out
+        pruned_row = next(line for line in out.splitlines() if "blocks pruned" in line)
+        assert pruned_row.split()[-1] == "0"
 
     def test_missing_predicate_is_an_error(self, capsys):
         assert main(["query", "taxi", "--rows", "1000"]) == 1
@@ -162,7 +163,8 @@ class TestQueryCommand:
         out = capsys.readouterr().out
         assert "n" in out and "hi" in out
         assert "2000" in out  # count(*) over the whole relation
-        assert "blocks fully covered  4" in out
+        covered_row = next(line for line in out.splitlines() if "blocks fully covered" in line)
+        assert covered_row.split()[-1] == "4"
 
     def test_group_by_prints_one_row_per_group(self, capsys):
         assert main([

@@ -20,7 +20,12 @@ from repro import (
     serialize_block,
 )
 from repro.baselines import UncompressedBaseline
-from repro.datasets import DmvGenerator, LdbcMessageGenerator, TaxiGenerator, taxi_multi_reference_config
+from repro.datasets import (
+    DmvGenerator,
+    LdbcMessageGenerator,
+    TaxiGenerator,
+    taxi_multi_reference_config,
+)
 from repro.query import Predicate, generate_selection_vectors, materialize_columns
 
 

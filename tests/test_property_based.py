@@ -185,8 +185,9 @@ class TestHorizontalEncodingProperties:
         assert column.code_bit_width <= required_bits(fanout - 1)
 
     @given(
-        positions=st.lists(st.integers(min_value=0, max_value=10_000), min_size=0,
-                           max_size=50, unique=True),
+        positions=st.lists(
+            st.integers(min_value=0, max_value=10_000), min_size=0, max_size=50, unique=True
+        ),
         base=st.integers(min_value=-1000, max_value=1000),
     )
     @settings(max_examples=40, deadline=None)

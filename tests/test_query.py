@@ -67,24 +67,23 @@ class TestSelectionVectors:
 
 class TestMaterialization:
     def test_vertical_column(self, compressed, dates_schema_table):
-        vector = generate_selection_vector(dates_schema_table.n_rows, 0.1,
-                                           np.random.default_rng(3))
+        vector = generate_selection_vector(dates_schema_table.n_rows, 0.1, np.random.default_rng(3))
         out = materialize_columns(compressed, ["ship"], vector)
         assert np.array_equal(
             out["ship"], dates_schema_table.column("ship")[vector.row_ids]
         )
 
     def test_horizontal_column_alone(self, compressed, dates_schema_table):
-        vector = generate_selection_vector(dates_schema_table.n_rows, 0.05,
-                                           np.random.default_rng(4))
+        vector = generate_selection_vector(
+            dates_schema_table.n_rows, 0.05, np.random.default_rng(4)
+        )
         out = materialize_columns(compressed, ["receipt"], vector)
         assert np.array_equal(
             out["receipt"], dates_schema_table.column("receipt")[vector.row_ids]
         )
 
     def test_both_columns(self, compressed, dates_schema_table):
-        vector = generate_selection_vector(dates_schema_table.n_rows, 0.5,
-                                           np.random.default_rng(5))
+        vector = generate_selection_vector(dates_schema_table.n_rows, 0.5, np.random.default_rng(5))
         out = materialize_columns(compressed, ["ship", "receipt"], vector)
         for name in ("ship", "receipt"):
             assert np.array_equal(

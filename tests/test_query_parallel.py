@@ -52,14 +52,13 @@ _int_leaves = st.one_of(
         lambda lo, hi: Between("v", min(lo, hi), max(lo, hi)),
         st.integers(-10, 510), st.integers(-10, 510),
     ),
-    st.builds(In, st.just("v"), st.lists(st.integers(-10, 510), min_size=1,
-                                         max_size=5)),
+    st.builds(In, st.just("v"), st.lists(st.integers(-10, 510), min_size=1, max_size=5)),
 )
 _string_leaves = st.one_of(
     st.builds(Eq, st.just("tag"), st.sampled_from(TAGS + ["absent"])),
-    st.builds(In, st.just("tag"),
-              st.lists(st.sampled_from(TAGS + ["absent"]), min_size=1,
-                       max_size=4)),
+    st.builds(
+        In, st.just("tag"), st.lists(st.sampled_from(TAGS + ["absent"]), min_size=1, max_size=4)
+    ),
 )
 _leaves = st.one_of(_int_leaves, _string_leaves)
 _predicates = st.recursive(

@@ -194,8 +194,9 @@ class TestLazyParity:
             n=Count(), total=Sum("v"), first=Min("ship")
         ).execute()
         expected: dict[str, list] = {}
-        for keep, tag, v, ship in zip(mask, table.column("tag"), table.column("v"),
-                                      table.column("ship")):
+        for keep, tag, v, ship in zip(
+            mask, table.column("tag"), table.column("v"), table.column("ship")
+        ):
             if not keep:
                 continue
             state = expected.setdefault(tag, [0, 0, None])
@@ -516,8 +517,7 @@ class TestExplainAndRendering:
 class TestNotPredicate:
     def _stats(self, lo, hi, exact=True):
         return BlockStatistics(
-            {"c": ColumnStatistics(row_count=10, min_value=lo, max_value=hi,
-                                   exact_bounds=exact)}
+            {"c": ColumnStatistics(row_count=10, min_value=lo, max_value=hi, exact_bounds=exact)}
         )
 
     def test_prunes_only_when_child_is_provably_full(self):

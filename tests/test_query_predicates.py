@@ -253,9 +253,17 @@ class TestExecutorPruning:
         assert metrics.n_blocks == relation.n_blocks
         assert metrics.blocks_scanned == 1
         assert metrics.blocks_pruned == relation.n_blocks - 1
-        assert metrics.rows_decoded == 100
+        # The surviving block is answered by the FOR word-space kernel;
+        # disabling kernels restores the decode accounting.
+        assert metrics.rows_decoded == 0
+        assert metrics.rows_for_evaluated == 100
         assert metrics.pruned_fraction == pytest.approx(0.9)
         assert "pruned" in metrics.describe()
+
+        baseline = QueryExecutor(relation, use_kernels=False)
+        baseline.filter(Between("ship", 8_031, 8_038))
+        assert baseline.last_scan_metrics.rows_decoded == 100
+        assert baseline.last_scan_metrics.rows_for_evaluated == 0
 
     def test_count_equals_filter_size_without_decoding_covered_blocks(self, sorted_relation):
         table, relation = sorted_relation
