@@ -9,7 +9,14 @@ from __future__ import annotations
 
 import os
 
-__all__ = ["bench_rows", "latency_rows", "latency_vectors", "ooc_rows"]
+__all__ = [
+    "bench_rows",
+    "latency_rows",
+    "latency_vectors",
+    "ooc_rows",
+    "server_clients",
+    "server_rows",
+]
 
 
 def bench_rows() -> int:
@@ -34,3 +41,15 @@ def ooc_rows() -> int:
     return int(
         os.environ.get("CORRA_BENCH_OOC_ROWS", str(min(bench_rows(), 200_000)))
     )
+
+
+def server_rows() -> int:
+    """Row count for the query-service benchmark's fixture table."""
+    return int(
+        os.environ.get("CORRA_BENCH_SERVER_ROWS", str(min(bench_rows(), 100_000)))
+    )
+
+
+def server_clients() -> int:
+    """Concurrent clients for the query-service benchmark."""
+    return int(os.environ.get("CORRA_BENCH_SERVER_CLIENTS", "8"))

@@ -1,0 +1,224 @@
+"""Benchmark for ``corra serve``: one shared Engine vs a cold engine per request.
+
+The service's whole pitch is amortisation: every request through the shared
+engine reuses one planner memo, one block cache, one worker pool and one
+result cache, where the naive pattern (open the table, build an engine,
+run, throw it away) pays footer parses, zone-map planning and block I/O on
+every single request.
+
+The load generator drives both deployments over real HTTP with
+``CORRA_BENCH_SERVER_CLIENTS`` concurrent clients (default 8) issuing a
+mixed read workload against a compressed catalog table of
+``CORRA_BENCH_SERVER_ROWS`` rows (default <= 100,000):
+
+* **warm** — the default service: ``reuse_engine=True``, admission gate and
+  result cache on.
+* **cold** — the benchmark baseline: ``reuse_engine=False`` builds a fresh
+  :class:`~repro.query.engine.Engine` per request; no admission, no result
+  cache, nothing shared.
+
+The reporting test asserts that every HTTP response — warm and cold — is
+bit-identical to the same plan executed serially through the library, and
+that the warm p50 beats the cold p50 by >= 3x.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionPlan, TableCompressor
+from repro.dtypes import INT64, STRING
+from repro.query import Avg, Between, Count, Eq, In, Max, Sum
+from repro.server import BackgroundServer, QueryService, ServiceConfig, encode_result
+from repro.storage import Catalog, Table
+
+from _bench_config import server_clients, server_rows
+
+N_BLOCKS = 16
+TAGS = [f"tag_{i:03d}" for i in range(64)]
+
+
+def _build_table(n_rows: int, seed: int = 7) -> Table:
+    rng = np.random.default_rng(seed)
+    ship = np.sort(rng.integers(8_000, 8_000 + max(n_rows // 8, 64), n_rows))
+    return Table.from_columns(
+        [
+            ("ship", INT64, ship),
+            ("fare", INT64, rng.integers(100, 10_000, n_rows)),
+            ("tip", INT64, rng.integers(0, 2_000, n_rows)),
+            ("tag", STRING, [TAGS[i] for i in rng.integers(0, len(TAGS), n_rows)]),
+        ]
+    )
+
+
+def _workload(ship: np.ndarray) -> list[dict]:
+    """A small pool of distinct queries the clients cycle through."""
+    lo = int(ship[0])
+    mid = int(ship[ship.size // 2])
+    hi = int(ship[-1])
+    return [
+        {
+            "table": "trips",
+            "where": {"op": "between", "column": "ship", "lo": lo, "hi": mid},
+            "aggregates": {"n": {"fn": "count"}, "total": {"fn": "sum", "column": "fare"}},
+        },
+        {
+            "table": "trips",
+            "where": {"op": "eq", "column": "tag", "value": TAGS[3]},
+            "aggregates": {"n": {"fn": "count"}, "mean": {"fn": "avg", "column": "tip"}},
+        },
+        {
+            "table": "trips",
+            "where": {"op": "between", "column": "ship", "lo": mid, "hi": hi},
+            "group_by": ["tag"],
+            "aggregates": {"n": {"fn": "count"}, "hi": {"fn": "max", "column": "fare"}},
+        },
+        {
+            "table": "trips",
+            "where": {"op": "in", "column": "tag", "values": [TAGS[0], TAGS[1]]},
+            "select": ["ship", "tag"],
+            "limit": 50,
+        },
+        {
+            "table": "trips",
+            "aggregates": {"n": {"fn": "count"}, "total": {"fn": "sum", "column": "tip"}},
+        },
+    ]
+
+
+def _serial_reference(relation, ship: np.ndarray) -> list[dict]:
+    """Each workload entry executed serially through the library path."""
+    lo = int(ship[0])
+    mid = int(ship[ship.size // 2])
+    hi = int(ship[-1])
+    queries = [
+        relation.query().where(Between("ship", lo, mid)).agg(n=Count(), total=Sum("fare")),
+        relation.query().where(Eq("tag", TAGS[3])).agg(n=Count(), mean=Avg("tip")),
+        relation.query()
+        .where(Between("ship", mid, hi))
+        .group_by("tag")
+        .agg(n=Count(), hi=Max("fare")),
+        relation.query().where(In("tag", [TAGS[0], TAGS[1]])).select("ship", "tag").limit(50),
+        relation.query().agg(n=Count(), total=Sum("tip")),
+    ]
+    # Encode exactly as the server does, then round-trip through JSON so the
+    # comparison is against what a client actually decodes off the wire.
+    return [
+        json.loads(json.dumps(encode_result(query.execute())))["columns"]
+        for query in queries
+    ]
+
+
+@pytest.fixture(scope="module")
+def catalog_dir(tmp_path_factory):
+    n_rows = server_rows()
+    table = _build_table(n_rows)
+    plan = CompressionPlan.vertical_only(table.schema)
+    block_size = max(1, -(-n_rows // N_BLOCKS))
+    relation = TableCompressor(plan, block_size=block_size).compress(table)
+    root = tmp_path_factory.mktemp("serve") / "cat"
+    Catalog(root).save("trips", relation)
+    return root, relation, np.asarray(table.column("ship"))
+
+
+def _post(host: str, port: int, payload: dict) -> dict:
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        conn.request(
+            "POST",
+            "/query",
+            body=json.dumps(payload),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        body = json.loads(response.read())
+        if response.status != 200:
+            raise RuntimeError(f"query failed ({response.status}): {body}")
+        return body
+    finally:
+        conn.close()
+
+
+def _drive(host: str, port: int, workload: list[dict], n_clients: int, rounds: int):
+    """``n_clients`` threads, each cycling the workload; per-request latency."""
+    latencies: list[float] = []
+    responses: list[tuple[int, dict]] = []
+    errors: list[Exception] = []
+    lock = threading.Lock()
+
+    def client(client_id: int):
+        try:
+            for round_no in range(rounds):
+                which = (client_id + round_no) % len(workload)
+                start = time.perf_counter()
+                body = _post(host, port, workload[which])
+                elapsed = time.perf_counter() - start
+                with lock:
+                    latencies.append(elapsed)
+                    responses.append((which, body))
+        except Exception as exc:  # pragma: no cover - failure path
+            with lock:
+                errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(n_clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=600)
+    if errors:
+        raise errors[0]
+    return latencies, responses
+
+
+def test_print_server_trajectory(catalog_dir):
+    """Drive warm vs cold over HTTP; assert identity and the 3x p50 bar."""
+    root, relation, ship = catalog_dir
+    workload = _workload(ship)
+    reference = _serial_reference(relation, ship)
+    n_clients = server_clients()
+    rounds = 6
+
+    def run(label: str, config: ServiceConfig):
+        with QueryService(root, config=config) as service:
+            with BackgroundServer(service, port=0) as (host, port):
+                # One untimed pass primes the pools and caches (for the cold
+                # baseline it merely warms the OS page cache, which both
+                # deployments get to enjoy).
+                for payload in workload:
+                    _post(host, port, payload)
+                latencies, responses = _drive(host, port, workload, n_clients, rounds)
+            metrics = service.snapshot_metrics()
+        for which, body in responses:
+            assert body["columns"] == reference[which], f"{label} diverged on plan {which}"
+        p50, p99 = np.percentile(latencies, [50, 99])
+        return float(p50), float(p99), metrics
+
+    shared = ServiceConfig(max_concurrency=n_clients, queue_depth=4 * n_clients)
+    per_request = ServiceConfig(
+        max_concurrency=n_clients, queue_depth=4 * n_clients, reuse_engine=False
+    )
+    warm_p50, warm_p99, warm_metrics = run("warm", shared)
+    cold_p50, cold_p99, _ = run("cold", per_request)
+
+    speedup = cold_p50 / max(warm_p50, 1e-9)
+    print()
+    print(
+        f"[serve] {n_clients} clients x {rounds} rounds over {len(workload)} plans: "
+        f"warm p50 {warm_p50 * 1e3:.2f} ms / p99 {warm_p99 * 1e3:.2f} ms, "
+        f"cold p50 {cold_p50 * 1e3:.2f} ms / p99 {cold_p99 * 1e3:.2f} ms "
+        f"({speedup:.1f}x), "
+        f"result-cache hit rate {warm_metrics['result_cache']['hit_rate']:.2f}"
+    )
+
+    # Acceptance: every response (warm and cold) was bit-identical to the
+    # serial library path above, the shared engine actually served from its
+    # result cache, and its p50 beats the cold per-request baseline >= 3x.
+    assert warm_metrics["queries_ok"] == warm_metrics["queries_total"]
+    assert warm_metrics["result_cache"]["hits"] > 0
+    assert speedup >= 3.0

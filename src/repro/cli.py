@@ -30,6 +30,14 @@ Python:
     aggregates (``count``/``sum``/``min``/``max``/``avg``),
     ``--select``/``--limit`` materialise qualifying rows, and
     ``--explain`` renders the logical plan plus per-block decisions.
+``serve``
+    Start the HTTP query service (:mod:`repro.server`) over a catalog
+    directory: every request runs through one shared
+    :class:`~repro.query.engine.Engine` (one block cache, one worker pool,
+    warm planner memos), behind bounded admission, per-query cost limits
+    and a fingerprint-keyed result cache.  ``POST /query`` takes the JSON
+    query shape of :func:`repro.server.protocol.parse_request`;
+    ``GET /metrics`` reports latency percentiles and cache/scan counters.
 ``experiments``
     Regenerate the paper's tables and figures (delegates to
     :mod:`repro.bench.report`).
@@ -56,6 +64,7 @@ from .query import (
     Avg,
     Between,
     Count,
+    EngineConfig,
     Eq,
     In,
     Max,
@@ -277,6 +286,68 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the read-ahead pool for out-of-core tables (every "
         "segment fetch becomes demand-driven; for A/B comparison)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="start the HTTP query service over a catalog directory"
+    )
+    serve.add_argument(
+        "catalog", help="catalog directory of .corra tables (see `compress --catalog`)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8265)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="threads per query for the morsel-driven scan (0 = one per core)",
+    )
+    serve.add_argument("--cache-bytes", type=int, default=DEFAULT_CACHE_BYTES, metavar="N")
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=4,
+        help="queries executing at once (more wait in the admission queue)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="admitted-but-waiting queries before requests are rejected with 429",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="wall-clock budget per query, queue wait included (504 when exceeded)",
+    )
+    serve.add_argument(
+        "--max-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reject plans whose scan-classified blocks hold more than N rows (413)",
+    )
+    serve.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reject plans whose scan-classified blocks span more than N bytes (413)",
+    )
+    serve.add_argument(
+        "--result-cache-entries",
+        type=int,
+        default=256,
+        metavar="N",
+        help="result-cache capacity in entries (0 disables the cache)",
+    )
+    serve.add_argument(
+        "--no-kernels", action="store_true", help="disable compressed-domain kernels"
+    )
+    serve.add_argument(
+        "--no-dictionary", action="store_true", help="disable dictionary code-space evaluation"
     )
 
     experiments = subparsers.add_parser(
@@ -603,10 +674,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
 
     lazy = relation.query(
-        workers=args.workers,
-        use_statistics=not args.no_pruning,
-        use_dictionary=not args.no_dictionary,
-        use_kernels=not args.no_kernels,
+        config=EngineConfig(
+            workers=args.workers,
+            use_statistics=not args.no_pruning,
+            use_dictionary=not args.no_dictionary,
+            use_kernels=not args.no_kernels,
+        )
     )
     if predicate is not None:
         lazy = lazy.where(predicate)
@@ -653,6 +726,44 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here: the server package (asyncio front end) is only needed
+    # by this subcommand.
+    import asyncio
+
+    from .server import CorraHttpServer, QueryService, ServiceConfig
+
+    engine_config = EngineConfig(
+        workers=args.workers,
+        use_dictionary=not args.no_dictionary,
+        use_kernels=not args.no_kernels,
+        cache_bytes=args.cache_bytes,
+    )
+    service_config = ServiceConfig(
+        max_concurrency=args.max_concurrency,
+        queue_depth=args.queue_depth,
+        timeout_seconds=args.timeout,
+        max_rows_scanned=args.max_rows,
+        max_bytes_scanned=args.max_bytes,
+        result_cache_entries=args.result_cache_entries,
+    )
+    service = QueryService(args.catalog, engine_config=engine_config, config=service_config)
+    tables = ", ".join(service.tables()) or "(none)"
+    server = CorraHttpServer(service, host=args.host, port=args.port)
+
+    def ready(host: str, port: int) -> None:
+        print(f"serving catalog {args.catalog} on http://{host}:{port}", flush=True)
+        print(f"tables: {tables}", flush=True)
+        print("routes: GET /health /tables /metrics, POST /query", flush=True)
+
+    try:
+        with service:
+            asyncio.run(server.serve(ready=ready))
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -666,6 +777,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_detect(args)
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "experiments":
             return experiments_main(
                 (args.ids or []) + (["--rows", str(args.rows)] if args.rows else [])

@@ -65,11 +65,17 @@ Layers, bottom to top:
 * **Imperative facade** (:mod:`~repro.query.executor`) —
   :class:`QueryExecutor` keeps the pre-plan ``scan``/``filter``/``select``/
   ``count`` surface as a thin layer that builds the equivalent plans.
+* **Shared engine** (:mod:`~repro.query.engine`) — :class:`Engine` owns
+  all cross-query state (one worker pool, one prefetch pool, one block
+  cache, one kernel registry, one memoized compiler/planner per relation)
+  behind an immutable :class:`EngineConfig`; ``LazyQuery``, the executor
+  and the query service (:mod:`repro.server`) are thin adapters over it.
 
 :mod:`~repro.query.selection` and :mod:`~repro.query.latency` carry the
 paper's selection-vector workload and its latency harness unchanged.
 """
 
+from .engine import Engine, EngineConfig
 from .executor import QueryExecutor, QueryResult
 from .kernels import (
     DEFAULT_KERNELS,
@@ -138,6 +144,8 @@ __all__ = [
     "materialize_block_columns",
     "evaluate_block_predicate",
     "resolve_block",
+    "Engine",
+    "EngineConfig",
     "QueryExecutor",
     "QueryResult",
     "Predicate",

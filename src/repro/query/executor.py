@@ -23,19 +23,37 @@ most recent one is available as :attr:`QueryExecutor.last_scan_metrics`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from ..errors import UnknownColumnError
+from ..errors import UnknownColumnError, ValidationError
 from ..storage.relation import Relation
+from .engine import EngineConfig
 from .plan import Aggregate, Count, Filter, LogicalNode, Project, QueryCompiler, Scan
 from .predicates import Predicate
 from .scan import QueryOutput, ScanMetrics, materialize_columns
 from .selection import SelectionVector
 
 __all__ = ["Predicate", "QueryExecutor", "QueryResult"]
+
+#: Distinguishes "caller passed the old default explicitly" from "caller
+#: did not pass the keyword at all" — only the former deserves a warning.
+_UNSET = object()
+
+
+def warn_legacy_query_kwargs(site: str, legacy: dict) -> None:
+    """One shared ``DeprecationWarning`` for the pre-EngineConfig keywords."""
+    names = ", ".join(sorted(legacy))
+    warnings.warn(
+        f"{site}({names}=...) is deprecated; pass config=EngineConfig(...) "
+        "or bind the query to a shared repro.query.Engine instead "
+        "(behaviour is unchanged)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -59,34 +77,58 @@ class QueryResult:
 class QueryExecutor:
     """Filter + project queries over a compressed relation.
 
+    Configuration now lives on :class:`~repro.query.engine.EngineConfig`
+    (``config=``), or comes from a shared :class:`~repro.query.engine.
+    Engine` (``engine=``), whose memoized compiler and worker pool the
+    executor then adopts.  The pre-Engine keywords (``use_statistics``,
+    ``workers``, ``use_dictionary``, ``use_kernels``) keep working
+    bit-identically but emit a ``DeprecationWarning``:
     ``use_statistics=False`` disables zone-map pruning and stat-answered
-    aggregation, restoring the decode-everything scan (used as the baseline
-    in the pruning benchmark).  ``workers`` sets the morsel-driven
-    parallelism (``None``/``0`` = all cores; the default of 1 evaluates
-    inline on the calling thread).  ``use_dictionary=False`` disables
-    dictionary-domain predicate evaluation, forcing the decode-then-compare
-    path the benchmarks use as a baseline.  ``use_kernels=False`` likewise
-    disables the per-encoding compressed-domain kernels
-    (:mod:`repro.query.kernels`), restoring the decode baseline for RLE,
-    FOR/delta and frequency columns.
+    aggregation (the decode-everything baseline), ``workers`` sets the
+    morsel-driven parallelism (``None``/``0`` = all cores, ``1`` inline),
+    ``use_dictionary=False`` forces decode-then-compare instead of
+    dictionary code space, and ``use_kernels=False`` disables the
+    compressed-domain kernels (:mod:`repro.query.kernels`).
     """
 
     def __init__(
         self,
         relation: Relation,
-        use_statistics: bool = True,
-        workers: int | None = 1,
-        use_dictionary: bool = True,
-        use_kernels: bool = True,
+        use_statistics=_UNSET,
+        workers=_UNSET,
+        use_dictionary=_UNSET,
+        use_kernels=_UNSET,
+        engine=None,
+        config: EngineConfig | None = None,
     ):
+        legacy = {
+            name: value
+            for name, value in (
+                ("use_statistics", use_statistics),
+                ("workers", workers),
+                ("use_dictionary", use_dictionary),
+                ("use_kernels", use_kernels),
+            )
+            if value is not _UNSET
+        }
+        if legacy and (engine is not None or config is not None):
+            raise ValidationError(
+                "pass either the deprecated keywords or engine=/config=, not both"
+            )
+        if legacy:
+            warn_legacy_query_kwargs("QueryExecutor", legacy)
         self._relation = relation
-        self._compiler = QueryCompiler(
-            relation,
-            use_statistics=use_statistics,
-            workers=workers,
-            use_dictionary=use_dictionary,
-            use_kernels=use_kernels,
-        )
+        if engine is not None:
+            self._compiler = engine.compiler_for(relation)
+        else:
+            cfg = (config if config is not None else EngineConfig()).with_overrides(**legacy)
+            self._compiler = QueryCompiler(
+                relation,
+                use_statistics=cfg.use_statistics,
+                workers=cfg.workers,
+                use_dictionary=cfg.use_dictionary,
+                use_kernels=cfg.use_kernels,
+            )
         # Shared with the compiler; kept as attributes for callers (and
         # tests) that reach for the physical pipeline directly.
         self._planner = self._compiler.planner

@@ -117,6 +117,14 @@ class ParallelEngine:
         Offer single-column subtrees to the compressed-domain kernel
         registry (RLE run space, FOR/delta word space — default) or force
         the decode path.
+    kernels:
+        An explicit :class:`~repro.query.kernels.KernelRegistry` to consult
+        (``None`` uses the default registry).
+    pool:
+        An externally-owned ``ThreadPoolExecutor`` to fan morsels over —
+        a shared :class:`~repro.query.engine.Engine` passes its one pool
+        here so N concurrent queries share workers.  :meth:`close` never
+        shuts an external pool down.
     """
 
     def __init__(
@@ -127,6 +135,8 @@ class ParallelEngine:
         morsel_blocks: int = DEFAULT_MORSEL_BLOCKS,
         use_dictionary: bool = True,
         use_kernels: bool = True,
+        kernels=None,
+        pool: ThreadPoolExecutor | None = None,
     ):
         if morsel_blocks < 1:
             raise ValidationError("morsel size must be at least one block")
@@ -136,6 +146,9 @@ class ParallelEngine:
         self._morsel_blocks = morsel_blocks
         self._use_dictionary = use_dictionary
         self._use_kernels = use_kernels
+        self._kernels = kernels
+        #: Externally-owned pool (shared engine): used but never shut down.
+        self._shared_pool = pool
         #: Lazily-created persistent pool: repeated queries must not pay
         #: thread start-up on every call.  Idle threads cost nothing and are
         #: joined cleanly at interpreter shutdown (or via :meth:`close`).
@@ -239,6 +252,7 @@ class ParallelEngine:
                 metrics=partial,
                 use_dictionary=self._use_dictionary,
                 use_kernels=self._use_kernels,
+                kernels=self._kernels,
             )
             if count_only:
                 partial.rows_matched += int(np.count_nonzero(mask))
@@ -262,9 +276,12 @@ class ParallelEngine:
             return []
         if self._workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self._workers)
-        return list(self._pool.map(fn, items))
+        pool = self._shared_pool
+        if pool is None:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self._workers)
+            pool = self._pool
+        return list(pool.map(fn, items))
 
     def _run_morsels(
         self,
@@ -282,8 +299,9 @@ class ParallelEngine:
         )
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; the engine stays usable —
-        the next parallel query simply starts a fresh pool)."""
+        """Shut the owned worker pool down (idempotent; the engine stays
+        usable — the next parallel query simply starts a fresh pool).
+        An externally-owned shared pool is left running."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

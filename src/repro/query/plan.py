@@ -51,7 +51,7 @@ from ..encodings.dictionary import DictEncodedIntColumn, DictEncodedStringColumn
 from ..errors import UnknownColumnError, ValidationError
 from ..storage.block import CompressedBlock
 from ..storage.relation import Relation
-from .kernels import DEFAULT_KERNELS
+from .kernels import DEFAULT_KERNELS, KernelRegistry
 from .parallel import ParallelEngine, resolve_workers
 from .predicates import And, Predicate
 from .scan import (
@@ -310,6 +310,33 @@ class CompiledQuery:
                 seen.append(fn.column)
         return tuple(seen)
 
+    def fingerprint(self) -> str | None:
+        """A stable cache key for the whole plan, or ``None``.
+
+        Combines the (canonical) predicate fingerprint with the projection,
+        grouping, aggregate and limit shape of the plan.  Two plans with
+        equal fingerprints over the same relation state (same
+        ``cache_token``) produce bit-identical results, which is what lets
+        the query service key its result cache on
+        ``(table, plan fingerprint)``.  ``None`` when the predicate has no
+        stable fingerprint (opaque :class:`ColumnPredicate`) — such plans
+        must never be cached.
+        """
+        if self.predicate is None:
+            pred = ""
+        else:
+            pred = self.predicate.fingerprint()
+            if pred is None:
+                return None
+        projection = "*none*" if self.projection is None else ",".join(self.projection)
+        aggregates = ";".join(
+            f"{name}:{fn.kind}:{fn.column or ''}" for name, fn in self.aggregates
+        )
+        return (
+            f"Plan[pred={pred}|proj={projection}|group={','.join(self.group_by)}"
+            f"|aggs={aggregates}|limit={'' if self.limit is None else self.limit}]"
+        )
+
 
 @dataclass
 class PlanResult:
@@ -427,11 +454,14 @@ class QueryCompiler:
         planner: ScanPlanner | None = None,
         engine: ParallelEngine | None = None,
         use_kernels: bool = True,
+        kernels: KernelRegistry | None = None,
+        pool=None,
     ):
         self._relation = relation
         self._use_statistics = use_statistics
         self._use_dictionary = use_dictionary
         self._use_kernels = use_kernels
+        self._kernels = kernels if kernels is not None else DEFAULT_KERNELS
         self._workers = resolve_workers(workers)
         self._planner = (
             planner if planner is not None else ScanPlanner(relation, use_statistics=use_statistics)
@@ -445,6 +475,8 @@ class QueryCompiler:
                 planner=self._planner,
                 use_dictionary=use_dictionary,
                 use_kernels=use_kernels,
+                kernels=kernels,
+                pool=pool,
             )
         )
 
@@ -789,7 +821,7 @@ class QueryCompiler:
             remaining = []
             for slot in pending:
                 fn = aggs[slot][1]
-                value = DEFAULT_KERNELS.aggregate(block, fn.column, kernel_mask, fn.kind)
+                value = self._kernels.aggregate(block, fn.column, kernel_mask, fn.kind)
                 if value is None:
                     remaining.append(slot)
                 else:
@@ -902,7 +934,7 @@ class QueryCompiler:
                 # repeating each run's group id by its selected count, in
                 # the same ascending row order the gather path would use.
                 kernel_mask = mask if mask is not None else np.ones(block.n_rows, dtype=bool)
-                run_groups = DEFAULT_KERNELS.group_keys(block, group_by[0], kernel_mask)
+                run_groups = self._kernels.group_keys(block, group_by[0], kernel_mask)
             if run_groups is not None:
                 keys, inverse = run_groups
                 partial.rows_kernel_aggregated += n_selected
@@ -1034,8 +1066,11 @@ class LazyQuery:
     ``workers``/``use_statistics``/``use_dictionary``/``use_kernels``
     mirror the :class:`~repro.query.executor.QueryExecutor` knobs and are
     fixed when the chain starts (via
-    :meth:`~repro.storage.relation.Relation.query`).  The metrics of the
-    most recent terminal run on *this* chain link are available as
+    :meth:`~repro.storage.relation.Relation.query`).  A chain started from
+    a shared :class:`~repro.query.engine.Engine` (``engine=``) takes its
+    settings — and, crucially, its memoized compiler, worker pool and
+    kernel registry — from the engine instead.  The metrics of the most
+    recent terminal run on *this* chain link are available as
     :attr:`last_metrics`.
     """
 
@@ -1046,6 +1081,7 @@ class LazyQuery:
         use_statistics: bool = True,
         use_dictionary: bool = True,
         use_kernels: bool = True,
+        engine=None,
         _spec: _QuerySpec | None = None,
         _compiler_box: "list[QueryCompiler | None] | None" = None,
     ):
@@ -1054,6 +1090,7 @@ class LazyQuery:
         self._use_statistics = use_statistics
         self._use_dictionary = use_dictionary
         self._use_kernels = use_kernels
+        self._engine = engine
         self._spec = _spec if _spec is not None else _QuerySpec()
         #: One compiler per chain, created on the first terminal and shared
         #: by every link derived from the same ``relation.query()`` root
@@ -1074,6 +1111,7 @@ class LazyQuery:
             use_statistics=self._use_statistics,
             use_dictionary=self._use_dictionary,
             use_kernels=self._use_kernels,
+            engine=self._engine,
             _spec=replace(self._spec, **changes),
             _compiler_box=self._compiler_box,
         )
@@ -1148,6 +1186,11 @@ class LazyQuery:
         return node
 
     def _compiler(self) -> QueryCompiler:
+        if self._engine is not None:
+            # Engine-bound chains share the engine's memoized compiler (and
+            # through it the engine's planner memo, worker pool and kernel
+            # registry) with every other query on the same relation.
+            return self._engine.compiler_for(self._relation)
         if self._compiler_box[0] is None:
             self._compiler_box[0] = QueryCompiler(
                 self._relation,
@@ -1203,7 +1246,11 @@ class LazyQuery:
 
         Optional, exactly like :meth:`QueryExecutor.close`: serial chains
         never start a pool, and parallel pools are joined at interpreter
-        shutdown anyway.  The chain stays usable afterwards.
+        shutdown anyway.  The chain stays usable afterwards.  Engine-bound
+        chains own nothing — the engine's shared state is left untouched
+        (close the :class:`~repro.query.engine.Engine` itself instead).
         """
+        if self._engine is not None:
+            return
         if self._compiler_box[0] is not None:
             self._compiler_box[0].close()

@@ -115,9 +115,15 @@ class Predicate(abc.ABC):
         """A stable cache key for planner memoization, or ``None``.
 
         Two predicates with equal fingerprints must make identical zone-map
-        decisions on every block.  Opaque nodes (:class:`ColumnPredicate`)
-        return ``None``: their behaviour is defined by an arbitrary callable,
-        so their decisions must never be reused across predicate objects.
+        decisions on every block.  The fingerprint is *canonical*: it does
+        not depend on the process, on dict/set iteration order, or on the
+        order in which commutative children were supplied (``In`` sorts its
+        candidates at construction; ``And``/``Or`` sort their children's
+        fingerprints), so it is safe to use as a cross-process cache key —
+        the query service keys its result cache on it.  Opaque nodes
+        (:class:`ColumnPredicate`) return ``None``: their behaviour is
+        defined by an arbitrary callable, so their decisions must never be
+        reused across predicate objects.
         """
         return f"{type(self).__name__}:{self.describe()}"
 
@@ -361,7 +367,10 @@ class _Compound(Predicate):
         parts = [child.fingerprint() for child in self.children]
         if any(part is None for part in parts):
             return None
-        return f"{type(self).__name__}:[{'; '.join(parts)}]"
+        # And/Or are commutative and their zone-map tests are all()/any()
+        # over the children, so child order never changes a decision —
+        # sorting makes And(a, b) and And(b, a) share one cache entry.
+        return f"{type(self).__name__}:[{'; '.join(sorted(parts))}]"
 
 
 class And(_Compound):

@@ -1,0 +1,153 @@
+"""Server-level telemetry: latency percentiles and request counters.
+
+The engine already measures the *inside* of a query
+(:class:`~repro.query.scan.ScanMetrics`,
+:class:`~repro.storage.cache.IOMetrics`, cache stats); this module adds the
+*outside* view a service operator needs — how many requests arrived, how
+many were rejected and why, and how long the accepted ones took end to end
+(p50/p99 over a sliding window).  Everything here is thread-safe: request
+threads record concurrently and ``GET /metrics`` snapshots under the same
+locks.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..query.scan import ScanMetrics
+
+__all__ = ["LatencyWindow", "ServerMetrics"]
+
+#: Samples kept for percentile estimates; enough for stable p99 at the
+#: concurrency levels one process serves, small enough to snapshot cheaply.
+DEFAULT_WINDOW = 4096
+
+
+class LatencyWindow:
+    """A sliding window of recent request latencies (seconds).
+
+    Percentiles are computed over the last ``capacity`` samples — a ring
+    buffer, so long-running servers track *current* latency instead of a
+    lifetime average that buries regressions.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_WINDOW):
+        self._samples: deque[float] = deque(maxlen=capacity)
+        self._count = 0
+        self._total = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(float(seconds))
+            self._count += 1
+            self._total += float(seconds)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0..100) of the window, 0.0 when empty."""
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            return float(np.percentile(np.asarray(self._samples), q))
+
+    def snapshot(self) -> dict:
+        """Percentiles + counts as a JSON-ready dict (one lock acquisition)."""
+        with self._lock:
+            if self._samples:
+                arr = np.asarray(self._samples)
+                p50, p95, p99 = (float(v) for v in np.percentile(arr, (50, 95, 99)))
+                window_mean = float(arr.mean())
+            else:
+                p50 = p95 = p99 = window_mean = 0.0
+            return {
+                "count": self._count,
+                "window": len(self._samples),
+                "mean_seconds": window_mean,
+                "p50_seconds": p50,
+                "p95_seconds": p95,
+                "p99_seconds": p99,
+            }
+
+
+@dataclass
+class ServerMetrics:
+    """Counters for one service instance, merged under one lock.
+
+    ``scan_totals`` accumulates every executed query's
+    :class:`~repro.query.scan.ScanMetrics`, so ``/metrics`` exposes the
+    fleet-wide prune/kernel/code-space picture the per-query metrics
+    already tell for a single call.
+    """
+
+    queries_total: int = 0
+    queries_ok: int = 0
+    queries_cached: int = 0
+    queries_failed: int = 0
+    rejected_queue_full: int = 0
+    rejected_cost: int = 0
+    timeouts: int = 0
+    latency: LatencyWindow = field(default_factory=LatencyWindow)
+    scan_totals: ScanMetrics = field(default_factory=ScanMetrics)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_success(self, seconds: float, scan: ScanMetrics | None, cached: bool) -> None:
+        with self._lock:
+            self.queries_ok += 1
+            if cached:
+                self.queries_cached += 1
+            if scan is not None:
+                # merge() sums every counter, so per-query metrics fold into
+                # additive lifetime totals.
+                self.scan_totals.merge(scan)
+        self.latency.record(seconds)
+
+    def record_rejection(self, kind: str) -> None:
+        """``kind`` is one of ``queue_full`` / ``cost`` / ``timeout`` / ``error``."""
+        with self._lock:
+            if kind == "queue_full":
+                self.rejected_queue_full += 1
+            elif kind == "cost":
+                self.rejected_cost += 1
+            elif kind == "timeout":
+                self.timeouts += 1
+            else:
+                self.queries_failed += 1
+
+    def count_request(self) -> None:
+        with self._lock:
+            self.queries_total += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            scan = self.scan_totals
+            return {
+                "queries_total": self.queries_total,
+                "queries_ok": self.queries_ok,
+                "queries_cached": self.queries_cached,
+                "queries_failed": self.queries_failed,
+                "rejected_queue_full": self.rejected_queue_full,
+                "rejected_cost": self.rejected_cost,
+                "timeouts": self.timeouts,
+                "scan": {
+                    "blocks_pruned": scan.blocks_pruned,
+                    "blocks_full": scan.blocks_full,
+                    "blocks_scanned": scan.blocks_scanned,
+                    "rows_matched": scan.rows_matched,
+                    "rows_decoded": scan.rows_decoded,
+                    "rows_gathered": scan.rows_gathered,
+                    "rows_dict_evaluated": scan.rows_dict_evaluated,
+                    "rows_rle_evaluated": scan.rows_rle_evaluated,
+                    "rows_for_evaluated": scan.rows_for_evaluated,
+                    "rows_kernel_aggregated": scan.rows_kernel_aggregated,
+                    "string_heap_decodes": scan.string_heap_decodes,
+                },
+            } | {"latency": self.latency.snapshot()}

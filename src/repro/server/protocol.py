@@ -1,0 +1,252 @@
+"""Wire protocol: JSON requests in, JSON-ready results out.
+
+The request body is a small JSON object that lowers 1:1 onto a
+:class:`~repro.query.plan.LazyQuery` chain::
+
+    {
+      "table": "trips",
+      "where": {"op": "and", "children": [
+          {"op": "between", "column": "ship", "lo": 8100, "hi": 8200},
+          {"op": "not", "child": {"op": "eq", "column": "flag", "value": "R"}}
+      ]},
+      "group_by": ["tag"],
+      "aggregates": {"n": {"fn": "count"}, "total": {"fn": "sum", "column": "fare"}},
+      "limit": 100
+    }
+
+``select`` (a list of column names) and ``aggregates``/``group_by`` are
+mutually exclusive, exactly as in the fluent API.  Parsing is strict:
+unknown keys, unknown predicate ops and malformed shapes raise
+:class:`~repro.errors.ValidationError`, which the HTTP layer maps to 400 —
+the engine never sees a malformed request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..query.plan import (
+    AggregateFunction,
+    Avg,
+    Count,
+    LazyQuery,
+    Max,
+    Min,
+    PlanResult,
+    Sum,
+)
+from ..query.predicates import And, Between, Eq, In, Not, Or, Predicate
+
+__all__ = ["QueryRequest", "build_query", "encode_result", "parse_predicate", "parse_request"]
+
+_REQUEST_KEYS = {"table", "where", "select", "group_by", "aggregates", "limit"}
+
+#: JSON ``fn`` name -> aggregate constructor (count takes no column).
+_AGGREGATES = {"count": Count, "sum": Sum, "min": Min, "max": Max, "avg": Avg}
+
+
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValidationError(message)
+
+
+def _column_of(node: dict, op: str) -> str:
+    column = node.get("column")
+    _expect(isinstance(column, str) and column != "", f"{op!r} predicate needs a 'column' string")
+    return column
+
+
+def _scalar(node: dict, key: str, op: str):
+    _expect(key in node, f"{op!r} predicate needs {key!r}")
+    value = node[key]
+    _expect(
+        isinstance(value, (int, str)) and not isinstance(value, bool),
+        f"{op!r} predicate {key!r} must be an integer or string",
+    )
+    return value
+
+
+def parse_predicate(node: object) -> Predicate:
+    """A JSON predicate node as a :class:`~repro.query.predicates.Predicate`.
+
+    Ops: ``eq`` (column, value), ``between`` (column, lo, hi), ``in``
+    (column, values), ``and``/``or`` (children), ``not`` (child).
+    """
+    _expect(isinstance(node, dict), "predicate nodes must be JSON objects")
+    assert isinstance(node, dict)
+    op = node.get("op")
+    _expect(isinstance(op, str), "predicate nodes need an 'op' string")
+    if op == "eq":
+        return Eq(_column_of(node, op), _scalar(node, "value", op))
+    if op == "between":
+        return Between(_column_of(node, op), _scalar(node, "lo", op), _scalar(node, "hi", op))
+    if op == "in":
+        values = node.get("values")
+        _expect(
+            isinstance(values, list) and len(values) > 0,
+            "'in' predicate needs a non-empty 'values' list",
+        )
+        for value in values:
+            _expect(
+                isinstance(value, (int, str)) and not isinstance(value, bool),
+                "'in' predicate values must be integers or strings",
+            )
+        return In(_column_of(node, op), values)
+    if op in ("and", "or"):
+        children = node.get("children")
+        _expect(
+            isinstance(children, list) and len(children) >= 2,
+            f"{op!r} predicate needs a 'children' list with at least two nodes",
+        )
+        parsed = [parse_predicate(child) for child in children]
+        return And(*parsed) if op == "and" else Or(*parsed)
+    if op == "not":
+        _expect("child" in node, "'not' predicate needs a 'child' node")
+        return Not(parse_predicate(node["child"]))
+    raise ValidationError(f"unknown predicate op {op!r}")
+
+
+def _parse_aggregate(name: str, node: object) -> AggregateFunction:
+    _expect(isinstance(node, dict), f"aggregate {name!r} must be a JSON object")
+    assert isinstance(node, dict)
+    fn = node.get("fn")
+    _expect(
+        fn in _AGGREGATES,
+        f"aggregate {name!r}: unknown fn {fn!r} (expected one of {sorted(_AGGREGATES)})",
+    )
+    if fn == "count":
+        _expect("column" not in node, f"aggregate {name!r}: count takes no column")
+        return Count()
+    column = node.get("column")
+    _expect(
+        isinstance(column, str) and column != "",
+        f"aggregate {name!r}: {fn!r} needs a 'column' string",
+    )
+    return _AGGREGATES[fn](column)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A validated query request, ready to lower onto a ``LazyQuery``."""
+
+    table: str
+    where: Predicate | None = None
+    select: tuple[str, ...] | None = None
+    group_by: tuple[str, ...] = ()
+    aggregates: tuple[tuple[str, AggregateFunction], ...] = ()
+    limit: int | None = None
+
+
+def parse_request(payload: object) -> QueryRequest:
+    """Validate a decoded JSON body into a :class:`QueryRequest`."""
+    _expect(isinstance(payload, dict), "request body must be a JSON object")
+    assert isinstance(payload, dict)
+    unknown = set(payload) - _REQUEST_KEYS
+    _expect(not unknown, f"unknown request key(s): {sorted(unknown)}")
+    table = payload.get("table")
+    _expect(isinstance(table, str) and table != "", "request needs a 'table' name")
+
+    where = None
+    if payload.get("where") is not None:
+        where = parse_predicate(payload["where"])
+
+    select: tuple[str, ...] | None = None
+    if payload.get("select") is not None:
+        raw_select = payload["select"]
+        _expect(
+            isinstance(raw_select, list)
+            and len(raw_select) > 0
+            and all(isinstance(c, str) and c for c in raw_select),
+            "'select' must be a non-empty list of column names",
+        )
+        select = tuple(raw_select)
+
+    group_by: tuple[str, ...] = ()
+    if payload.get("group_by") is not None:
+        raw_group = payload["group_by"]
+        _expect(
+            isinstance(raw_group, list)
+            and len(raw_group) > 0
+            and all(isinstance(c, str) and c for c in raw_group),
+            "'group_by' must be a non-empty list of column names",
+        )
+        group_by = tuple(raw_group)
+
+    aggregates: tuple[tuple[str, AggregateFunction], ...] = ()
+    if payload.get("aggregates") is not None:
+        raw_aggs = payload["aggregates"]
+        _expect(
+            isinstance(raw_aggs, dict) and len(raw_aggs) > 0,
+            "'aggregates' must be a non-empty object of name -> {fn, column}",
+        )
+        aggregates = tuple(
+            (name, _parse_aggregate(name, node)) for name, node in raw_aggs.items()
+        )
+
+    _expect(
+        not (select and (group_by or aggregates)),
+        "'select' cannot be combined with 'group_by'/'aggregates'",
+    )
+    _expect(not (group_by and not aggregates), "'group_by' needs 'aggregates'")
+
+    limit = payload.get("limit")
+    if limit is not None:
+        _expect(
+            isinstance(limit, int) and not isinstance(limit, bool) and limit >= 0,
+            "'limit' must be a non-negative integer",
+        )
+    return QueryRequest(
+        table=table,
+        where=where,
+        select=select,
+        group_by=group_by,
+        aggregates=aggregates,
+        limit=limit,
+    )
+
+
+def build_query(lazy: LazyQuery, request: QueryRequest) -> LazyQuery:
+    """Apply a validated request to a fresh ``LazyQuery`` chain."""
+    if request.where is not None:
+        lazy = lazy.where(request.where)
+    if request.select is not None:
+        lazy = lazy.select(*request.select)
+    if request.group_by:
+        lazy = lazy.group_by(*request.group_by)
+    if request.aggregates:
+        lazy = lazy.agg(**dict(request.aggregates))
+    if request.limit is not None:
+        lazy = lazy.limit(request.limit)
+    return lazy
+
+
+def _json_value(value):
+    """One output cell as a plain JSON type (numpy scalars included)."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.str_):
+        return str(value)
+    if isinstance(value, bytes):
+        return value.decode("utf-8")
+    return value
+
+
+def encode_result(result: PlanResult) -> dict:
+    """A :class:`~repro.query.plan.PlanResult` as a JSON-ready dict."""
+    columns = {}
+    for name, values in result.columns.items():
+        if isinstance(values, np.ndarray):
+            # .tolist() converts numeric dtypes to plain ints/floats; string
+            # and object arrays still need the per-cell normalisation.
+            if values.dtype.kind in ("U", "S", "O"):
+                columns[name] = [_json_value(v) for v in values.tolist()]
+            else:
+                columns[name] = values.tolist()
+        else:
+            columns[name] = [_json_value(v) for v in values]
+    return {"columns": columns, "n_rows": result.n_rows}

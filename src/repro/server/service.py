@@ -1,0 +1,413 @@
+"""The query service: admission control, cost gating, result caching.
+
+:class:`QueryService` is the transport-independent core of ``corra
+serve`` — the HTTP layer (:mod:`repro.server.http`) only decodes bytes and
+maps :class:`ServerError` subclasses to status codes; everything with
+semantics lives here:
+
+* **admission** — at most ``max_concurrency`` queries execute at once;
+  up to ``queue_depth`` more wait (bounded, so overload answers 429
+  immediately instead of building an unbounded backlog), and a query that
+  cannot start before its deadline fails fast with 504 instead of running
+  anyway;
+* **cost gating** — before any data is touched, the shared planner
+  classifies the query's blocks against their zone maps; the rows/bytes
+  the scan-classified blocks *could* touch are compared to the configured
+  per-query limits (413 when over — metadata-only, so rejecting an
+  expensive query costs microseconds);
+* **result caching** — results are memoized by ``(table, plan
+  fingerprint)`` and validated against the relation's ``cache_token``, so
+  a reopened/overwritten table can never serve stale rows.  Plans without
+  a stable fingerprint (opaque predicates) are executed but never cached.
+
+Execution itself is one shared :class:`~repro.query.engine.Engine`: every
+request thread lowers its request onto a
+:class:`~repro.query.plan.LazyQuery` bound to the engine, so concurrent
+queries share the planner memos, the worker pool, the block cache and the
+prefetch pool.  ``reuse_engine=False`` exists only as the benchmark
+baseline — it builds a cold engine per request, which is exactly the
+pattern the shared engine replaces.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import CorraError, ValidationError
+from ..query.engine import Engine, EngineConfig
+from ..query.scan import BlockDecision
+from ..storage.catalog import Catalog
+from .metrics import ServerMetrics
+from .protocol import QueryRequest, build_query, encode_result, parse_request
+
+__all__ = [
+    "CostLimitError",
+    "QueryService",
+    "QueryTimeoutError",
+    "QueueFullError",
+    "ServerError",
+    "ServiceConfig",
+    "UnknownTableError",
+]
+
+
+class ServerError(CorraError):
+    """Base of the service-level failures; ``status`` is the HTTP mapping."""
+
+    status = 500
+
+
+class QueueFullError(ServerError):
+    """Admission queue at capacity — the client should back off (429)."""
+
+    status = 429
+
+
+class CostLimitError(ServerError):
+    """The plan would touch more rows/bytes than the per-query budget (413)."""
+
+    status = 413
+
+
+class QueryTimeoutError(ServerError):
+    """The query missed its wall-clock deadline, queued or running (504)."""
+
+    status = 504
+
+
+class UnknownTableError(ServerError):
+    """The request names a table the catalog does not have (404)."""
+
+    status = 404
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operational limits of one service instance (immutable)."""
+
+    #: Queries executing at once; further admits wait in the bounded queue.
+    max_concurrency: int = 4
+    #: Admitted-but-waiting queries beyond that before 429s start.
+    queue_depth: int = 16
+    #: Wall-clock budget per query (queue wait + execution), seconds.
+    timeout_seconds: float = 30.0
+    #: Max rows the scan-classified blocks may hold (``None`` = unlimited).
+    max_rows_scanned: int | None = None
+    #: Max on-disk bytes those blocks may span (``None`` = unlimited).
+    max_bytes_scanned: int | None = None
+    #: Result-cache capacity in entries (``0`` disables the cache).
+    result_cache_entries: int = 256
+    #: ``False`` builds a cold engine per request — the benchmark baseline.
+    reuse_engine: bool = True
+
+
+class _AdmissionGate:
+    """Bounded concurrency + bounded wait queue with deadlines.
+
+    ``acquire`` admits immediately when an execution slot is free, waits
+    (counted against ``queue_depth``) when not, raises
+    :class:`QueueFullError` when the wait queue is full and
+    :class:`QueryTimeoutError` when the deadline passes while queued.
+    """
+
+    def __init__(self, max_concurrency: int, queue_depth: int):
+        self._lock = threading.Lock()
+        self._slot_freed = threading.Condition(self._lock)
+        self._max_active = max(1, max_concurrency)
+        self._max_waiting = max(0, queue_depth)
+        self._active = 0
+        self._waiting = 0
+
+    def depths(self) -> tuple[int, int]:
+        """Current ``(active, waiting)`` counts (for ``/metrics``)."""
+        with self._lock:
+            return self._active, self._waiting
+
+    def acquire(self, deadline: float) -> None:
+        with self._slot_freed:
+            if self._active < self._max_active:
+                self._active += 1
+                return
+            if self._waiting >= self._max_waiting:
+                raise QueueFullError(
+                    f"admission queue full ({self._max_active} running, "
+                    f"{self._waiting} waiting)"
+                )
+            self._waiting += 1
+            try:
+                while self._active >= self._max_active:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._slot_freed.wait(remaining):
+                        raise QueryTimeoutError("timed out waiting for an execution slot")
+                self._active += 1
+            finally:
+                self._waiting -= 1
+
+    def release(self) -> None:
+        with self._slot_freed:
+            self._active -= 1
+            self._slot_freed.notify()
+
+
+class _ResultCache:
+    """LRU of encoded results keyed ``(table, plan fingerprint)``.
+
+    Each entry remembers the relation ``cache_token`` it was computed
+    against; a hit with a different token (the table was refreshed) is
+    treated as a miss and the stale entry dropped.
+    """
+
+    def __init__(self, capacity: int):
+        self._capacity = max(0, capacity)
+        self._entries: "OrderedDict[tuple[str, str], tuple[int, dict]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple[str, str], cache_token: int) -> dict | None:
+        if self._capacity == 0:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] == cache_token:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry[1]
+            if entry is not None:
+                del self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: tuple[str, str], cache_token: int, payload: dict) -> None:
+        if self._capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = (cache_token, payload)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "capacity": self._capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }
+
+
+class QueryService:
+    """Execute JSON query payloads against one catalog-backed engine.
+
+    Thread-safe: the HTTP layer calls :meth:`execute` from many request
+    threads concurrently.  Use as a context manager (or call
+    :meth:`close`) so the engine's pools and tables are released.
+    """
+
+    def __init__(
+        self,
+        catalog: "Catalog | str | Path",
+        engine_config: EngineConfig | None = None,
+        config: ServiceConfig | None = None,
+    ):
+        self._engine_config = engine_config if engine_config is not None else EngineConfig()
+        self._config = config if config is not None else ServiceConfig()
+        self._engine = Engine(config=self._engine_config, catalog=catalog)
+        self._gate = _AdmissionGate(self._config.max_concurrency, self._config.queue_depth)
+        self._result_cache = _ResultCache(self._config.result_cache_entries)
+        self.metrics = ServerMetrics()
+        self._closed = False
+
+    @property
+    def engine(self) -> Engine:
+        return self._engine
+
+    @property
+    def config(self) -> ServiceConfig:
+        return self._config
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._engine.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request handling ------------------------------------------------------
+
+    def _open_table(self, engine: Engine, name: str):
+        try:
+            return engine.table(name)
+        except ValidationError as exc:
+            raise UnknownTableError(str(exc)) from exc
+
+    def _check_cost(self, compiler, compiled) -> None:
+        """Reject plans whose scan-classified blocks exceed the budget.
+
+        Pure metadata: the shared planner's zone-map decisions plus the
+        footer's per-block row counts and segment sizes.  Fully-covered
+        and pruned blocks are free — statistics answer them — so only the
+        blocks that would actually decode count against the limits.
+        """
+        cfg = self._config
+        if cfg.max_rows_scanned is None and cfg.max_bytes_scanned is None:
+            return
+        plan = compiler.planner.plan(compiled.predicate)
+        rows = 0
+        size = 0
+        relation = compiler.relation
+        for index, decision in enumerate(plan.decisions):
+            if decision != BlockDecision.SCAN:
+                continue
+            block = relation.block(index)
+            rows += block.n_rows
+            if cfg.max_bytes_scanned is not None:
+                size += (
+                    block.segment_bytes
+                    if hasattr(block, "segment_bytes")
+                    else block.size_bytes
+                )
+        if cfg.max_rows_scanned is not None and rows > cfg.max_rows_scanned:
+            raise CostLimitError(
+                f"plan would scan {rows:,} rows, over the {cfg.max_rows_scanned:,} limit"
+            )
+        if cfg.max_bytes_scanned is not None and size > cfg.max_bytes_scanned:
+            raise CostLimitError(
+                f"plan would read {size:,} bytes, over the {cfg.max_bytes_scanned:,} limit"
+            )
+
+    def _run(self, engine: Engine, request: QueryRequest) -> tuple[dict, object]:
+        """Execute one request end to end; returns (payload, scan metrics)."""
+        relation = self._open_table(engine, request.table)
+        lazy = build_query(engine.query(relation), request)
+        result = lazy.execute()
+        return encode_result(result), result.metrics
+
+    def execute(self, payload: object) -> dict:
+        """The full request lifecycle for one decoded JSON body.
+
+        Raises :class:`ServerError` subclasses for service-level failures
+        and :class:`~repro.errors.ValidationError` (→ 400) for malformed
+        requests; anything it returns is a JSON-ready response dict.
+        """
+        self.metrics.count_request()
+        started = time.monotonic()
+        deadline = started + self._config.timeout_seconds
+        try:
+            request = parse_request(payload)
+
+            if not self._config.reuse_engine:
+                # Benchmark baseline: a cold engine (fresh cache, planner
+                # memos, pools) per request.  No admission, no result cache
+                # — this measures exactly what shared state saves.
+                if self._engine.catalog is None:  # pragma: no cover - guarded in __init__
+                    raise ValidationError("service has no catalog")
+                with Engine(config=self._engine_config, catalog=self._engine.catalog.root) as cold:
+                    body, scan = self._run(cold, request)
+                self.metrics.record_success(time.monotonic() - started, scan, cached=False)
+                return body
+
+            engine = self._engine
+            relation = self._open_table(engine, request.table)
+            compiler = engine.compiler_for(relation)
+            compiled = compiler.compile(build_query(engine.query(relation), request).logical_plan())
+            self._check_cost(compiler, compiled)
+
+            fingerprint = compiled.fingerprint()
+            cache_key = None
+            if fingerprint is not None:
+                cache_key = (request.table, fingerprint)
+                cached = self._result_cache.get(cache_key, relation.cache_token)
+                if cached is not None:
+                    self.metrics.record_success(time.monotonic() - started, None, cached=True)
+                    return cached
+
+            self._gate.acquire(deadline)
+            try:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise QueryTimeoutError("deadline passed before execution started")
+                result = compiler.execute(compiled)
+            finally:
+                self._gate.release()
+            if time.monotonic() > deadline:
+                raise QueryTimeoutError(
+                    f"query exceeded its {self._config.timeout_seconds:.1f}s budget"
+                )
+            body = encode_result(result)
+            if cache_key is not None:
+                self._result_cache.put(cache_key, relation.cache_token, body)
+            self.metrics.record_success(time.monotonic() - started, result.metrics, cached=False)
+            return body
+        except QueueFullError:
+            self.metrics.record_rejection("queue_full")
+            raise
+        except CostLimitError:
+            self.metrics.record_rejection("cost")
+            raise
+        except QueryTimeoutError:
+            self.metrics.record_rejection("timeout")
+            raise
+        except Exception:
+            self.metrics.record_rejection("error")
+            raise
+
+    # -- introspection ---------------------------------------------------------
+
+    def tables(self) -> tuple[str, ...]:
+        catalog = self._engine.catalog
+        return catalog.tables() if catalog is not None else ()
+
+    def snapshot_metrics(self) -> dict:
+        """Everything ``GET /metrics`` serves, as one JSON-ready dict."""
+        active, waiting = self._gate.depths()
+        engine = self._engine
+        cache_stats = engine.cache_stats
+        tables = {}
+        for name, relation in engine.tables().items():
+            entry: dict = {"n_rows": relation.n_rows, "n_blocks": relation.n_blocks}
+            io = getattr(relation, "io", None)
+            if io is not None:
+                # IOMetrics carries a lock field; build the dict by hand.
+                entry["io"] = {
+                    "bytes_read": io.bytes_read,
+                    "blocks_read": io.blocks_read,
+                    "columns_read": io.columns_read,
+                    "column_bytes_read": io.column_bytes_read,
+                    "reads_coalesced": io.reads_coalesced,
+                    "prefetch_issued": io.prefetch_issued,
+                    "prefetch_hits": io.prefetch_hits,
+                }
+            occupancy = getattr(relation, "cache_occupancy", None)
+            if occupancy is not None:
+                entry["cache"] = {"entries": occupancy.entries, "bytes": occupancy.bytes}
+            tables[name] = entry
+        return self.metrics.snapshot() | {
+            "queue": {
+                "active": active,
+                "waiting": waiting,
+                "max_concurrency": self._config.max_concurrency,
+                "queue_depth": self._config.queue_depth,
+            },
+            "result_cache": self._result_cache.snapshot(),
+            "block_cache": {
+                "hits": cache_stats.hits,
+                "misses": cache_stats.misses,
+                "evictions": cache_stats.evictions,
+                "current_bytes": cache_stats.current_bytes,
+                "current_entries": cache_stats.current_entries,
+            },
+            "tables": tables,
+        }

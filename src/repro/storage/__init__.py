@@ -45,7 +45,7 @@ read, skipped, and prefetched by the relation's read-ahead pool.
 """
 
 from .block import DEFAULT_BLOCK_SIZE, ColumnDependency, CompressedBlock
-from .cache import DEFAULT_CACHE_BYTES, BlockCache, CacheStats, IOMetrics
+from .cache import DEFAULT_CACHE_BYTES, BlockCache, CacheStats, IOMetrics, TenantOccupancy
 from .catalog import Catalog
 from .disk import DEFAULT_PREFETCH_WORKERS, DiskRelation, LazyBlock, open_table
 from .format import (
@@ -91,6 +91,7 @@ __all__ = [
     "BlockCache",
     "CacheStats",
     "IOMetrics",
+    "TenantOccupancy",
     "DEFAULT_CACHE_BYTES",
     "DEFAULT_PREFETCH_WORKERS",
     "FORMAT_VERSION",

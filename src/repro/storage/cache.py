@@ -14,6 +14,17 @@ entry larger than the whole budget is returned to the caller but never
 cached, so a budget smaller than one block's working set degrades to
 load-per-access instead of failing.
 
+Budget arbitration is *tenant-aware*: tuple keys group by their first
+element (the relation's ``cache_token`` for disk relations), and when the
+budget is exceeded eviction rotates round-robin across tenants, taking each
+victim tenant's least-recently-used entry.  A hot table can therefore no
+longer starve a colder one out of a shared cache — each eviction round
+costs every resident tenant one entry, instead of draining whichever
+table's entries happen to be globally oldest.  With a single tenant this
+degrades to plain LRU.  :meth:`BlockCache.occupancy` reports the resident
+entries/bytes per tenant, which is what the query service's ``/metrics``
+exposes for cache-budget arbitration between tables.
+
 :class:`IOMetrics` counts the bytes and blocks actually fetched from a
 table file.  Cache hits never touch the counters, which is what lets tests
 and benchmarks prove that pruned blocks contribute zero bytes read.
@@ -28,7 +39,7 @@ from typing import Callable, Hashable, TypeVar
 
 from ..errors import ValidationError
 
-__all__ = ["BlockCache", "CacheStats", "IOMetrics"]
+__all__ = ["BlockCache", "CacheStats", "IOMetrics", "TenantOccupancy"]
 
 V = TypeVar("V")
 
@@ -163,6 +174,26 @@ class IOMetrics:
         )
 
 
+@dataclass(frozen=True)
+class TenantOccupancy:
+    """Resident footprint of one tenant (one relation) in a shared cache."""
+
+    entries: int
+    bytes: int
+
+
+def _tenant_of(key: Hashable) -> Hashable:
+    """The tenant a key belongs to: tuple keys group by their first element.
+
+    Disk relations key entries as ``(cache_token, block, column)``, so the
+    token is the tenant.  Non-tuple keys share a single anonymous tenant,
+    which keeps the cache usable (and purely LRU) for ad-hoc keys.
+    """
+    if isinstance(key, tuple) and key:
+        return key[0]
+    return None
+
+
 class _InFlight:
     """One pending load: waiters block on the event, then read value/error."""
 
@@ -198,7 +229,10 @@ class BlockCache:
         if budget_bytes is not None and budget_bytes < 0:
             raise ValidationError("cache budget must be non-negative (or None)")
         self._budget = budget_bytes
-        self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
+        #: Per-tenant LRU maps, in tenant-arrival order (see ``_tenant_of``).
+        self._tenants: OrderedDict[Hashable, OrderedDict[Hashable, _Entry]] = OrderedDict()
+        #: Round-robin eviction cursor: index into the current tenant list.
+        self._victim_cursor = 0
         self._loading: dict[Hashable, _InFlight] = {}
         self._lock = threading.Lock()
         self._stats = CacheStats()
@@ -213,20 +247,28 @@ class BlockCache:
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._entries)
+            return sum(len(entries) for entries in self._tenants.values())
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
-            return key in self._entries
+            entries = self._tenants.get(_tenant_of(key))
+            return entries is not None and key in entries
+
+    def _lookup(self, key: Hashable) -> "_Entry | None":
+        """The entry for ``key``, with its recency refreshed (lock held)."""
+        entries = self._tenants.get(_tenant_of(key))
+        if entries is None:
+            return None
+        entry = entries.get(key)
+        if entry is not None:
+            entries.move_to_end(key)
+        return entry
 
     def get(self, key: Hashable):
         """The cached value for ``key`` (refreshing its recency) or ``None``."""
         with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
-                return None
-            self._entries.move_to_end(key)
-            return entry.value
+            entry = self._lookup(key)
+            return None if entry is None else entry.value
 
     def status(self, key: Hashable) -> str:
         """``"cached"``, ``"loading"`` (a loader is in flight) or ``"absent"``.
@@ -236,11 +278,28 @@ class BlockCache:
         was saved by a prefetch already resident or in flight.
         """
         with self._lock:
-            if key in self._entries:
+            entries = self._tenants.get(_tenant_of(key))
+            if entries is not None and key in entries:
                 return "cached"
             if key in self._loading:
                 return "loading"
             return "absent"
+
+    def occupancy(self) -> dict[Hashable, TenantOccupancy]:
+        """Resident entries/bytes per tenant (the budget-arbitration probe).
+
+        Tenants are tuple keys' first elements — for disk relations, their
+        ``cache_token`` — so a shared cache reports how its budget is split
+        across the relations currently resident in it.
+        """
+        with self._lock:
+            return {
+                tenant: TenantOccupancy(
+                    entries=len(entries),
+                    bytes=sum(entry.size for entry in entries.values()),
+                )
+                for tenant, entries in self._tenants.items()
+            }
 
     def get_or_load(self, key: Hashable, loader: Callable[[], tuple[V, int]]) -> V:
         """Return the cached value for ``key``, loading it at most once.
@@ -253,9 +312,8 @@ class BlockCache:
         """
         while True:
             with self._lock:
-                entry = self._entries.get(key)
+                entry = self._lookup(key)
                 if entry is not None:
-                    self._entries.move_to_end(key)
                     self._stats.hits += 1
                     return entry.value
                 flight = self._loading.get(key)
@@ -288,7 +346,7 @@ class BlockCache:
         return value
 
     def _insert(self, key: Hashable, value, size: int) -> None:
-        """Store one entry, evicting LRU entries to stay within budget.
+        """Store one entry, evicting round-robin across tenants to fit.
 
         Must be called with the lock held.
         """
@@ -297,21 +355,47 @@ class BlockCache:
         if self._budget is not None and size > self._budget:
             self._stats.oversized += 1
             return
-        self._entries[key] = _Entry(value, size)
-        self._entries.move_to_end(key)
+        entries = self._tenants.setdefault(_tenant_of(key), OrderedDict())
+        previous = entries.get(key)
+        if previous is not None:
+            self._stats.current_bytes -= previous.size
+            self._stats.current_entries -= 1
+        entries[key] = _Entry(value, size)
+        entries.move_to_end(key)
         self._stats.current_bytes += size
         self._stats.current_entries += 1
         if self._budget is None:
             return
-        while self._stats.current_bytes > self._budget and self._entries:
-            _, evicted = self._entries.popitem(last=False)
-            self._stats.current_bytes -= evicted.size
-            self._stats.current_entries -= 1
-            self._stats.evictions += 1
+        while self._stats.current_bytes > self._budget and self._tenants:
+            self._evict_one()
+
+    def _evict_one(self) -> None:
+        """Evict the round-robin victim tenant's LRU entry (lock held).
+
+        The cursor advances one tenant per eviction, so sustained pressure
+        is spread across every resident tenant instead of draining the
+        globally-oldest entries (which under mixed workloads all belong to
+        whichever table went cold first).
+        """
+        tenants = list(self._tenants)
+        self._victim_cursor %= len(tenants)
+        tenant = tenants[self._victim_cursor]
+        entries = self._tenants[tenant]
+        _, evicted = entries.popitem(last=False)
+        if not entries:
+            # The tenant emptied out; removing it shifts the next tenant
+            # into the cursor's slot, which is exactly one step of rotation.
+            del self._tenants[tenant]
+        else:
+            self._victim_cursor += 1
+        self._stats.current_bytes -= evicted.size
+        self._stats.current_entries -= 1
+        self._stats.evictions += 1
 
     def clear(self) -> None:
         """Drop every cached entry (in-flight loads are unaffected)."""
         with self._lock:
-            self._entries.clear()
+            self._tenants.clear()
+            self._victim_cursor = 0
             self._stats.current_bytes = 0
             self._stats.current_entries = 0

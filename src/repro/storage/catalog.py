@@ -111,8 +111,14 @@ class Catalog:
         name: str,
         use_mmap: bool = True,
         prefetch_workers: int = DEFAULT_PREFETCH_WORKERS,
+        prefetch_pool=None,
     ) -> DiskRelation:
-        """Open a catalogued table as a :class:`DiskRelation`."""
+        """Open a catalogued table as a :class:`DiskRelation`.
+
+        ``prefetch_pool`` forwards an externally-owned read-ahead pool (a
+        shared engine's) so every table opened through the catalog shares
+        its threads.
+        """
         path = self.path_of(name)
         if not path.is_file():
             if not self._root.is_dir():
@@ -126,6 +132,7 @@ class Catalog:
             cache=self._cache,
             use_mmap=use_mmap,
             prefetch_workers=prefetch_workers,
+            prefetch_pool=prefetch_pool,
         )
 
     def remove(self, name: str) -> None:

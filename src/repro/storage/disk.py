@@ -46,7 +46,7 @@ import numpy as np
 
 from ..errors import UnknownColumnError
 from .block import ColumnDependency, CompressedBlock
-from .cache import DEFAULT_CACHE_BYTES, BlockCache, CacheStats, IOMetrics
+from .cache import DEFAULT_CACHE_BYTES, BlockCache, CacheStats, IOMetrics, TenantOccupancy
 from .format import TableFooter, TableReader
 from .relation import Relation
 from .statistics import BlockStatistics, ColumnStatistics
@@ -225,7 +225,13 @@ class DiskRelation(Relation):
     prefetch_workers:
         Threads of the read-ahead pool serving
         :meth:`prefetch_block_columns` hints (created lazily on the first
-        hint); ``0`` disables prefetching.
+        hint); ``0`` disables prefetching (unless an external pool is
+        provided).
+    prefetch_pool:
+        An externally-owned ``ThreadPoolExecutor`` to run read-ahead on —
+        a shared :class:`~repro.query.engine.Engine` passes its one
+        prefetch pool here so every open table shares the same read-ahead
+        threads.  :meth:`close` never shuts an external pool down.
     """
 
     def __init__(
@@ -235,10 +241,12 @@ class DiskRelation(Relation):
         cache_bytes: int | None = DEFAULT_CACHE_BYTES,
         use_mmap: bool = True,
         prefetch_workers: int = DEFAULT_PREFETCH_WORKERS,
+        prefetch_pool: ThreadPoolExecutor | None = None,
     ):
         self._reader = TableReader(path, use_mmap=use_mmap)
         self._cache = cache if cache is not None else BlockCache(cache_bytes)
         self._prefetch_workers = max(0, int(prefetch_workers))
+        self._external_prefetch_pool = prefetch_pool
         self._prefetch_pool: ThreadPoolExecutor | None = None
         self._prefetch_pending = 0
         self._prefetched: set = set()
@@ -282,6 +290,11 @@ class DiskRelation(Relation):
     @property
     def cache_stats(self) -> CacheStats:
         return self._cache.stats
+
+    @property
+    def cache_occupancy(self) -> TenantOccupancy:
+        """This relation's resident share of the (possibly shared) cache."""
+        return self._cache.occupancy().get(self.cache_token, TenantOccupancy(0, 0))
 
     @property
     def size_bytes(self) -> int:
@@ -441,7 +454,9 @@ class DiskRelation(Relation):
         overlapping demand fetch piggyback on the prefetch (a cache hit,
         counted in ``IOMetrics.prefetch_hits``) instead of reading twice.
         """
-        if self._prefetch_workers <= 0 or self._closing:
+        if self._closing or (
+            self._prefetch_workers <= 0 and self._external_prefetch_pool is None
+        ):
             return False
         if not 0 <= index < self.n_blocks:
             return False
@@ -467,11 +482,14 @@ class DiskRelation(Relation):
             targets = [key for key in candidates if key not in self._prefetch_inflight]
             if not targets:
                 return False
-            if self._prefetch_pool is None:
-                self._prefetch_pool = ThreadPoolExecutor(
-                    max_workers=self._prefetch_workers,
-                    thread_name_prefix="corra-prefetch",
-                )
+            pool = self._external_prefetch_pool
+            if pool is None:
+                if self._prefetch_pool is None:
+                    self._prefetch_pool = ThreadPoolExecutor(
+                        max_workers=self._prefetch_workers,
+                        thread_name_prefix="corra-prefetch",
+                    )
+                pool = self._prefetch_pool
             self._prefetch_pending += 1
             self._prefetch_inflight.update(targets)
             if len(self._prefetched) > 4_096:
@@ -484,7 +502,7 @@ class DiskRelation(Relation):
                 # Submit while still holding the lock: close() nulls the
                 # pool under the same lock, so the pool cannot disappear
                 # (or be shut down) between the checks above and here.
-                self._prefetch_pool.submit(self._prefetch_task, index, targets)
+                pool.submit(self._prefetch_task, index, targets)
             except RuntimeError:
                 self._prefetch_pending -= 1
                 self._prefetch_inflight.difference_update(targets)
@@ -536,7 +554,11 @@ class DiskRelation(Relation):
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the prefetch pool and file handle (cached blocks stay usable)."""
+        """Release the prefetch pool and file handle (cached blocks stay usable).
+
+        An externally-owned prefetch pool is left running — its owner (a
+        shared engine) closes it.
+        """
         with self._prefetch_lock:
             self._closing = True
             pool = self._prefetch_pool
@@ -558,6 +580,7 @@ def open_table(
     cache_bytes: int | None = DEFAULT_CACHE_BYTES,
     use_mmap: bool = True,
     prefetch_workers: int = DEFAULT_PREFETCH_WORKERS,
+    prefetch_pool: ThreadPoolExecutor | None = None,
 ) -> DiskRelation:
     """Open a ``.corra`` file as a lazily-loaded, cache-governed relation."""
     return DiskRelation(
@@ -566,4 +589,5 @@ def open_table(
         cache_bytes=cache_bytes,
         use_mmap=use_mmap,
         prefetch_workers=prefetch_workers,
+        prefetch_pool=prefetch_pool,
     )

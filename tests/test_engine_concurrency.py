@@ -1,0 +1,174 @@
+"""Concurrent queries through one shared Engine are bit-identical to serial.
+
+The engine's whole premise is that cross-query state — the planner memo,
+the worker pool, the block cache, the compiled-plan LRU — can be shared by
+many request threads without changing any result.  These tests hammer one
+engine from K threads with a randomized mix of plans and compare every
+result against the same plan executed serially on a private compiler.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CompressionPlan, TableCompressor
+from repro.dtypes import INT64, STRING
+from repro.query import Avg, Between, Count, Engine, EngineConfig, Eq, In, Max, Min, Sum
+from repro.storage import Catalog, Table
+
+N_ROWS = 2_000
+BLOCK_SIZE = 200
+TAGS = [f"tag_{i}" for i in range(6)]
+
+
+def _build_relation(seed: int = 11):
+    rng = np.random.default_rng(seed)
+    table = Table.from_columns(
+        [
+            ("ship", INT64, np.arange(N_ROWS, dtype=np.int64) + 8_000),
+            ("v", INT64, rng.integers(0, 400, N_ROWS)),
+            ("tag", STRING, [TAGS[i] for i in rng.integers(0, len(TAGS), N_ROWS)]),
+        ]
+    )
+    plan = CompressionPlan.vertical_only(table.schema)
+    return TableCompressor(plan, block_size=BLOCK_SIZE).compress(table)
+
+
+RELATION = _build_relation()
+
+#: A pool of distinct plans, as (name, build) pairs over a LazyQuery root.
+PLANS = [
+    ("count_range", lambda q: q.where(Between("ship", 8_100, 8_900))),
+    ("count_eq", lambda q: q.where(Eq("tag", "tag_2"))),
+    ("agg", lambda q: q.where(Between("v", 10, 200)).agg(n=Count(), s=Sum("v"), m=Min("ship"))),
+    ("group", lambda q: q.group_by("tag").agg(n=Count(), hi=Max("v"), mean=Avg("v"))),
+    ("select", lambda q: q.where(In("tag", ["tag_0", "tag_5"])).select("ship", "tag").limit(40)),
+    ("wide", lambda q: q.where(Between("ship", 8_000, 9_999)).agg(total=Sum("v"))),
+]
+
+
+def _run_plan(root, name_and_build):
+    name, build = name_and_build
+    lazy = build(root)
+    if name.startswith("count"):
+        return name, lazy.count()
+    result = lazy.execute()
+    return name, {k: list(v) for k, v in result.columns.items()}
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """Every plan's result on a private, serial compiler."""
+    reference = {}
+    for entry in PLANS:
+        name, value = _run_plan(RELATION.query(), entry)
+        reference[name] = value
+    return reference
+
+
+class TestConcurrentEngine:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_k_threads_bit_identical_to_serial(self, serial_reference, workers):
+        with Engine(EngineConfig(workers=workers)) as engine:
+            errors: list = []
+            results: list = []
+
+            def worker(thread_id: int):
+                try:
+                    rng = np.random.default_rng(thread_id)
+                    for _ in range(12):
+                        entry = PLANS[rng.integers(0, len(PLANS))]
+                        results.append(_run_plan(engine.query(RELATION), entry))
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not errors
+            assert len(results) == 8 * 12
+            for name, value in results:
+                assert value == serial_reference[name], f"plan {name!r} diverged"
+            # All 96 runs shared one compiler (one planner memo).
+            assert len(engine._compilers) == 1
+
+    def test_concurrent_first_touch_creates_one_compiler(self):
+        """The memoization race on first use resolves to a single compiler."""
+        with Engine() as engine:
+            barrier = threading.Barrier(6, timeout=10)
+            compilers = []
+
+            def worker():
+                barrier.wait()
+                compilers.append(engine.compiler_for(RELATION))
+
+            threads = [threading.Thread(target=worker) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert len(compilers) == 6
+            assert all(c is compilers[0] for c in compilers)
+
+    def test_concurrent_catalog_tables_share_cache(self, tmp_path):
+        catalog = Catalog(tmp_path / "cat")
+        catalog.save("t", RELATION)
+        with Engine(EngineConfig(workers=2), catalog=catalog) as engine:
+            errors: list = []
+            counts: list = []
+
+            def worker():
+                try:
+                    table = engine.table("t")
+                    counts.append(
+                        engine.query(table).where(Between("ship", 8_100, 8_900)).count()
+                    )
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not errors
+            expected = RELATION.query().where(Between("ship", 8_100, 8_900)).count()
+            assert counts == [expected] * 8
+            # One memoized table object; every thread's reads shared it.
+            assert len(engine.tables()) == 1
+
+
+class TestPropertyBasedConcurrency:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        lo=st.integers(min_value=8_000, max_value=9_998),
+        width=st.integers(min_value=1, max_value=1_000),
+        tag=st.sampled_from(TAGS),
+        workers=st.sampled_from([1, 3]),
+    )
+    def test_randomized_plans_match_serial(self, lo, width, tag, workers):
+        predicate = Between("ship", lo, lo + width) & Eq("tag", tag)
+        serial = RELATION.query().where(predicate).agg(n=Count(), s=Sum("v")).execute()
+        with Engine(EngineConfig(workers=workers)) as engine:
+            outcomes: list = []
+
+            def worker():
+                result = (
+                    engine.query(RELATION).where(predicate).agg(n=Count(), s=Sum("v")).execute()
+                )
+                outcomes.append({k: list(v) for k, v in result.columns.items()})
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            expected = {k: list(v) for k, v in serial.columns.items()}
+            assert outcomes == [expected] * 4

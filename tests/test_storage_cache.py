@@ -219,3 +219,77 @@ class TestIOMetrics:
             t.join()
         assert io.blocks_read == 4_000
         assert io.bytes_read == 4_000
+
+
+class TestTenantArbitration:
+    """Round-robin budget arbitration between cache tenants (key[0])."""
+
+    def test_occupancy_by_tenant(self):
+        cache = BlockCache(budget_bytes=1_000)
+        cache.get_or_load(("t1", 0), _loader("A", 100))
+        cache.get_or_load(("t1", 1), _loader("B", 50))
+        cache.get_or_load(("t2", 0), _loader("C", 10))
+        occupancy = cache.occupancy()
+        assert occupancy["t1"].entries == 2
+        assert occupancy["t1"].bytes == 150
+        assert occupancy["t2"].entries == 1
+        assert occupancy["t2"].bytes == 10
+
+    def test_round_robin_eviction_spreads_across_tenants(self):
+        """A hot tenant cannot starve a cold one out of the cache entirely.
+
+        With global LRU, inserting many fresh entries for tenant "hot" would
+        evict every "cold" entry first.  Round-robin arbitration alternates
+        victims between tenants, so "cold" retains entries after the storm.
+        """
+        cache = BlockCache(budget_bytes=100)
+        for i in range(5):
+            cache.get_or_load(("cold", i), _loader(i, 10))
+        # 50 bytes resident for "cold"; now "hot" floods the cache with 10
+        # fresh entries, forcing 5 evictions.  Global LRU would take all 5
+        # from "cold" (its entries are the globally oldest); round-robin
+        # alternates, so "cold" keeps 2 entries.
+        for i in range(10):
+            cache.get_or_load(("hot", i), _loader(i, 10))
+        occupancy = cache.occupancy()
+        assert cache.stats.evictions == 5
+        assert "cold" in occupancy, "cold tenant was starved out"
+        assert occupancy["cold"].entries == 2
+        assert occupancy["hot"].entries == 8
+        assert cache.stats.current_bytes == 100
+
+    def test_eviction_within_tenant_is_lru(self):
+        cache = BlockCache(budget_bytes=30)
+        cache.get_or_load(("t", "a"), _loader("A", 10))
+        cache.get_or_load(("t", "b"), _loader("B", 10))
+        cache.get_or_load(("t", "c"), _loader("C", 10))
+        # Touch "a" so "b" is the tenant's least recently used entry.
+        assert cache.get_or_load(("t", "a"), _loader("A2", 10)) == "A"
+        cache.get_or_load(("t", "d"), _loader("D", 10))
+        assert ("t", "b") not in cache
+        assert ("t", "a") in cache and ("t", "c") in cache and ("t", "d") in cache
+
+    def test_non_tuple_keys_share_the_default_tenant(self):
+        cache = BlockCache(budget_bytes=20)
+        cache.get_or_load("x", _loader("X", 10))
+        cache.get_or_load("y", _loader("Y", 10))
+        occupancy = cache.occupancy()
+        assert occupancy[None].entries == 2
+        cache.get_or_load("z", _loader("Z", 10))
+        assert "x" not in cache  # plain LRU within the single tenant
+
+    def test_reinsert_same_key_does_not_double_count(self):
+        cache = BlockCache(budget_bytes=100)
+        cache.get_or_load(("t", 1), _loader("A", 40))
+        # Force a reinsert of the same key through clear-and-load again.
+        cache.clear()
+        cache.get_or_load(("t", 1), _loader("A", 40))
+        assert cache.stats.current_bytes == 40
+
+    def test_clear_resets_tenants_and_cursor(self):
+        cache = BlockCache(budget_bytes=100)
+        cache.get_or_load(("t1", 0), _loader("A", 10))
+        cache.get_or_load(("t2", 0), _loader("B", 10))
+        cache.clear()
+        assert cache.occupancy() == {}
+        assert len(cache) == 0
