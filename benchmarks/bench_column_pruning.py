@@ -24,12 +24,11 @@ import time
 import numpy as np
 import pytest
 
+from _bench_config import ooc_rows
 from repro.core import TableCompressor
 from repro.dtypes import INT64
 from repro.query import Between
 from repro.storage import DiskRelation, Table, write_table
-
-from _bench_config import ooc_rows
 
 N_COLUMNS = 20
 N_BLOCKS = 16

@@ -10,11 +10,10 @@ from __future__ import annotations
 
 import pytest
 
+from _bench_config import bench_rows
 from repro.bench import optimizer_figure2
 from repro.core import DiffEncodingOptimizer, optimal_configuration_exhaustive
 from repro.datasets import TpchLineitemGenerator
-
-from _bench_config import bench_rows
 
 
 class TestFigure2:

@@ -10,14 +10,13 @@ from __future__ import annotations
 
 import pytest
 
+from _bench_config import latency_vectors
 from repro.query import (
     PAPER_ZOOM_SELECTIVITIES,
     generate_selection_vectors,
     materialize_columns,
     sweep_query_latency,
 )
-
-from _bench_config import latency_vectors
 
 CONFIGURATIONS = ("uncompressed", "single_column", "corra")
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from _bench_config import latency_vectors
 from repro.query import (
     PAPER_SELECTIVITIES,
     generate_selection_vectors,
@@ -17,8 +18,6 @@ from repro.query import (
     materialize_columns,
     sweep_query_latency,
 )
-
-from _bench_config import latency_vectors
 
 
 @pytest.mark.parametrize("selectivity", [0.005, 0.05, 0.5])

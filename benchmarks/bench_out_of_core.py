@@ -26,12 +26,11 @@ import time
 import numpy as np
 import pytest
 
+from _bench_config import ooc_rows
 from repro.core import CompressionPlan, TableCompressor
 from repro.dtypes import INT64, STRING
 from repro.query import Between, Count, Sum
 from repro.storage import DiskRelation, Table, write_table
-
-from _bench_config import ooc_rows
 
 SELECTIVITIES = (0.01, 0.05, 0.1)
 N_BLOCKS = 16

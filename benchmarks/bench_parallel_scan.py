@@ -144,8 +144,8 @@ def test_print_dictionary_domain_trajectory(unsorted_relation):
         assert decode_metrics.string_heap_decodes == relation.n_rows
         assert decode_metrics.rows_dict_evaluated == 0
 
-        dict_seconds = _time(lambda: dict_executor.count(predicate))
-        decode_seconds = _time(lambda: decode_executor.count(predicate))
+        dict_seconds = _time(lambda p=predicate: dict_executor.count(p))
+        decode_seconds = _time(lambda p=predicate: decode_executor.count(p))
         speedup = decode_seconds / max(dict_seconds, 1e-9)
         print(
             f"[dict-domain] {predicate.describe()}: {dict_seconds * 1e3:.2f} ms "

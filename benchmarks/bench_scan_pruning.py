@@ -15,10 +15,9 @@ import time
 import numpy as np
 import pytest
 
+from _bench_config import latency_rows
 from repro.bench.experiments import _sorted_dates_relations
 from repro.query import Between, QueryExecutor
-
-from _bench_config import latency_rows
 
 SELECTIVITIES = (0.001, 0.01, 0.05, 0.1)
 N_BLOCKS = 16

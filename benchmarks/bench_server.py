@@ -32,13 +32,12 @@ import time
 import numpy as np
 import pytest
 
+from _bench_config import server_clients, server_rows
 from repro.core import CompressionPlan, TableCompressor
 from repro.dtypes import INT64, STRING
 from repro.query import Avg, Between, Count, Eq, In, Max, Sum
 from repro.server import BackgroundServer, QueryService, ServiceConfig, encode_result
 from repro.storage import Catalog, Table
-
-from _bench_config import server_clients, server_rows
 
 N_BLOCKS = 16
 TAGS = [f"tag_{i:03d}" for i in range(64)]

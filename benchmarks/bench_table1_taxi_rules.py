@@ -9,11 +9,10 @@ from __future__ import annotations
 
 import pytest
 
+from _bench_config import bench_rows
 from repro.bench import rule_mixture_table1
 from repro.core import MultiReferenceEncoding
 from repro.datasets import taxi_multi_reference_config
-
-from _bench_config import bench_rows
 
 PAPER_MIXTURE = {
     "A": 0.3119,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from _bench_config import bench_rows
 from repro.baselines import SingleColumnBaseline
 from repro.bench import compression_table2
 from repro.core import (
@@ -19,8 +20,6 @@ from repro.core import (
     NonHierarchicalEncoding,
 )
 from repro.datasets import taxi_multi_reference_config
-
-from _bench_config import bench_rows
 
 
 def _saving(baseline_bytes: int, corra_bytes: int) -> float:

@@ -9,11 +9,10 @@ from __future__ import annotations
 
 import pytest
 
+from _bench_config import bench_rows
 from repro.baselines import C3Selector, SingleColumnBaseline
 from repro.bench import c3_comparison_table3
 from repro.core import NonHierarchicalEncoding
-
-from _bench_config import bench_rows
 
 
 def _rates(table, reference, target):

@@ -42,6 +42,7 @@ much work that saved::
     print(n, executor.last_scan_metrics.describe())
 """
 
+from .baselines import C3Selector, SingleColumnBaseline, UncompressedBaseline
 from .bitpack import BitPackedArray, pack, required_bits, unpack
 from .core import (
     ArithmeticRule,
@@ -62,7 +63,6 @@ from .core import (
     ReferenceGroup,
     TableCompressor,
 )
-from .baselines import C3Selector, SingleColumnBaseline, UncompressedBaseline
 from .datasets import (
     DmvGenerator,
     LdbcMessageGenerator,

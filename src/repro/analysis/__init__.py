@@ -1,0 +1,178 @@
+"""``corra check``: project-invariant static analysis for this codebase.
+
+Generic linters police syntax; this package polices the *conventions this
+repository's correctness actually rests on*.  Each rule encodes a bug
+class that code review has already had to catch by hand at least once:
+
+``metrics-completeness``
+    Every counter field on :class:`~repro.query.scan.ScanMetrics` and
+    :class:`~repro.storage.cache.IOMetrics` must be threaded through
+    ``merge()``, ``reset()`` and every reporting surface (the CLI metric
+    tables, the service's ``/metrics`` snapshots).  A counter missing
+    from ``merge()`` silently under-counts under parallel execution; one
+    missing from a report is invisible telemetry — fatal to any
+    telemetry-driven tuning loop built on top.
+
+``lock-discipline``
+    Lock attributes are acquired with ``with`` only (bare ``.acquire()``
+    leaks the lock on exceptions), and held-lock bodies must not perform
+    file I/O, ``time.sleep``, ``Future.result`` or pool
+    ``submit``/``shutdown`` — the calls that turn a microsecond critical
+    section into an unbounded stall for every other request thread.
+    ``Condition.wait`` is exempt (it releases the lock while waiting).
+
+``lock-order``
+    The static nested-``with`` acquisition graph — across ``Engine``,
+    ``BlockCache``, ``QueryService``, ``TableReader`` and friends, with
+    one level of call resolution — must be acyclic, and a non-reentrant
+    lock must never be re-acquired on a path that already holds it.
+    Cycles are deadlocks waiting for the right schedule.
+
+``kernel-purity``
+    ``query/kernels.py`` must never call the materialising API
+    (``decode``, ``gather``, heap accessors): compressed-domain kernels
+    that quietly decode still pass every correctness test while erasing
+    the paper's entire performance claim.
+
+``format-roundtrip``
+    Every field of the footer/segment dataclasses in
+    ``storage/format.py`` must appear in both the serialize and the
+    deserialize method of a recognised pair (``to_dict``/``from_dict``,
+    ...), so no field can be silently dropped from the on-disk format.
+
+**Suppression.**  A finding is silenced by an inline marker on the
+flagged line, naming the rule::
+
+    self._file.seek(offset)  # corra: ignore[lock-discipline] -- atomic seek+read
+
+Use it only where violating the letter of the rule *is* the design (the
+table reader's atomic seek+read under its file lock; the prefetch
+scheduler's submit under its bookkeeping lock) and say why in the
+trailing comment.
+
+**Exit codes.** ``0`` clean, ``1`` findings, ``2`` usage error — so CI
+can run ``corra check`` (or ``python -m repro.analysis``) as a blocking
+step.
+
+The static lock-order rule has a dynamic twin,
+:class:`~repro.analysis.witness.LockWitness`, which the concurrency test
+suites install to record the *runtime* acquisition graph and fail on
+order inversions the schedule actually produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Sequence
+
+from .framework import Finding, Project, Rule, load_project, run_rules
+from .locks import LockDisciplineRule, LockOrderRule
+from .metrics import MetricsCompletenessRule
+from .purity import KernelPurityRule
+from .roundtrip import FormatRoundtripRule
+from .witness import LockWitness
+
+__all__ = [
+    "Finding",
+    "LockWitness",
+    "Project",
+    "Rule",
+    "all_rules",
+    "load_project",
+    "main",
+    "run_check",
+    "run_rules",
+]
+
+
+def all_rules() -> dict[str, Rule]:
+    """Every registered rule, keyed by name."""
+    rules: list[Rule] = [
+        MetricsCompletenessRule(),
+        LockDisciplineRule(),
+        LockOrderRule(),
+        KernelPurityRule(),
+        FormatRoundtripRule(),
+    ]
+    return {rule.name: rule for rule in rules}
+
+
+def run_check(
+    paths: Sequence[str | Path],
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Run the (selected) rules over ``paths`` and return the findings."""
+    registry = all_rules()
+    names = list(registry)
+    if select:
+        unknown = set(select) - set(registry)
+        if unknown:
+            raise ValueError(f"unknown rule(s) in --select: {sorted(unknown)}")
+        names = [name for name in names if name in set(select)]
+    if ignore:
+        unknown = set(ignore) - set(registry)
+        if unknown:
+            raise ValueError(f"unknown rule(s) in --ignore: {sorted(unknown)}")
+        names = [name for name in names if name not in set(ignore)]
+    project = load_project([Path(p) for p in paths])
+    return run_rules(project, [registry[name] for name in names])
+
+
+def _comma_list(raw: str) -> list[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="corra check",
+        description="Project-invariant static analysis (see repro.analysis).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        type=_comma_list,
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        type=_comma_list,
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule names to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code (0/1/2)."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for name, rule in all_rules().items():
+            print(f"{name}: {rule.description}")
+        return 0
+    try:
+        findings = run_check(args.paths, select=args.select, ignore=args.ignore)
+    except ValueError as exc:
+        print(f"corra check: error: {exc}")
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"corra check: {len(findings)} finding(s)")
+        return 1
+    print("corra check: clean")
+    return 0

@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` — same contract as ``corra check``."""
+
+from __future__ import annotations
+
+import sys
+
+from . import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,168 @@
+"""Rule framework of ``corra check``: projects, findings, the runner.
+
+The analyzer parses every target file once into a :class:`Project` — a
+bag of :class:`Module` objects holding the AST plus the raw source lines —
+and hands the whole project to each :class:`Rule`.  Rules are
+project-scoped rather than file-scoped on purpose: the invariants worth
+checking here (a counter threaded through ``merge()`` *and* the CLI
+table, a lock acquisition graph spanning ``query/`` and ``storage/``)
+cross module boundaries, so a per-file visitor would miss exactly the
+bugs this tool exists to catch.
+
+Findings carry ``path:line``, the rule name and a fix hint.  A finding is
+suppressed by an inline marker on the flagged line::
+
+    self._file.seek(offset)  # corra: ignore[lock-discipline] -- atomic seek+read
+
+``# corra: ignore`` with no bracket suppresses every rule on that line;
+the bracket form takes a comma-separated rule list.  The runner's exit
+code contract matches the usual linter convention: ``0`` clean, ``1``
+findings survived, ``2`` usage or internal error.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "Module",
+    "Project",
+    "Rule",
+    "load_project",
+    "run_rules",
+]
+
+#: ``# corra: ignore`` or ``# corra: ignore[rule-a,rule-b]``.
+_SUPPRESS_RE = re.compile(r"#\s*corra:\s*ignore(?:\[([A-Za-z0-9_,\s\-]*)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class Module:
+    """One parsed source file: AST plus raw lines for marker lookup."""
+
+    path: Path
+    rel: str
+    tree: ast.Module
+    lines: list[str] = field(repr=False)
+
+    def suppressed_rules(self, line: int) -> set[str] | None:
+        """Rules suppressed on ``line`` (1-based).
+
+        ``None`` means no marker; an empty set means a bare ``# corra:
+        ignore`` (suppress everything).
+        """
+        if not 1 <= line <= len(self.lines):
+            return None
+        match = _SUPPRESS_RE.search(self.lines[line - 1])
+        if match is None:
+            return None
+        names = match.group(1)
+        if names is None:
+            return set()
+        return {name.strip() for name in names.split(",") if name.strip()}
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+
+@dataclass
+class Project:
+    """Every module the analyzer was pointed at, parsed once."""
+
+    root: Path
+    modules: list[Module]
+
+    def find(self, suffix: str) -> Module | None:
+        """The module whose relative path ends with ``suffix`` (posix)."""
+        for module in self.modules:
+            if module.rel == suffix or module.rel.endswith("/" + suffix):
+                return module
+        return None
+
+    def classes(self) -> Iterator[tuple[Module, ast.ClassDef]]:
+        for module in self.modules:
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    yield module, node
+
+
+class Rule:
+    """Base of every check: a name, a one-line description, a project pass."""
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, project: Project) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+def load_project(paths: Sequence[Path | str], root: Path | str | None = None) -> Project:
+    """Parse every ``.py`` file under ``paths`` into a :class:`Project`.
+
+    ``root`` anchors the relative paths findings report (defaults to the
+    common parent when a single directory is given, else the cwd).
+    """
+    targets: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            targets.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            targets.append(path)
+    if root is None:
+        root = paths[0] if len(paths) == 1 and Path(paths[0]).is_dir() else Path.cwd()
+    root = Path(root)
+    modules: list[Module] = []
+    for path in targets:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise ValueError(f"{path}: cannot parse: {exc}") from exc
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        modules.append(Module(path=path, rel=rel, tree=tree, lines=source.splitlines()))
+    return Project(root=root, modules=modules)
+
+
+def _is_suppressed(project: Project, finding: Finding) -> bool:
+    for module in project.modules:
+        if module.rel == finding.path:
+            rules = module.suppressed_rules(finding.line)
+            return rules is not None and (not rules or finding.rule in rules)
+    return False
+
+
+def run_rules(project: Project, rules: Sequence[Rule]) -> list[Finding]:
+    """Run ``rules`` over ``project``; suppressed findings are dropped."""
+    findings: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check(project):
+            if not _is_suppressed(project, finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

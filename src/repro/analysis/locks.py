@@ -1,0 +1,486 @@
+"""lock-discipline and lock-order: static checks over the lock graph.
+
+PR 7 left the tree with a dozen locks — the engine's compiler-LRU RLock,
+the block cache's single-flight lock, the admission gate's condition, the
+table reader's file lock, per-metrics locks — and two conventions holding
+them together: locks are only ever taken with ``with`` (so exceptions
+release them), and nested acquisitions always happen in one global order
+(so request threads cannot deadlock).  Both rules here derive what they
+need from the AST, no annotations required:
+
+* **lock model** — for every class, the attributes assigned
+  ``threading.Lock()`` / ``RLock()`` / ``Condition()`` (including
+  dataclass ``field(default_factory=threading.Lock)`` declarations).
+  ``Condition(self._lock)`` is an *alias*: acquiring the condition
+  acquires the underlying lock, so both names map to one lock identity
+  ``(ClassName, attr)``.
+
+* **lock-discipline** — flags bare ``.acquire()`` / ``.release()`` on a
+  lock attribute (use ``with``), and calls known to block — file I/O,
+  ``time.sleep``, ``Future.result``, pool ``submit``/``shutdown``,
+  ``Thread.join`` — lexically inside a held-lock body.
+  ``Condition.wait`` is exempt: it releases the lock while blocking,
+  which is the whole point of a condition variable.
+
+* **lock-order** — builds the static acquisition graph: an edge
+  ``A -> B`` whenever ``B`` is acquired (lexically, or through one level
+  of ``self.method()`` / ``self.member.method()`` call resolution) while
+  ``A`` is held.  A cycle in that graph is a potential deadlock under
+  concurrent schedules; a self-edge on a *non-reentrant* lock is a
+  guaranteed one.  Self-edges on RLocks are legal reentrancy and ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .framework import Finding, Module, Project, Rule
+
+__all__ = ["LockDisciplineRule", "LockOrderRule", "build_lock_models"]
+
+#: Constructors that create a lock-like object.
+_LOCK_FACTORIES = {"Lock": "Lock", "RLock": "RLock", "Condition": "Condition"}
+
+#: Calls that can block for unbounded time and must not run under a lock.
+_BLOCKING_NAME_CALLS = {"open", "_read_exact"}
+_BLOCKING_ATTR_CALLS = {
+    "sleep",  # time.sleep
+    "result",  # Future.result
+    "submit",  # pool.submit (can block when the work queue is bounded)
+    "shutdown",  # pool.shutdown(wait=True) joins worker threads
+    "join",  # Thread.join
+    "seek",  # file I/O from here down
+    "read",
+    "write",
+    "flush",
+}
+
+
+def _call_factory(value: ast.expr) -> tuple[str, ast.Call] | None:
+    """``("Lock", call)`` when ``value`` is ``threading.Lock()`` etc."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    name = None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id == "threading":
+            name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    if name in _LOCK_FACTORIES:
+        return _LOCK_FACTORIES[name], value
+    return None
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``attr`` when ``node`` is exactly ``self.attr``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@dataclass
+class ClassModel:
+    """Locks, aliases, member objects and methods of one class."""
+
+    module: Module
+    node: ast.ClassDef
+    #: attribute name (including condition aliases) -> canonical lock attr.
+    locks: dict[str, str] = field(default_factory=dict)
+    #: canonical lock attr -> "Lock" | "RLock" | "Condition".
+    kinds: dict[str, str] = field(default_factory=dict)
+    #: attribute name -> project class name (``self.x = OtherClass(...)``).
+    members: dict[str, str] = field(default_factory=dict)
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+    def lock_id(self, attr: str) -> tuple[str, str] | None:
+        canonical = self.locks.get(attr)
+        if canonical is None:
+            return None
+        return (self.node.name, canonical)
+
+    def kind_of(self, attr: str) -> str:
+        return self.kinds.get(self.locks.get(attr, attr), "Lock")
+
+
+def _scan_assignments(model: ClassModel, class_names: set[str]) -> None:
+    """Populate locks/members from ``self.x = ...`` in every method."""
+    for method in model.methods.values():
+        for stmt in ast.walk(method):
+            if not isinstance(stmt, ast.Assign) or not isinstance(stmt.value, ast.Call):
+                continue
+            for target in stmt.targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                factory = _call_factory(stmt.value)
+                if factory is not None:
+                    kind, call = factory
+                    if kind == "Condition" and call.args:
+                        aliased = _self_attr(call.args[0])
+                        if aliased is not None and aliased in model.locks:
+                            # Condition(self._lock): same lock, second name.
+                            model.locks[attr] = model.locks[aliased]
+                            continue
+                    model.locks[attr] = attr
+                    model.kinds[attr] = kind
+                    continue
+                func = stmt.value.func
+                if isinstance(func, ast.Name) and func.id in class_names:
+                    model.members[attr] = func.id
+
+
+def _scan_dataclass_fields(model: ClassModel, class_names: set[str]) -> None:
+    """Locks/members declared as dataclass fields at class level."""
+    for stmt in model.node.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(stmt.target, ast.Name):
+            continue
+        attr = stmt.target.id
+        annotation = stmt.annotation
+        ann_name = None
+        if isinstance(annotation, ast.Attribute):
+            ann_name = annotation.attr
+        elif isinstance(annotation, ast.Name):
+            ann_name = annotation.id
+        if ann_name in _LOCK_FACTORIES:
+            model.locks[attr] = attr
+            model.kinds[attr] = _LOCK_FACTORIES[ann_name]
+        elif ann_name in class_names:
+            model.members[attr] = ann_name
+        elif isinstance(stmt.value, ast.Call):
+            # field(default_factory=threading.Lock) / field(default_factory=Foo)
+            for kw in stmt.value.keywords:
+                if kw.arg != "default_factory":
+                    continue
+                factory = _call_factory(ast.Call(func=kw.value, args=[], keywords=[]))
+                if factory is not None:
+                    model.locks[attr] = attr
+                    model.kinds[attr] = factory[0]
+                elif isinstance(kw.value, ast.Name) and kw.value.id in class_names:
+                    model.members[attr] = kw.value.id
+
+
+def build_lock_models(project: Project) -> dict[str, ClassModel]:
+    """Every project class's lock model, keyed by class name."""
+    models: dict[str, ClassModel] = {}
+    class_names = {cls.name for _, cls in project.classes()}
+    for module, cls in project.classes():
+        model = ClassModel(module=module, node=cls)
+        for stmt in cls.body:
+            if isinstance(stmt, ast.FunctionDef):
+                model.methods[stmt.name] = stmt
+        _scan_dataclass_fields(model, class_names)
+        _scan_assignments(model, class_names)
+        models[cls.name] = model
+    return models
+
+
+def _with_lock_items(model: ClassModel, node: ast.With) -> list[tuple[str, str]]:
+    """Lock ids acquired by one ``with`` statement's items."""
+    ids = []
+    for item in node.items:
+        attr = _self_attr(item.context_expr)
+        if attr is not None:
+            lock_id = model.lock_id(attr)
+            if lock_id is not None:
+                ids.append(lock_id)
+    return ids
+
+
+def _acquired_locks(
+    models: dict[str, ClassModel],
+    model: ClassModel,
+    method: ast.FunctionDef,
+    depth: int,
+    seen: set[tuple[str, str]],
+) -> set[tuple[str, str]]:
+    """Lock ids a call to ``method`` may acquire (static over-approximation)."""
+    key = (model.node.name, method.name)
+    if key in seen or depth <= 0:
+        return set()
+    seen = seen | {key}
+    acquired: set[tuple[str, str]] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.With):
+            acquired.update(_with_lock_items(model, node))
+        elif isinstance(node, ast.Call):
+            resolved = _resolve_call(models, model, node)
+            if resolved is not None:
+                callee_model, callee = resolved
+                acquired.update(
+                    _acquired_locks(models, callee_model, callee, depth - 1, seen)
+                )
+    return acquired
+
+
+def _resolve_call(
+    models: dict[str, ClassModel], model: ClassModel, call: ast.Call
+) -> tuple[ClassModel, ast.FunctionDef] | None:
+    """``self.m()`` or ``self.member.m()`` resolved to a project method."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    owner_attr = _self_attr(func.value)
+    if func.value is not None and _self_attr(func) is not None:
+        # self.m(...): same-class method.
+        method = model.methods.get(func.attr)
+        if method is not None:
+            return model, method
+        return None
+    if owner_attr is not None:
+        # self.member.m(...): one level into a member object's class.
+        member_class = model.members.get(owner_attr)
+        if member_class is not None and member_class in models:
+            callee_model = models[member_class]
+            method = callee_model.methods.get(func.attr)
+            if method is not None:
+                return callee_model, method
+    return None
+
+
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "locks are acquired via `with` only, and held-lock bodies never "
+        "perform file I/O, sleeps, Future.result or pool submits"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        models = build_lock_models(project)
+        for model in models.values():
+            for method in model.methods.values():
+                yield from self._check_bare_acquire(model, method)
+                yield from self._check_blocking(model, method)
+
+    def _check_bare_acquire(
+        self, model: ClassModel, method: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in ("acquire", "release"):
+                continue
+            attr = _self_attr(node.func.value)
+            if attr is None or attr not in model.locks:
+                continue
+            yield Finding(
+                rule=self.name,
+                path=model.module.rel,
+                line=node.lineno,
+                message=(
+                    f"bare self.{attr}.{node.func.attr}() in "
+                    f"{model.node.name}.{method.name}"
+                ),
+                hint="acquire locks with `with self.%s:` so exceptions release them" % attr,
+            )
+
+    def _check_blocking(self, model: ClassModel, method: ast.FunctionDef) -> Iterator[Finding]:
+        # Walk statements manually so nested function definitions (closures
+        # handed to pools — they run on *other* threads, lock not held) are
+        # not charged to the enclosing lock body.
+        def visit(stmts: list[ast.stmt], held: bool) -> Iterator[Finding]:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                now_held = held
+                if isinstance(stmt, ast.With) and _with_lock_items(model, stmt):
+                    now_held = True
+                if held:
+                    yield from self._blocking_calls_in(model, method, stmt)
+                for body in _child_bodies(stmt):
+                    yield from visit(body, now_held)
+
+        yield from visit(method.body, held=False)
+
+    def _blocking_calls_in(
+        self, model: ClassModel, method: ast.FunctionDef, stmt: ast.stmt
+    ) -> Iterator[Finding]:
+        for node in _walk_statement_exprs(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            blocked = None
+            if isinstance(func, ast.Name) and func.id in _BLOCKING_NAME_CALLS:
+                blocked = func.id
+            elif isinstance(func, ast.Attribute) and func.attr in _BLOCKING_ATTR_CALLS:
+                receiver = _self_attr(func.value)
+                if receiver is not None and receiver in model.locks:
+                    continue  # condition/lock protocol calls are not file I/O
+                blocked = func.attr
+            if blocked is not None:
+                yield Finding(
+                    rule=self.name,
+                    path=model.module.rel,
+                    line=node.lineno,
+                    message=(
+                        f"potentially blocking call {blocked!r} while "
+                        f"{model.node.name} holds a lock (in {method.name})"
+                    ),
+                    hint=(
+                        "move the blocking work outside the `with` body, or mark the "
+                        "line `# corra: ignore[lock-discipline]` if holding the lock "
+                        "is the point (e.g. an atomic seek+read)"
+                    ),
+                )
+
+
+def _child_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    bodies = []
+    for field_name in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, field_name, None)
+        if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+            bodies.append(value)
+    for handler in getattr(stmt, "handlers", []):
+        bodies.append(handler.body)
+    return bodies
+
+
+def _walk_statement_exprs(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Expressions of one statement, not descending into child statements."""
+    for field_name, value in ast.iter_fields(stmt):
+        if field_name in ("body", "orelse", "finalbody", "handlers"):
+            continue
+        if isinstance(value, ast.expr):
+            yield from ast.walk(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, (ast.expr, ast.withitem)):
+                    yield from ast.walk(item)
+
+
+class LockOrderRule(Rule):
+    name = "lock-order"
+    description = (
+        "the static nested-with lock acquisition graph across classes "
+        "must be acyclic (one global lock order, no deadlocks)"
+    )
+
+    #: One level of call resolution under a held lock, two inside callees.
+    CALL_DEPTH = 2
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        models = build_lock_models(project)
+        edges: dict[tuple[tuple[str, str], tuple[str, str]], tuple[str, int]] = {}
+        self_edges: list[tuple[tuple[str, str], str, int, str]] = []
+
+        for model in models.values():
+            for method in model.methods.values():
+                self._collect(models, model, method, method.body, [], edges, self_edges)
+
+        for lock, rel, line, context in self_edges:
+            kind = models[lock[0]].kinds.get(lock[1], "Lock")
+            if kind == "RLock":
+                continue  # legal reentrancy
+            yield Finding(
+                rule=self.name,
+                path=rel,
+                line=line,
+                message=(
+                    f"non-reentrant lock {lock[0]}.{lock[1]} re-acquired while "
+                    f"already held ({context}) — guaranteed deadlock"
+                ),
+                hint="use threading.RLock, or restructure so the inner path assumes the lock",
+            )
+
+        cycle = _find_cycle({edge for edge in edges})
+        if cycle is not None:
+            first = edges[(cycle[0], cycle[1])]
+            path = " -> ".join(f"{cls}.{attr}" for cls, attr in cycle)
+            yield Finding(
+                rule=self.name,
+                path=first[0],
+                line=first[1],
+                message=f"lock acquisition cycle: {path}",
+                hint=(
+                    "pick one global acquisition order and restructure the odd "
+                    "path out; the cited line is the first edge of the cycle"
+                ),
+            )
+
+    def _collect(
+        self,
+        models: dict[str, ClassModel],
+        model: ClassModel,
+        method: ast.FunctionDef,
+        stmts: list[ast.stmt],
+        held: list[tuple[str, str]],
+        edges: dict[tuple[tuple[str, str], tuple[str, str]], tuple[str, int]],
+        self_edges: list[tuple[tuple[str, str], str, int, str]],
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # closures run elsewhere; not under this lock
+            acquired = (
+                _with_lock_items(model, stmt) if isinstance(stmt, ast.With) else []
+            )
+            context = f"{model.node.name}.{method.name}"
+            for lock in acquired:
+                for holder in held:
+                    if holder == lock:
+                        self_edges.append((lock, model.module.rel, stmt.lineno, context))
+                    else:
+                        edges.setdefault((holder, lock), (model.module.rel, stmt.lineno))
+            if held:
+                for node in _walk_statement_exprs(stmt):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    resolved = _resolve_call(models, model, node)
+                    if resolved is None:
+                        continue
+                    callee_model, callee = resolved
+                    for lock in _acquired_locks(
+                        models, callee_model, callee, self.CALL_DEPTH, set()
+                    ):
+                        for holder in held:
+                            if holder == lock:
+                                self_edges.append(
+                                    (lock, model.module.rel, node.lineno, context)
+                                )
+                            else:
+                                edges.setdefault(
+                                    (holder, lock), (model.module.rel, node.lineno)
+                                )
+            inner_held = held + [lock for lock in acquired if lock not in held]
+            for body in _child_bodies(stmt):
+                self._collect(models, model, method, body, inner_held, edges, self_edges)
+
+
+def _find_cycle(
+    edges: set[tuple[tuple[str, str], tuple[str, str]]],
+) -> list[tuple[str, str]] | None:
+    """A cycle in the edge set as a node path (first node repeated last)."""
+    graph: dict[tuple[str, str], list[tuple[str, str]]] = {}
+    for a, b in edges:
+        graph.setdefault(a, []).append(b)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: dict[tuple[str, str], int] = {}
+    stack: list[tuple[str, str]] = []
+
+    def dfs(node: tuple[str, str]) -> list[tuple[str, str]] | None:
+        color[node] = GREY
+        stack.append(node)
+        for succ in graph.get(node, ()):
+            state = color.get(succ, WHITE)
+            if state == GREY:
+                start = stack.index(succ)
+                return stack[start:] + [succ]
+            if state == WHITE:
+                found = dfs(succ)
+                if found is not None:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in list(graph):
+        if color.get(node, WHITE) == WHITE:
+            found = dfs(node)
+            if found is not None:
+                return found
+    return None

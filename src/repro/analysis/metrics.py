@@ -1,0 +1,228 @@
+"""metrics-completeness: every counter flows through merge/reset/reporting.
+
+The engine's observability rests on hand-threaded counters: a field added
+to :class:`~repro.query.scan.ScanMetrics` or
+:class:`~repro.storage.cache.IOMetrics` is worthless — and silently wrong
+under parallel execution — unless it is also summed in ``merge()``,
+cleared in ``reset()`` and surfaced by every reporting site (the CLI
+tables, the service's ``/metrics`` snapshots).  PR 6 and PR 7 each grew
+these dataclasses and each had to touch four far-apart call sites by
+convention; this rule turns the convention into a check.
+
+A *counter field* is a public annotated field of a configured metrics
+class, excluding fields declared ``field(compare=False)`` (bookkeeping
+such as ``IOMetrics.epoch``) and non-``int`` fields (the embedded lock).
+Each counter must be referenced in the class's own ``merge`` and ``reset``
+methods (when they exist) and in every configured reporting surface —
+either as an attribute access (``metrics.rows_total``) or as a string key
+(``"rows_total"``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .framework import Finding, Module, Project, Rule
+
+__all__ = ["MetricsCompletenessRule", "MetricsSpec"]
+
+
+@dataclass(frozen=True)
+class MetricsSpec:
+    """One metrics dataclass plus the reporting surfaces it must reach.
+
+    ``surfaces`` are ``(module suffix, qualname)`` pairs; a qualname is a
+    module-level function (``_print_metrics``) or a ``Class.method``
+    (``ServerMetrics.snapshot``).  A surface whose *module* is absent from
+    the project is skipped (the analyzer may be pointed at a subtree);
+    a surface whose module is present but whose function is gone is a
+    finding — that is exactly how reporting sites rot.
+    """
+
+    module: str
+    class_name: str
+    surfaces: tuple[tuple[str, str], ...] = ()
+
+
+#: The project's metrics classes and every place their counters must show up.
+DEFAULT_SPECS: tuple[MetricsSpec, ...] = (
+    MetricsSpec(
+        module="query/scan.py",
+        class_name="ScanMetrics",
+        surfaces=(
+            ("cli.py", "_print_metrics"),
+            ("server/metrics.py", "ServerMetrics.snapshot"),
+        ),
+    ),
+    MetricsSpec(
+        module="storage/cache.py",
+        class_name="IOMetrics",
+        surfaces=(
+            ("cli.py", "_print_io_metrics"),
+            ("server/service.py", "QueryService.snapshot_metrics"),
+        ),
+    ),
+)
+
+
+def _field_call_has_compare_false(value: ast.expr | None) -> bool:
+    return (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id == "field"
+        and any(
+            kw.arg == "compare"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is False
+            for kw in value.keywords
+        )
+    )
+
+
+def counter_fields(cls: ast.ClassDef) -> list[tuple[str, int]]:
+    """Public annotated ``int`` fields of a metrics dataclass, with lines."""
+    counters: list[tuple[str, int]] = []
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(stmt.target, ast.Name):
+            continue
+        name = stmt.target.id
+        if name.startswith("_"):
+            continue
+        if not (isinstance(stmt.annotation, ast.Name) and stmt.annotation.id == "int"):
+            continue
+        if _field_call_has_compare_false(stmt.value):
+            continue
+        counters.append((name, stmt.lineno))
+    return counters
+
+
+def _names_used(node: ast.AST) -> set[str]:
+    """Attribute names and string constants appearing under ``node``."""
+    used: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute):
+            used.add(child.attr)
+        elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+            used.add(child.value)
+        elif isinstance(child, ast.keyword) and child.arg is not None:
+            used.add(child.arg)
+    return used
+
+
+def _resolve_qualname(module: Module, qualname: str) -> ast.FunctionDef | None:
+    parts = qualname.split(".")
+    scope: Iterable[ast.stmt] = module.tree.body
+    node: ast.FunctionDef | None = None
+    for index, part in enumerate(parts):
+        found = None
+        for stmt in scope:
+            if isinstance(stmt, ast.ClassDef) and stmt.name == part and index < len(parts) - 1:
+                found = stmt
+                scope = stmt.body
+                break
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt.name == part:
+                found = stmt
+                break
+        if found is None:
+            return None
+        if isinstance(found, ast.FunctionDef):
+            node = found
+    return node
+
+
+class MetricsCompletenessRule(Rule):
+    name = "metrics-completeness"
+    description = (
+        "every counter field of ScanMetrics/IOMetrics must appear in "
+        "merge(), reset() and each configured reporting surface"
+    )
+
+    def __init__(self, specs: tuple[MetricsSpec, ...] = DEFAULT_SPECS):
+        self._specs = specs
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for spec in self._specs:
+            module = project.find(spec.module)
+            if module is None:
+                continue
+            cls = next(
+                (
+                    node
+                    for node in module.tree.body
+                    if isinstance(node, ast.ClassDef) and node.name == spec.class_name
+                ),
+                None,
+            )
+            if cls is None:
+                yield Finding(
+                    rule=self.name,
+                    path=module.rel,
+                    line=1,
+                    message=f"configured metrics class {spec.class_name!r} not found",
+                    hint="update analysis.metrics.DEFAULT_SPECS if the class moved",
+                )
+                continue
+            counters = counter_fields(cls)
+            yield from self._check_lifecycle(module, cls, counters)
+            yield from self._check_surfaces(project, spec, counters)
+
+    def _check_lifecycle(
+        self, module: Module, cls: ast.ClassDef, counters: list[tuple[str, int]]
+    ) -> Iterator[Finding]:
+        for method_name in ("merge", "reset"):
+            method = next(
+                (
+                    stmt
+                    for stmt in cls.body
+                    if isinstance(stmt, ast.FunctionDef) and stmt.name == method_name
+                ),
+                None,
+            )
+            if method is None:
+                continue
+            used = _names_used(method)
+            for counter, _ in counters:
+                if counter not in used:
+                    yield Finding(
+                        rule=self.name,
+                        path=module.rel,
+                        line=method.lineno,
+                        message=(
+                            f"{cls.name}.{method_name}() does not touch counter "
+                            f"{counter!r}"
+                        ),
+                        hint=f"thread {counter!r} through {method_name}() like the other counters",
+                    )
+
+    def _check_surfaces(
+        self, project: Project, spec: MetricsSpec, counters: list[tuple[str, int]]
+    ) -> Iterator[Finding]:
+        for module_suffix, qualname in spec.surfaces:
+            module = project.find(module_suffix)
+            if module is None:
+                continue
+            fn = _resolve_qualname(module, qualname)
+            if fn is None:
+                yield Finding(
+                    rule=self.name,
+                    path=module.rel,
+                    line=1,
+                    message=f"configured reporting surface {qualname!r} not found",
+                    hint="update analysis.metrics.DEFAULT_SPECS if the reporter moved",
+                )
+                continue
+            used = _names_used(fn)
+            for counter, _ in counters:
+                if counter not in used:
+                    yield Finding(
+                        rule=self.name,
+                        path=module.rel,
+                        line=fn.lineno,
+                        message=(
+                            f"{qualname} does not report {spec.class_name} counter "
+                            f"{counter!r}"
+                        ),
+                        hint=f"add {counter!r} to the report alongside the other counters",
+                    )

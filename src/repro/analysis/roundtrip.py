@@ -1,0 +1,107 @@
+"""format-roundtrip: every footer/segment field survives serialize+parse.
+
+The ``.corra`` container's metadata lives in dataclasses
+(``ColumnSegment``, ``BlockEntry``, ``TableFooter``) that are serialised
+by hand — a field added to the dataclass but forgotten in ``to_dict`` is
+silently dropped on write; forgotten in ``from_dict`` it deserialises to
+its default and corrupts nothing until a reader depends on it.  Format
+v2 and v3 both grew these classes, and nothing but reviewer attention
+kept the three sites in sync.
+
+The rule: for every dataclass in the configured format modules that has
+a recognised serialize/deserialize method pair (``to_dict``/``from_dict``,
+``to_bytes``/``from_bytes``, ``pack``/``unpack``), each public annotated
+field must be mentioned in *both* bodies — as an attribute access, a
+keyword argument or a string key.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import Finding, Project, Rule
+
+__all__ = ["FormatRoundtripRule"]
+
+#: (serialize, deserialize) method-name pairs the rule recognises.
+_PAIRS: tuple[tuple[str, str], ...] = (
+    ("to_dict", "from_dict"),
+    ("to_bytes", "from_bytes"),
+    ("pack", "unpack"),
+)
+
+DEFAULT_FORMAT_MODULES: tuple[str, ...] = ("storage/format.py",)
+
+
+def _public_fields(cls: ast.ClassDef) -> list[str]:
+    fields = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            name = stmt.target.id
+            if not name.startswith("_") and not name.isupper():
+                fields.append(name)
+    return fields
+
+
+def _mentioned_names(fn: ast.FunctionDef) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+        elif isinstance(node, ast.keyword) and node.arg is not None:
+            names.add(node.arg)
+        elif isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+class FormatRoundtripRule(Rule):
+    name = "format-roundtrip"
+    description = (
+        "every field of the storage/format.py dataclasses appears in both "
+        "the serialize and the deserialize method"
+    )
+
+    def __init__(self, modules: tuple[str, ...] = DEFAULT_FORMAT_MODULES):
+        self._modules = modules
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for suffix in self._modules:
+            module = project.find(suffix)
+            if module is None:
+                continue
+            for node in module.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                methods = {
+                    stmt.name: stmt
+                    for stmt in node.body
+                    if isinstance(stmt, ast.FunctionDef)
+                }
+                for ser_name, de_name in _PAIRS:
+                    ser = methods.get(ser_name)
+                    de = methods.get(de_name)
+                    if ser is None or de is None:
+                        continue
+                    fields = _public_fields(node)
+                    for side, fn in ((ser_name, ser), (de_name, de)):
+                        mentioned = _mentioned_names(fn)
+                        for field in fields:
+                            if field not in mentioned:
+                                yield Finding(
+                                    rule=self.name,
+                                    path=module.rel,
+                                    line=fn.lineno,
+                                    message=(
+                                        f"{node.name}.{side}() drops field {field!r} "
+                                        f"from the round trip"
+                                    ),
+                                    hint=(
+                                        f"thread {field!r} through both {ser_name}() "
+                                        f"and {de_name}() (readers of older files can "
+                                        "default it)"
+                                    ),
+                                )

@@ -1,0 +1,153 @@
+"""LockWitness: a runtime lock-order recorder for the concurrency suites.
+
+The static lock-order rule sees the acquisition graph the *code* spells
+out; the witness sees the graph the *schedule* actually takes.  Wrapping
+a lock with :meth:`LockWitness.wrap` (or in place with
+:meth:`wrap_attr`) keeps its semantics — ``with``, ``acquire(blocking,
+timeout)``, reentrancy — while recording, per thread, the stack of
+witnessed locks currently held.  Every first acquisition of lock ``B``
+under held lock ``A`` adds the directed edge ``A -> B`` to a global edge
+set; acquiring ``B`` when the *reverse* edge ``B -> A`` was ever
+observed is an order inversion — the classic two-thread deadlock shape,
+caught even when the schedule happened not to interleave fatally.  This
+is TSan's lock-order-inversion detection, pocket-sized.
+
+Intended use (see ``tests/test_engine_concurrency.py``)::
+
+    witness = LockWitness()
+    witness.wrap_attr(engine, "_lock", "Engine._lock")
+    witness.wrap_attr(engine.cache, "_lock", "BlockCache._lock")
+    ...hammer the engine from K threads...
+    witness.assert_clean()
+
+Reentrant re-acquisition of a lock already on the thread's stack records
+no edges (an RLock taken twice says nothing about ordering).  Failed
+non-blocking acquires record nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+__all__ = ["LockWitness", "WitnessedLock"]
+
+
+class WitnessedLock:
+    """A lock proxy that reports acquisitions to its :class:`LockWitness`.
+
+    Supports the full lock protocol (``acquire``/``release``/context
+    manager) and forwards anything else — ``locked()``,
+    ``_is_owned()``, the internals ``Condition`` pokes at — to the
+    wrapped lock, so it can stand in for ``threading.Lock`` and
+    ``threading.RLock`` anywhere in the engine.
+    """
+
+    def __init__(self, witness: "LockWitness", inner: Any, name: str):
+        self._witness = witness
+        self._inner = inner
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._witness._on_acquire(self.name)
+        return ok
+
+    def release(self) -> None:
+        self._inner.release()
+        self._witness._on_release(self.name)
+
+    def __enter__(self) -> "WitnessedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __getattr__(self, item: str) -> Any:
+        return getattr(self._inner, item)
+
+    def __repr__(self) -> str:
+        return f"WitnessedLock({self.name!r}, {self._inner!r})"
+
+
+class LockWitness:
+    """Records the runtime lock acquisition graph and flags inversions."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        #: Observed edges held-lock -> acquired-lock, with first-seen context.
+        self._edges: dict[tuple[str, str], str] = {}
+        self._violations: list[str] = []
+        self._tls = threading.local()
+
+    # -- wrapping ----------------------------------------------------------
+
+    def wrap(self, lock: Any, name: str) -> WitnessedLock:
+        """``lock`` wrapped as a :class:`WitnessedLock` reporting here."""
+        return WitnessedLock(self, lock, name)
+
+    def wrap_attr(self, obj: Any, attr: str, name: str | None = None) -> WitnessedLock:
+        """Replace ``obj.<attr>`` with a witnessed wrapper, in place."""
+        wrapped = self.wrap(getattr(obj, attr), name or f"{type(obj).__name__}.{attr}")
+        setattr(obj, attr, wrapped)
+        return wrapped
+
+    # -- recording ---------------------------------------------------------
+
+    def _held(self) -> list[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _on_acquire(self, name: str) -> None:
+        stack = self._held()
+        if name in stack:
+            stack.append(name)  # reentrant: no ordering information
+            return
+        holders = set(stack)
+        if holders:
+            thread = threading.current_thread().name
+            with self._mutex:
+                for held in holders:
+                    reverse = self._edges.get((name, held))
+                    if reverse is not None:
+                        self._violations.append(
+                            f"lock order inversion: thread {thread!r} acquired "
+                            f"{name!r} while holding {held!r}, but {reverse} "
+                            f"previously acquired {held!r} while holding {name!r}"
+                        )
+                    self._edges.setdefault((held, name), f"thread {thread!r}")
+        stack.append(name)
+
+    def _on_release(self, name: str) -> None:
+        stack = self._held()
+        # Release the innermost matching hold (reentrant stacks pop in order).
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def violations(self) -> list[str]:
+        with self._mutex:
+            return list(self._violations)
+
+    def edges(self) -> set[tuple[str, str]]:
+        """The observed acquisition edges (held -> acquired)."""
+        with self._mutex:
+            return set(self._edges)
+
+    def assert_clean(self) -> None:
+        """Raise ``AssertionError`` listing every recorded inversion."""
+        violations = self.violations
+        if violations:
+            raise AssertionError(
+                "LockWitness recorded lock-order inversions:\n  "
+                + "\n  ".join(violations)
+            )

@@ -350,6 +350,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-dictionary", action="store_true", help="disable dictionary code-space evaluation"
     )
 
+    check = subparsers.add_parser(
+        "check",
+        help="run the project-invariant static analyzer (see repro.analysis)",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    check.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    check.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule names to skip",
+    )
+    check.add_argument(
+        "--list-rules", action="store_true", help="print the registered rules and exit"
+    )
+
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the paper's tables and figures"
     )
@@ -558,6 +584,8 @@ def _print_metrics(metrics, workers: int) -> None:
         ("blocks scanned", f"{metrics.blocks_scanned:,}"),
         ("blocks pruned", f"{metrics.blocks_pruned:,}"),
         ("blocks fully covered", f"{metrics.blocks_full:,}"),
+        ("rows total", f"{metrics.rows_total:,}"),
+        ("rows matched", f"{metrics.rows_matched:,}"),
         ("rows decoded", f"{metrics.rows_decoded:,}"),
         ("decoded fraction", f"{metrics.decoded_fraction:.2%}"),
         ("rows gathered", f"{metrics.rows_gathered:,}"),
@@ -764,6 +792,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """`corra check`: delegate to the analyzer's own argv contract."""
+    from .analysis import main as analysis_main
+
+    argv = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return analysis_main(argv)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -779,6 +821,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_query(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "check":
+            return _cmd_check(args)
         if args.command == "experiments":
             return experiments_main(
                 (args.ids or []) + (["--rows", str(args.rows)] if args.rows else [])

@@ -7,15 +7,15 @@ which reproduces the paper's "best single-column scheme per column" baseline.
 """
 
 from .base import ColumnEncoding, EncodedColumn
-from .bitpacked import ForBitPackEncoding, ForBitPackedColumn
-from .delta import DeltaEncoding, DeltaEncodedColumn
+from .bitpacked import ForBitPackedColumn, ForBitPackEncoding
+from .delta import DeltaEncodedColumn, DeltaEncoding
 from .dictionary import (
     DictEncodedIntColumn,
     DictEncodedStringColumn,
     DictionaryEncoding,
     StringHeap,
 )
-from .frequency import FrequencyEncoding, FrequencyEncodedColumn
+from .frequency import FrequencyEncodedColumn, FrequencyEncoding
 from .fsst import FsstEncodedColumn, FsstEncoding, SymbolTable, train_symbol_table
 from .plain import PlainEncodedColumn, PlainEncoding, PlainStringColumn
 from .rle import RleEncodedColumn, RleEncoding

@@ -34,6 +34,7 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, fields, replace
 from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 from ..errors import ValidationError
 from ..storage.cache import DEFAULT_CACHE_BYTES, BlockCache, CacheStats
@@ -42,6 +43,9 @@ from ..storage.relation import Relation
 from .kernels import DEFAULT_KERNELS, KernelRegistry
 from .plan import LazyQuery, QueryCompiler
 from .scan import ScanPlanner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .executor import QueryExecutor
 
 __all__ = ["Engine", "EngineConfig"]
 
@@ -77,7 +81,7 @@ class EngineConfig:
 
         return resolve_workers(self.workers)
 
-    def with_overrides(self, **overrides) -> "EngineConfig":
+    def with_overrides(self, **overrides: Any) -> "EngineConfig":
         """A copy with the given fields replaced (unknown names rejected)."""
         known = {f.name for f in fields(self)}
         unknown = set(overrides) - known
@@ -115,7 +119,7 @@ class Engine:
         catalog: "Catalog | str | os.PathLike[str] | None" = None,
         cache: BlockCache | None = None,
         kernels: KernelRegistry | None = None,
-    ):
+    ) -> None:
         self._config = config if config is not None else EngineConfig()
         self._kernels = kernels if kernels is not None else DEFAULT_KERNELS
         if catalog is not None and not isinstance(catalog, Catalog):
@@ -239,7 +243,7 @@ class Engine:
         self._check_open()
         return LazyQuery(relation, engine=self)
 
-    def executor(self, relation: Relation):
+    def executor(self, relation: Relation) -> "QueryExecutor":
         """An imperative :class:`~repro.query.executor.QueryExecutor` adapter."""
         from .executor import QueryExecutor
 
@@ -321,7 +325,7 @@ class Engine:
     def __enter__(self) -> "Engine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:

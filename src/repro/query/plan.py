@@ -42,8 +42,9 @@ pushdown is visible before (or without) running the query.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
@@ -63,6 +64,9 @@ from .scan import (
     materialize_columns,
     resolve_block,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .engine import Engine
 
 __all__ = [
     "AggregateFunction",
@@ -362,12 +366,12 @@ class PlanResult:
             return len(next(iter(self.columns.values())))
         return 0
 
-    def column(self, name: str):
+    def column(self, name: str) -> "np.ndarray | list":
         if name not in self.columns:
             raise UnknownColumnError(name, tuple(self.columns))
         return self.columns[name]
 
-    def scalar(self, name: str):
+    def scalar(self, name: str) -> Any:
         """The single value of an ungrouped aggregate output."""
         values = self.column(name)
         if len(values) != 1:
@@ -386,7 +390,7 @@ class PlanResult:
 _NO_VALUE = None
 
 
-def _merge_partial(kind: str, a, b):
+def _merge_partial(kind: str, a: Any, b: Any) -> Any:
     """Fold two per-block partial aggregate values (either may be None).
 
     ``avg`` partials are exact ``(sum, count)`` pairs; the division happens
@@ -405,7 +409,7 @@ def _merge_partial(kind: str, a, b):
     return a if a >= b else b
 
 
-def _reduce_values(kind: str, values) -> "int | str | tuple | None":
+def _reduce_values(kind: str, values: "np.ndarray | list") -> "int | str | tuple | None":
     """Reduce gathered values (an int64 array or a string list) directly."""
     if len(values) == 0:
         return 0 if kind in ("count", "sum") else _NO_VALUE
@@ -424,7 +428,7 @@ def _reduce_values(kind: str, values) -> "int | str | tuple | None":
     raise ValidationError(f"cannot {kind} a string column")
 
 
-def _finalize_partial(kind: str, value):
+def _finalize_partial(kind: str, value: Any) -> Any:
     """Turn a merged partial into its output value (divides avg pairs)."""
     if kind == "avg":
         return None if value is None or value[1] == 0 else value[0] / value[1]
@@ -455,8 +459,8 @@ class QueryCompiler:
         engine: ParallelEngine | None = None,
         use_kernels: bool = True,
         kernels: KernelRegistry | None = None,
-        pool=None,
-    ):
+        pool: ThreadPoolExecutor | None = None,
+    ) -> None:
         self._relation = relation
         self._use_statistics = use_statistics
         self._use_dictionary = use_dictionary
@@ -503,7 +507,7 @@ class QueryCompiler:
     def __enter__(self) -> "QueryCompiler":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- compilation -----------------------------------------------------------
@@ -653,7 +657,9 @@ class QueryCompiler:
 
     # -- aggregate execution ---------------------------------------------------
 
-    def _classify_blocks(self, predicate: Predicate | None):
+    def _classify_blocks(
+        self, predicate: Predicate | None
+    ) -> tuple[list[tuple[int, bool]], ScanMetrics]:
         """Plan the scan: ``(block index, fully covered)`` tasks + metrics.
 
         Delegates to the engine's shared classification step, so the
@@ -691,7 +697,7 @@ class QueryCompiler:
         names: Sequence[str],
         positions: np.ndarray,
         partial: ScanMetrics,
-    ):
+    ) -> "dict[str, np.ndarray | list]":
         """Materialise aggregate/group inputs at the selected positions.
 
         Charged to ``rows_gathered`` (``rows_decoded`` stays a pure
@@ -707,7 +713,9 @@ class QueryCompiler:
                 partial.string_heap_decodes += int(positions.size)
         return materialize_block_columns(block, names, positions)
 
-    def _make_prefetcher(self, compiled: CompiledQuery, tasks: list[tuple[int, bool]]):
+    def _make_prefetcher(
+        self, compiled: CompiledQuery, tasks: list[tuple[int, bool]]
+    ) -> "Callable[[int], None] | None":
         """A per-block read-ahead hint for the aggregate path, or ``None``.
 
         Each task's worker body calls the hint with its block index; the
@@ -754,7 +762,7 @@ class QueryCompiler:
         compiled: CompiledQuery,
         tasks: list[tuple[int, bool]],
         metrics: ScanMetrics,
-        prefetcher=None,
+        prefetcher: "Callable[[int], None] | None" = None,
     ) -> PlanResult:
         aggs = compiled.aggregates
         results = self._engine.map_items(
@@ -773,7 +781,11 @@ class QueryCompiler:
         return PlanResult(columns=columns, row_ids=None, metrics=metrics)
 
     def _ungrouped_block(
-        self, compiled: CompiledQuery, index: int, full: bool, prefetcher=None
+        self,
+        compiled: CompiledQuery,
+        index: int,
+        full: bool,
+        prefetcher: "Callable[[int], None] | None" = None,
     ) -> tuple[list, ScanMetrics]:
         """Worker body: one block's partial aggregate values plus metrics."""
         if prefetcher is not None:
@@ -848,7 +860,7 @@ class QueryCompiler:
         compiled: CompiledQuery,
         tasks: list[tuple[int, bool]],
         metrics: ScanMetrics,
-        prefetcher=None,
+        prefetcher: "Callable[[int], None] | None" = None,
     ) -> PlanResult:
         aggs = compiled.aggregates
         results = self._engine.map_items(
@@ -890,7 +902,11 @@ class QueryCompiler:
         return PlanResult(columns=columns, row_ids=None, metrics=metrics)
 
     def _grouped_block(
-        self, compiled: CompiledQuery, index: int, full: bool, prefetcher=None
+        self,
+        compiled: CompiledQuery,
+        index: int,
+        full: bool,
+        prefetcher: "Callable[[int], None] | None" = None,
     ) -> tuple[dict, bool, ScanMetrics]:
         """Worker body: one block's per-group partial states plus metrics."""
         if prefetcher is not None:
@@ -1021,7 +1037,7 @@ def _grouped_reduce_ints(kind: str, values: np.ndarray, inverse: np.ndarray, n_g
     return [int(v) for v in out]
 
 
-def _output_key(key):
+def _output_key(key: object) -> object:
     """A merged group key as an output value (bytes decode back to str)."""
     if isinstance(key, bytes):
         return key.decode("utf-8")
@@ -1081,10 +1097,10 @@ class LazyQuery:
         use_statistics: bool = True,
         use_dictionary: bool = True,
         use_kernels: bool = True,
-        engine=None,
+        engine: "Engine | None" = None,
         _spec: _QuerySpec | None = None,
         _compiler_box: "list[QueryCompiler | None] | None" = None,
-    ):
+    ) -> None:
         self._relation = relation
         self._workers = workers
         self._use_statistics = use_statistics
@@ -1104,7 +1120,7 @@ class LazyQuery:
 
     # -- fluent chain ----------------------------------------------------------
 
-    def _chain(self, **changes) -> "LazyQuery":
+    def _chain(self, **changes: Any) -> "LazyQuery":
         return LazyQuery(
             self._relation,
             workers=self._workers,

@@ -138,6 +138,8 @@ class ServerMetrics:
                 "rejected_cost": self.rejected_cost,
                 "timeouts": self.timeouts,
                 "scan": {
+                    "n_blocks": scan.n_blocks,
+                    "rows_total": scan.rows_total,
                     "blocks_pruned": scan.blocks_pruned,
                     "blocks_full": scan.blocks_full,
                     "blocks_scanned": scan.blocks_scanned,
@@ -146,6 +148,7 @@ class ServerMetrics:
                     "rows_gathered": scan.rows_gathered,
                     "rows_dict_evaluated": scan.rows_dict_evaluated,
                     "rows_rle_evaluated": scan.rows_rle_evaluated,
+                    "runs_evaluated": scan.runs_evaluated,
                     "rows_for_evaluated": scan.rows_for_evaluated,
                     "rows_kernel_aggregated": scan.rows_kernel_aggregated,
                     "string_heap_decodes": scan.string_heap_decodes,

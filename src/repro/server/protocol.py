@@ -24,6 +24,7 @@ the engine never sees a malformed request.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -45,7 +46,13 @@ __all__ = ["QueryRequest", "build_query", "encode_result", "parse_predicate", "p
 _REQUEST_KEYS = {"table", "where", "select", "group_by", "aggregates", "limit"}
 
 #: JSON ``fn`` name -> aggregate constructor (count takes no column).
-_AGGREGATES = {"count": Count, "sum": Sum, "min": Min, "max": Max, "avg": Avg}
+_AGGREGATES: dict[str, Callable[..., AggregateFunction]] = {
+    "count": Count,
+    "sum": Sum,
+    "min": Min,
+    "max": Max,
+    "avg": Avg,
+}
 
 
 def _expect(condition: bool, message: str) -> None:
@@ -56,16 +63,18 @@ def _expect(condition: bool, message: str) -> None:
 def _column_of(node: dict, op: str) -> str:
     column = node.get("column")
     _expect(isinstance(column, str) and column != "", f"{op!r} predicate needs a 'column' string")
+    assert isinstance(column, str)
     return column
 
 
-def _scalar(node: dict, key: str, op: str):
+def _scalar(node: dict, key: str, op: str) -> "int | str":
     _expect(key in node, f"{op!r} predicate needs {key!r}")
     value = node[key]
     _expect(
         isinstance(value, (int, str)) and not isinstance(value, bool),
         f"{op!r} predicate {key!r} must be an integer or string",
     )
+    assert isinstance(value, (int, str))
     return value
 
 
@@ -117,6 +126,7 @@ def _parse_aggregate(name: str, node: object) -> AggregateFunction:
         fn in _AGGREGATES,
         f"aggregate {name!r}: unknown fn {fn!r} (expected one of {sorted(_AGGREGATES)})",
     )
+    assert isinstance(fn, str)
     if fn == "count":
         _expect("column" not in node, f"aggregate {name!r}: count takes no column")
         return Count()
@@ -223,7 +233,7 @@ def build_query(lazy: LazyQuery, request: QueryRequest) -> LazyQuery:
     return lazy
 
 
-def _json_value(value):
+def _json_value(value: object) -> object:
     """One output cell as a plain JSON type (numpy scalars included)."""
     if isinstance(value, np.integer):
         return int(value)

@@ -384,8 +384,11 @@ class QueryService:
                 entry["io"] = {
                     "bytes_read": io.bytes_read,
                     "blocks_read": io.blocks_read,
+                    "footer_bytes_read": io.footer_bytes_read,
                     "columns_read": io.columns_read,
                     "column_bytes_read": io.column_bytes_read,
+                    "columns_skipped": io.columns_skipped,
+                    "column_block_bytes": io.column_block_bytes,
                     "reads_coalesced": io.reads_coalesced,
                     "prefetch_issued": io.prefetch_issued,
                     "prefetch_hits": io.prefetch_hits,

@@ -502,7 +502,7 @@ class DiskRelation(Relation):
                 # Submit while still holding the lock: close() nulls the
                 # pool under the same lock, so the pool cannot disappear
                 # (or be shut down) between the checks above and here.
-                pool.submit(self._prefetch_task, index, targets)
+                pool.submit(self._prefetch_task, index, targets)  # corra: ignore[lock-discipline]
             except RuntimeError:
                 self._prefetch_pending -= 1
                 self._prefetch_inflight.difference_update(targets)

@@ -489,8 +489,10 @@ class TableReader:
             data = bytes(self._mmap[offset : offset + length])
         else:
             with self._lock:
-                self._file.seek(offset)
-                data = _read_exact(self._file, length)
+                # The lock exists precisely to make seek+read atomic over the
+                # one shared file handle; the I/O must happen under it.
+                self._file.seek(offset)  # corra: ignore[lock-discipline] -- atomic seek+read
+                data = _read_exact(self._file, length)  # corra: ignore[lock-discipline]
         if len(data) != length:
             raise SerializationError(
                 f"{what} is truncated ({len(data)} of {length} bytes)"

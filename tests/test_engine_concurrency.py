@@ -16,6 +16,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis import LockWitness
 from repro.core import CompressionPlan, TableCompressor
 from repro.dtypes import INT64, STRING
 from repro.query import Avg, Between, Count, Engine, EngineConfig, Eq, In, Max, Min, Sum
@@ -75,6 +76,13 @@ class TestConcurrentEngine:
     @pytest.mark.parametrize("workers", [1, 4])
     def test_k_threads_bit_identical_to_serial(self, serial_reference, workers):
         with Engine(EngineConfig(workers=workers)) as engine:
+            # The witness records the runtime lock acquisition graph while
+            # the threads hammer the engine; any order inversion between
+            # the engine lock and the cache lock fails the test even if
+            # this particular schedule happened not to deadlock.
+            witness = LockWitness()
+            witness.wrap_attr(engine, "_lock", "Engine._lock")
+            witness.wrap_attr(engine.cache, "_lock", "BlockCache._lock")
             errors: list = []
             results: list = []
 
@@ -98,6 +106,7 @@ class TestConcurrentEngine:
                 assert value == serial_reference[name], f"plan {name!r} diverged"
             # All 96 runs shared one compiler (one planner memo).
             assert len(engine._compilers) == 1
+            witness.assert_clean()
 
     def test_concurrent_first_touch_creates_one_compiler(self):
         """The memoization race on first use resolves to a single compiler."""
@@ -121,6 +130,9 @@ class TestConcurrentEngine:
         catalog = Catalog(tmp_path / "cat")
         catalog.save("t", RELATION)
         with Engine(EngineConfig(workers=2), catalog=catalog) as engine:
+            witness = LockWitness()
+            witness.wrap_attr(engine, "_lock", "Engine._lock")
+            witness.wrap_attr(engine.cache, "_lock", "BlockCache._lock")
             errors: list = []
             counts: list = []
 
@@ -143,6 +155,7 @@ class TestConcurrentEngine:
             assert counts == [expected] * 8
             # One memoized table object; every thread's reads shared it.
             assert len(engine.tables()) == 1
+            witness.assert_clean()
 
 
 class TestPropertyBasedConcurrency:

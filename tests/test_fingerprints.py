@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dtypes import INT64
 from repro.query import (
     And,
     Between,
@@ -25,7 +26,6 @@ from repro.query import (
 )
 from repro.query.plan import Aggregate, Filter, QueryCompiler, Scan
 from repro.storage import Relation, Table
-from repro.dtypes import INT64
 
 
 def _relation() -> Relation:

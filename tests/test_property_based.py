@@ -25,7 +25,6 @@ from repro.core import (
 )
 from repro.core.optimizer import DiffEncodingOptimizer
 from repro.dtypes import INT64, STRING
-from repro.query import And, Between, Eq, In, Or, QueryExecutor
 from repro.encodings import (
     DeltaEncoding,
     DictionaryEncoding,
@@ -33,6 +32,7 @@ from repro.encodings import (
     FrequencyEncoding,
     RleEncoding,
 )
+from repro.query import And, Between, Eq, In, Or, QueryExecutor
 from repro.storage import Table
 
 # Bounded 64-bit signed integers that never overflow when differenced.

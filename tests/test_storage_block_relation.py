@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import CompressionPlan, TableCompressor
 from repro.dtypes import INT64, STRING
+from repro.encodings import DictionaryEncoding, ForBitPackEncoding
 from repro.errors import SchemaError, UnknownColumnError, ValidationError
 from repro.storage import (
     ColumnDependency,
@@ -14,7 +15,6 @@ from repro.storage import (
     Table,
     split_into_blocks,
 )
-from repro.encodings import ForBitPackEncoding, DictionaryEncoding
 
 
 def _simple_block(n=100):
