@@ -33,6 +33,7 @@ __all__ = [
     "Module",
     "Project",
     "Rule",
+    "docstring_constants",
     "load_project",
     "run_rules",
 ]
@@ -118,19 +119,53 @@ class Rule:
         raise NotImplementedError
 
 
+def docstring_constants(root: ast.AST) -> set[int]:
+    """``id()``s of the constant nodes serving as docstrings under ``root``.
+
+    Rules that accept a string constant as a field reference (a counter
+    threaded through a report as a dict key, say) must not let a name
+    that merely appears in *prose* satisfy the check — a docstring
+    reading "sums rows_total" is documentation, not threading.
+    """
+    ids: set[int] = set()
+    for node in ast.walk(root):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                ids.add(id(body[0].value))
+    return ids
+
+
 def load_project(paths: Sequence[Path | str], root: Path | str | None = None) -> Project:
     """Parse every ``.py`` file under ``paths`` into a :class:`Project`.
 
     ``root`` anchors the relative paths findings report (defaults to the
     common parent when a single directory is given, else the cwd).
+
+    A path that does not exist, is not a ``.py`` file, or is a directory
+    containing no ``.py`` files raises :class:`ValueError` — a typo'd
+    target must be a usage error (exit code 2), never a vacuously
+    "clean" run.
     """
     targets: list[Path] = []
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            targets.extend(sorted(path.rglob("*.py")))
-        elif path.suffix == ".py":
+            found = sorted(path.rglob("*.py"))
+            if not found:
+                raise ValueError(f"{path}: no .py files under directory")
+            targets.extend(found)
+        elif path.is_file() and path.suffix == ".py":
             targets.append(path)
+        elif path.exists():
+            raise ValueError(f"{path}: not a directory or a .py file")
+        else:
+            raise ValueError(f"{path}: no such file or directory")
     if root is None:
         root = paths[0] if len(paths) == 1 and Path(paths[0]).is_dir() else Path.cwd()
     root = Path(root)

@@ -24,7 +24,7 @@ import ast
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-from .framework import Finding, Module, Project, Rule
+from .framework import Finding, Module, Project, Rule, docstring_constants
 
 __all__ = ["MetricsCompletenessRule", "MetricsSpec"]
 
@@ -99,12 +99,21 @@ def counter_fields(cls: ast.ClassDef) -> list[tuple[str, int]]:
 
 
 def _names_used(node: ast.AST) -> set[str]:
-    """Attribute names and string constants appearing under ``node``."""
+    """Attribute names and string constants appearing under ``node``.
+
+    Docstrings are excluded: a counter merely *mentioned* in the prose
+    of ``merge()`` or a reporting surface is not threaded through it.
+    """
+    docstrings = docstring_constants(node)
     used: set[str] = set()
     for child in ast.walk(node):
         if isinstance(child, ast.Attribute):
             used.add(child.attr)
-        elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+        elif (
+            isinstance(child, ast.Constant)
+            and isinstance(child.value, str)
+            and id(child) not in docstrings
+        ):
             used.add(child.value)
         elif isinstance(child, ast.keyword) and child.arg is not None:
             used.add(child.arg)

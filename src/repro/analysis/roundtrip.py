@@ -20,7 +20,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from .framework import Finding, Project, Rule
+from .framework import Finding, Project, Rule, docstring_constants
 
 __all__ = ["FormatRoundtripRule"]
 
@@ -45,11 +45,17 @@ def _public_fields(cls: ast.ClassDef) -> list[str]:
 
 
 def _mentioned_names(fn: ast.FunctionDef) -> set[str]:
+    """Names referenced in ``fn``, excluding its docstring prose."""
+    docstrings = docstring_constants(fn)
     names: set[str] = set()
     for node in ast.walk(fn):
         if isinstance(node, ast.Attribute):
             names.add(node.attr)
-        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+        elif (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and id(node) not in docstrings
+        ):
             names.add(node.value)
         elif isinstance(node, ast.keyword) and node.arg is not None:
             names.add(node.arg)

@@ -12,6 +12,7 @@ how the suffix-matching ``Project.find`` is meant to be used.
 from __future__ import annotations
 
 import threading
+from pathlib import Path
 
 import pytest
 
@@ -107,6 +108,35 @@ class TestMetricsCompleteness:
         )
         findings = _findings(MetricsCompletenessRule(), project)
         assert any("reporting surface" in f.message for f in findings)
+
+    def test_docstring_mention_does_not_satisfy(self, tmp_path):
+        # A counter named only in merge()'s (or the reporter's) docstring
+        # is documentation, not threading — the rule must still fire.
+        scan = (
+            "from dataclasses import dataclass\n"
+            "\n\n"
+            "@dataclass\n"
+            "class ScanMetrics:\n"
+            "    blocks_scanned: int = 0\n"
+            "    rows_total: int = 0\n"
+            "\n"
+            "    def merge(self, other):\n"
+            '        """Sums blocks_scanned and rows_total."""\n'
+            "        self.blocks_scanned += other.blocks_scanned\n"
+            "\n"
+            "    def reset(self):\n"
+            "        self.blocks_scanned = 0\n"
+            "        self.rows_total = 0\n"
+        )
+        cli = (
+            "def _print_metrics(metrics):\n"
+            '    """Reports blocks_scanned and rows_total."""\n'
+            '    print("blocks", metrics.blocks_scanned)\n'
+        )
+        project = _project(tmp_path, {"query/scan.py": scan, "cli.py": cli})
+        messages = [f.message for f in _findings(MetricsCompletenessRule(), project)]
+        assert any("merge() does not touch counter 'rows_total'" in m for m in messages)
+        assert any("does not report ScanMetrics counter 'rows_total'" in m for m in messages)
 
 
 # ---------------------------------------------------------------------------
@@ -464,6 +494,25 @@ class TestFormatRoundtrip:
         )
         assert _findings(FormatRoundtripRule(), project) == []
 
+    def test_docstring_mention_does_not_satisfy(self, tmp_path):
+        # A field named only in the method docstring is still dropped
+        # from the round trip.
+        project = _project(
+            tmp_path,
+            {
+                "storage/format.py": _FORMAT_TEMPLATE.format(
+                    serialize_extra="",
+                    deserialize_extra='length=data.get("size", 0),',
+                ).replace(
+                    "    def to_dict(self):\n",
+                    "    def to_dict(self):\n"
+                    '        """Serialises name, offset and length."""\n',
+                ),
+            },
+        )
+        findings = _findings(FormatRoundtripRule(), project)
+        assert any("to_dict() drops field 'length'" in f.message for f in findings)
+
 
 # ---------------------------------------------------------------------------
 # runner API and CLI
@@ -501,6 +550,23 @@ class TestRunner:
         assert "clean" in capsys.readouterr().out
 
         assert main([str(clean), "--select", "bogus"]) == 2
+        capsys.readouterr()
+
+        # A typo'd target is a usage error, never a vacuously clean run.
+        assert main([str(tmp_path / "typo")]) == 2
+        assert "no such file or directory" in capsys.readouterr().out
+
+    def test_bad_paths_raise(self, tmp_path):
+        with pytest.raises(ValueError, match="no such file or directory"):
+            run_check([tmp_path / "nope"])
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ValueError, match="no .py files under directory"):
+            run_check([empty])
+        not_py = tmp_path / "notes.txt"
+        not_py.write_text("hello\n")
+        with pytest.raises(ValueError, match="not a directory or a .py file"):
+            run_check([not_py])
 
     def test_list_rules_names_every_rule(self, capsys):
         assert main(["--list-rules"]) == 0
@@ -511,7 +577,11 @@ class TestRunner:
     def test_real_tree_is_clean(self):
         # The repository's own source must stay free of findings; new
         # violations belong fixed (or explicitly suppressed), not shipped.
-        assert run_check(["src/repro"]) == []
+        # Anchored to the repo root so the check cannot pass vacuously
+        # when pytest runs from another cwd (load_project now raises on
+        # a missing path, but the anchor keeps the test runnable at all).
+        repo_root = Path(__file__).resolve().parent.parent
+        assert run_check([repo_root / "src" / "repro"]) == []
 
 
 # ---------------------------------------------------------------------------
