@@ -1,0 +1,148 @@
+"""Benchmark for the tracing subsystem: disabled overhead and enabled parity.
+
+Two claims are enforced:
+
+* **Disabled tracing is (nearly) free.**  Every instrumented site costs one
+  thread-local read plus a no-op ``with`` on the shared null span.  The
+  bound is computed from first principles rather than from two noisy
+  wall-clock runs: the per-site cost is microbenchmarked directly, scaled
+  by the number of spans the traced run actually opened for this query,
+  and that projected overhead must stay **under 3%** of the untraced query
+  time.  An informational A/B of the same query with tracing off vs on is
+  printed alongside.
+* **Tracing is observation only.**  The traced run's results are asserted
+  bit-identical to the untraced run, serial and parallel.
+
+Row count comes from ``CORRA_BENCH_TRACE_ROWS`` (default 200,000).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionPlan, TableCompressor
+from repro.dtypes import INT64
+from repro.query import Between, Count, EngineConfig, Sum
+from repro.query.tracing import Tracer, current_tracer
+from repro.storage.table import Table
+
+N_BLOCKS = 16
+N_DISTINCT = 50
+RUN_LENGTH = 64
+
+#: Projected disabled-tracing overhead must stay under this fraction of
+#: the untraced query time.
+MAX_DISABLED_OVERHEAD = 0.03
+
+
+def trace_rows() -> int:
+    return int(os.environ.get("CORRA_BENCH_TRACE_ROWS", "200000"))
+
+
+def _trace_table(n_rows: int, seed: int = 42) -> Table:
+    rng = np.random.default_rng(seed)
+    n_runs = -(-n_rows // RUN_LENGTH)
+    rle = np.repeat(np.arange(n_runs, dtype=np.int64) % N_DISTINCT, RUN_LENGTH)[:n_rows]
+    return Table.from_columns([
+        ("grade", INT64, rle),
+        ("word", INT64, rng.integers(0, 65_536, n_rows)),
+    ])
+
+
+@pytest.fixture(scope="module")
+def trace_relation():
+    n_rows = trace_rows()
+    table = _trace_table(n_rows)
+    plan = (
+        CompressionPlan.builder(table.schema)
+        .vertical("grade", "rle")
+        .vertical("word", "for_bitpack")
+        .build()
+    )
+    block_size = max(1, -(-n_rows // N_BLOCKS))
+    return TableCompressor(plan, block_size=block_size).compress(table)
+
+
+def _time(fn, repeats: int = 5) -> float:
+    fn()  # warm-up
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - start)
+    return float(np.median(timings))
+
+
+def _query(relation, workers: int = 1):
+    return (
+        relation.query(config=EngineConfig(workers=workers))
+        .where(Between("grade", 5, 30))
+        .agg(n=Count(), s=Sum("word"))
+    )
+
+
+def _null_span_cost(iterations: int = 200_000) -> float:
+    """Seconds per disabled instrumented site (thread-local read + no-op with)."""
+    tracer = current_tracer()
+    assert not tracer.enabled
+
+    def loop() -> None:
+        for _ in range(iterations):
+            with current_tracer().span("x"):
+                pass
+
+    return _time(loop, repeats=3) / iterations
+
+
+def test_disabled_overhead_under_bound(trace_relation):
+    """Projected cost of the disabled instrumentation stays under 3%."""
+    query = _query(trace_relation)
+    untraced_seconds = _time(query.execute)
+
+    # How many spans does this query actually open when traced?  That is
+    # exactly how many times the disabled path pays the null-span cost.
+    tracer = Tracer()
+    query.execute(tracer=tracer)
+    n_spans = len(tracer.spans())
+    assert n_spans > 0
+
+    per_site = _null_span_cost()
+    projected = per_site * n_spans
+    overhead = projected / untraced_seconds
+
+    traced_seconds = _time(lambda: query.execute(tracer=Tracer()))
+    print()
+    print(
+        f"[tracing-off] {untraced_seconds * 1e3:7.2f} ms untraced; "
+        f"{n_spans} spans x {per_site * 1e9:5.0f} ns null-span = "
+        f"{projected * 1e6:6.1f} us projected ({overhead:.3%} overhead)"
+    )
+    print(
+        f"[tracing-on ] {traced_seconds * 1e3:7.2f} ms traced "
+        f"({traced_seconds / untraced_seconds:5.2f}x of untraced, informational)"
+    )
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled tracing projects to {overhead:.2%} of query time "
+        f"(bound {MAX_DISABLED_OVERHEAD:.0%})"
+    )
+
+
+@pytest.mark.parametrize("workers", (1, 2))
+def test_traced_results_bit_identical(trace_relation, workers):
+    """Enabling tracing must not change a single output value."""
+    query = _query(trace_relation, workers=workers)
+    untraced = query.execute()
+    traced = query.execute(tracer=Tracer())
+    assert traced.n_rows == untraced.n_rows
+    assert set(traced.columns) == set(untraced.columns)
+    for name in traced.columns:
+        assert np.array_equal(
+            np.asarray(traced.columns[name]), np.asarray(untraced.columns[name])
+        )
+    # The traced run recorded a real span tree while matching bit for bit.
+    assert untraced.scalar("n") == traced.scalar("n")
+    assert untraced.scalar("s") == traced.scalar("s")

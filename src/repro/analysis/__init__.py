@@ -40,6 +40,13 @@ class that code review has already had to catch by hand at least once:
     deserialize method of a recognised pair (``to_dict``/``from_dict``,
     ...), so no field can be silently dropped from the on-disk format.
 
+``span-discipline``
+    ``tracer.span(...)`` and ``tracer.adopt(...)`` must be opened with
+    ``with``: the tracing subsystem keeps a per-thread stack of open
+    spans, and a span that never ``__exit__``s corrupts every later
+    span's parentage on that thread while the query still answers
+    correctly — wrong telemetry, green tests.
+
 **Suppression.**  A finding is silenced by an inline marker on the
 flagged line, naming the rule::
 
@@ -71,6 +78,7 @@ from .locks import LockDisciplineRule, LockOrderRule
 from .metrics import MetricsCompletenessRule
 from .purity import KernelPurityRule
 from .roundtrip import FormatRoundtripRule
+from .spans import SpanDisciplineRule
 from .witness import LockWitness
 
 __all__ = [
@@ -94,6 +102,7 @@ def all_rules() -> dict[str, Rule]:
         LockOrderRule(),
         KernelPurityRule(),
         FormatRoundtripRule(),
+        SpanDisciplineRule(),
     ]
     return {rule.name: rule for rule in rules}
 

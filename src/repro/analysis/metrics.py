@@ -1,11 +1,13 @@
 """metrics-completeness: every counter flows through merge/reset/reporting.
 
 The engine's observability rests on hand-threaded counters: a field added
-to :class:`~repro.query.scan.ScanMetrics` or
-:class:`~repro.storage.cache.IOMetrics` is worthless — and silently wrong
-under parallel execution — unless it is also summed in ``merge()``,
+to :class:`~repro.query.scan.ScanMetrics`,
+:class:`~repro.storage.cache.IOMetrics` or
+:class:`~repro.server.metrics.ServerMetrics` is worthless — and silently
+wrong under parallel execution — unless it is also summed in ``merge()``,
 cleared in ``reset()`` and surfaced by every reporting site (the CLI
-tables, the service's ``/metrics`` snapshots).  PR 6 and PR 7 each grew
+tables, the service's ``/metrics`` snapshots, the Prometheus
+exposition).  PR 6 and PR 7 each grew
 these dataclasses and each had to touch four far-apart call sites by
 convention; this rule turns the convention into a check.
 
@@ -54,6 +56,7 @@ DEFAULT_SPECS: tuple[MetricsSpec, ...] = (
         surfaces=(
             ("cli.py", "_print_metrics"),
             ("server/metrics.py", "ServerMetrics.snapshot"),
+            ("server/metrics.py", "prometheus_exposition"),
         ),
     ),
     MetricsSpec(
@@ -62,6 +65,15 @@ DEFAULT_SPECS: tuple[MetricsSpec, ...] = (
         surfaces=(
             ("cli.py", "_print_io_metrics"),
             ("server/service.py", "QueryService.snapshot_metrics"),
+            ("server/metrics.py", "prometheus_exposition"),
+        ),
+    ),
+    MetricsSpec(
+        module="server/metrics.py",
+        class_name="ServerMetrics",
+        surfaces=(
+            ("server/metrics.py", "ServerMetrics.snapshot"),
+            ("server/metrics.py", "prometheus_exposition"),
         ),
     ),
 )
@@ -144,8 +156,8 @@ def _resolve_qualname(module: Module, qualname: str) -> ast.FunctionDef | None:
 class MetricsCompletenessRule(Rule):
     name = "metrics-completeness"
     description = (
-        "every counter field of ScanMetrics/IOMetrics must appear in "
-        "merge(), reset() and each configured reporting surface"
+        "every counter field of ScanMetrics/IOMetrics/ServerMetrics must appear "
+        "in merge(), reset() and each configured reporting surface"
     )
 
     def __init__(self, specs: tuple[MetricsSpec, ...] = DEFAULT_SPECS):

@@ -1,0 +1,66 @@
+"""span-discipline: tracer spans are opened with ``with``, never by hand.
+
+The tracing subsystem (:mod:`repro.query.tracing`) keeps a per-thread
+stack of open spans; :meth:`Span.__exit__ <repro.query.tracing.Span>` is
+what pops the stack, stamps the end time and hands the span to the
+tracer.  A span obtained from ``tracer.span(...)`` (or an adoption from
+``tracer.adopt(...)``) that is *not* immediately used as a context
+manager therefore corrupts the stack on the first exception: the span
+never closes, every later span on that thread parents under it, and the
+trace silently reports a tree that never happened.  Exactly the class of
+bug that passes every correctness test — the query still answers — while
+making the observability data wrong.
+
+The rule flags any call of an attribute named ``span`` or ``adopt`` that
+is not the context expression of a ``with`` item.  The receiver is not
+type-resolved on purpose: a handle that *looks* like a tracer must follow
+the discipline, and the rare legitimate non-tracer ``.span()`` call (a
+regex ``Match.span()``, say) can carry an inline
+``# corra: ignore[span-discipline]`` marker with its reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import Finding, Project, Rule
+
+__all__ = ["SpanDisciplineRule"]
+
+_SPAN_METHODS = ("span", "adopt")
+
+
+class SpanDisciplineRule(Rule):
+    name = "span-discipline"
+    description = (
+        "tracer.span()/tracer.adopt() must be the context expression of a "
+        "with statement (a span that never __exit__s corrupts the span stack)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            with_items: set[int] = set()
+            for node in module.walk():
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        with_items.add(id(item.context_expr))
+            for node in module.walk():
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SPAN_METHODS
+                    and id(node) not in with_items
+                ):
+                    yield Finding(
+                        rule=self.name,
+                        path=module.rel,
+                        line=node.lineno,
+                        message=(
+                            f"call to .{node.func.attr}() outside a with statement"
+                        ),
+                        hint=(
+                            f"open it as `with ....{node.func.attr}(...):` so the span "
+                            "closes on every path (or suppress a non-tracer call inline)"
+                        ),
+                    )

@@ -30,6 +30,9 @@ Python:
     aggregates (``count``/``sum``/``min``/``max``/``avg``),
     ``--select``/``--limit`` materialise qualifying rows, and
     ``--explain`` renders the logical plan plus per-block decisions.
+    ``--analyze`` executes under a tracer and prints per-stage wall time
+    plus the span tree; ``--trace out.jsonl`` appends the executed
+    query's :class:`~repro.query.tracing.QueryTrace` as one JSON line.
 ``serve``
     Start the HTTP query service (:mod:`repro.server`) over a catalog
     directory: every request runs through one shared
@@ -37,7 +40,9 @@ Python:
     warm planner memos), behind bounded admission, per-query cost limits
     and a fingerprint-keyed result cache.  ``POST /query`` takes the JSON
     query shape of :func:`repro.server.protocol.parse_request`;
-    ``GET /metrics`` reports latency percentiles and cache/scan counters.
+    ``GET /metrics`` reports latency percentiles and cache/scan counters
+    (``?format=prometheus`` serves the text exposition format with
+    per-stage latency histograms).
 ``experiments``
     Regenerate the paper's tables and figures (delegates to
     :mod:`repro.bench.report`).
@@ -73,6 +78,7 @@ from .query import (
     Sum,
     resolve_workers,
 )
+from .query.tracing import QueryTrace, Tracer
 from .storage import (
     DEFAULT_BLOCK_SIZE,
     DEFAULT_CACHE_BYTES,
@@ -266,6 +272,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the logical plan and the per-block prune/full/scan "
         "decisions before executing",
+    )
+    query.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run the query under a tracer first and print the per-stage "
+        "wall time, rows and bytes plus the span tree (implies --explain)",
+    )
+    query.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="execute under a tracer and append the span tree as one JSON "
+        "line to PATH ('-' prints the line to stdout)",
     )
     query.add_argument(
         "--catalog",
@@ -675,6 +694,18 @@ def _print_result_rows(columns: dict) -> None:
     print(format_table(names, cells))
 
 
+def _dump_trace(tracer: Tracer, destination: str, query_name: str) -> None:
+    """Append one JSON line with the executed query's span tree."""
+    trace = QueryTrace.from_tracer(tracer, query=query_name)
+    line = trace.to_json_line()
+    if destination == "-":
+        print(line)
+        return
+    with open(destination, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+    print(f"trace: {len(trace.spans)} spans appended to {destination}")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     try:
         relation = _load_query_relation(args)
@@ -721,14 +752,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.limit is not None:
         lazy = lazy.limit(args.limit)
 
-    if args.explain:
-        print(lazy.explain())
+    if args.explain or args.analyze:
+        print(lazy.explain(analyze=args.analyze))
         print()
 
+    tracer = Tracer() if args.trace is not None else None
+    query_name = predicate.describe() if predicate is not None else args.name
     workers = resolve_workers(args.workers)
     if aggregates or args.select:
-        result = lazy.execute()
+        result = lazy.execute(tracer=tracer)
         _print_result_rows(result.columns)
+        if tracer is not None:
+            _dump_trace(tracer, args.trace, query_name)
         if result.metrics is not None:
             print()
             _print_metrics(result.metrics, workers)
@@ -737,7 +772,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
             _print_io_metrics(relation)
         return 0
 
-    count = lazy.count()
+    count = lazy.count(tracer=tracer)
+    if tracer is not None:
+        _dump_trace(tracer, args.trace, query_name)
     metrics = lazy.last_metrics
     # Selectivity reflects the predicate itself; --limit may clamp the
     # reported count but not the fraction of rows that actually matched.

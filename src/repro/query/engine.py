@@ -43,6 +43,7 @@ from ..storage.relation import Relation
 from .kernels import DEFAULT_KERNELS, KernelRegistry
 from .plan import LazyQuery, QueryCompiler
 from .scan import ScanPlanner
+from .tracing import StageHistograms, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .executor import QueryExecutor
@@ -138,6 +139,7 @@ class Engine:
         self._prefetch_pool: ThreadPoolExecutor | None = None
         self._compilers: "OrderedDict[int, QueryCompiler]" = OrderedDict()
         self._tables: dict[str, Relation] = {}
+        self._stage_latency = StageHistograms()
         self._closed = False
 
     # -- shared resources ------------------------------------------------------
@@ -242,6 +244,28 @@ class Engine:
         """Start a lazy query chain bound to this engine's shared state."""
         self._check_open()
         return LazyQuery(relation, engine=self)
+
+    # -- tracing ---------------------------------------------------------------
+
+    @property
+    def stage_latency(self) -> StageHistograms:
+        """Per-stage latency histograms accumulated across traced queries.
+
+        Every tracer created via :meth:`tracer` feeds its spans' durations
+        in here, so the histograms aggregate the engine's whole traced
+        lifetime — this is what ``/metrics?format=prometheus`` exposes.
+        """
+        return self._stage_latency
+
+    def tracer(self) -> Tracer:
+        """A fresh per-query tracer wired to this engine's stage histograms.
+
+        Pass it to :meth:`~repro.query.plan.LazyQuery.execute` (or let the
+        query service create one per request): the query's span tree is
+        collected on the tracer while each span's duration also lands in
+        the shared :attr:`stage_latency` buckets.
+        """
+        return Tracer(histograms=self._stage_latency)
 
     def executor(self, relation: Relation) -> "QueryExecutor":
         """An imperative :class:`~repro.query.executor.QueryExecutor` adapter."""

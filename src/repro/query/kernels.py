@@ -40,6 +40,7 @@ from ..encodings.delta import DeltaEncodedColumn
 from ..encodings.frequency import FrequencyEncodedColumn
 from ..encodings.rle import RleEncodedColumn
 from .predicates import And, Between, Eq, In, Not, Or, Predicate
+from .tracing import current_tracer
 
 __all__ = [
     "ColumnKernel",
@@ -309,6 +310,9 @@ class KernelRegistry:
             return None
         if metrics is not None:
             kernel.charge(metrics, column)
+        # Name the compressed domain that answered on the enclosing
+        # ``predicate`` span (no-op when tracing is off).
+        current_tracer().annotate(kernel=kernel.encoding_name)
         return np.asarray(mask, dtype=bool)
 
     def aggregate(self, block, name: str, mask: np.ndarray, kind: str):
@@ -320,7 +324,10 @@ class KernelRegistry:
         kernel, column = self._lookup(block, name)
         if kernel is None:
             return None
-        return kernel.aggregate(column, mask, kind)
+        value = kernel.aggregate(column, mask, kind)
+        if value is not None:
+            current_tracer().annotate(kernel=kernel.encoding_name)
+        return value
 
     def group_keys(self, block, name: str, mask: np.ndarray):
         """Run-space ``(keys, inverse)`` for a group-by column, or ``None``."""

@@ -48,6 +48,7 @@ from ..errors import ValidationError
 from ..storage.relation import Relation
 from .predicates import Predicate
 from .scan import BlockDecision, ScanMetrics, ScanPlanner, evaluate_block_predicate
+from .tracing import current_tracer, run_adopted
 
 __all__ = ["Morsel", "ParallelEngine", "parallel_map", "resolve_workers"]
 
@@ -80,8 +81,25 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], workers: int | None =
     n_workers = min(resolve_workers(workers), max(1, len(items)))
     if n_workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    fn = _adopting(fn)
     with ThreadPoolExecutor(max_workers=n_workers) as pool:
         return list(pool.map(fn, items))
+
+
+def _adopting(fn: Callable[[T], R]) -> Callable[[T], R]:
+    """Wrap a worker body so pool threads join the caller's active trace.
+
+    The ambient tracer and the caller's innermost open span are captured
+    *on the calling thread*; each worker invocation then runs inside
+    :meth:`~repro.query.tracing.Tracer.adopt`, so spans the worker opens
+    nest under the span that launched the fan-out.  When tracing is off
+    the body is returned untouched — the disabled path adds nothing.
+    """
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return fn
+    parent = tracer.current()
+    return lambda item: run_adopted(tracer, parent, fn, item)
 
 
 @dataclass(frozen=True)
@@ -276,6 +294,7 @@ class ParallelEngine:
             return []
         if self._workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
+        fn = _adopting(fn)
         pool = self._shared_pool
         if pool is None:
             if self._pool is None:
@@ -318,44 +337,52 @@ class ParallelEngine:
         Row ids are returned in ascending order, bit-identical to the serial
         executor's output.
         """
-        scan_items, full_items, metrics = self.classify(predicate)
-        results = self._run_morsels(
-            self.morsels(scan_items),
-            predicate,
-            required_columns=predicate.columns(),
-            next_block=self._next_block_map(scan_items),
-        )
+        tracer = current_tracer()
+        with tracer.span("scan") as span:
+            scan_items, full_items, metrics = self.classify(predicate)
+            results = self._run_morsels(
+                self.morsels(scan_items),
+                predicate,
+                required_columns=predicate.columns(),
+                next_block=self._next_block_map(scan_items),
+            )
 
-        per_block: dict[int, np.ndarray] = {}
-        for matches, partial in results:
-            metrics.merge(partial)
-            for index, row_ids in matches:
-                per_block[index] = row_ids
-        for index, offset in full_items:
-            n = self._relation.block(index).n_rows
-            metrics.rows_matched += n
-            per_block[index] = np.arange(offset, offset + n, dtype=np.int64)
+            per_block: dict[int, np.ndarray] = {}
+            for matches, partial in results:
+                metrics.merge(partial)
+                for index, row_ids in matches:
+                    per_block[index] = row_ids
+            for index, offset in full_items:
+                n = self._relation.block(index).n_rows
+                metrics.rows_matched += n
+                per_block[index] = np.arange(offset, offset + n, dtype=np.int64)
 
-        if not per_block:
-            return np.zeros(0, dtype=np.int64), metrics
-        ordered = [per_block[index] for index in sorted(per_block)]
-        return np.concatenate(ordered), metrics
+            if tracer.enabled:
+                span.annotate(rows=metrics.rows_matched, blocks=len(scan_items))
+            if not per_block:
+                return np.zeros(0, dtype=np.int64), metrics
+            ordered = [per_block[index] for index in sorted(per_block)]
+            return np.concatenate(ordered), metrics
 
     def count(self, predicate: Predicate) -> tuple[int, ScanMetrics]:
         """Number of qualifying rows plus merged metrics (no ids built)."""
-        scan_items, full_items, metrics = self.classify(predicate)
-        results = self._run_morsels(
-            self.morsels(scan_items),
-            predicate,
-            count_only=True,
-            required_columns=predicate.columns(),
-            next_block=self._next_block_map(scan_items),
-        )
-        total = 0
-        for matches, partial in results:
-            metrics.merge(partial)
-            total += partial.rows_matched
-        for index, _ in full_items:
-            total += self._relation.block(index).n_rows
-        metrics.rows_matched = total
-        return total, metrics
+        tracer = current_tracer()
+        with tracer.span("scan") as span:
+            scan_items, full_items, metrics = self.classify(predicate)
+            results = self._run_morsels(
+                self.morsels(scan_items),
+                predicate,
+                count_only=True,
+                required_columns=predicate.columns(),
+                next_block=self._next_block_map(scan_items),
+            )
+            total = 0
+            for matches, partial in results:
+                metrics.merge(partial)
+                total += partial.rows_matched
+            for index, _ in full_items:
+                total += self._relation.block(index).n_rows
+            metrics.rows_matched = total
+            if tracer.enabled:
+                span.annotate(rows=total, blocks=len(scan_items))
+            return total, metrics

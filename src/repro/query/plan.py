@@ -64,6 +64,7 @@ from .scan import (
     materialize_columns,
     resolve_block,
 )
+from .tracing import NullTracer, QueryTrace, Tracer, activate, current_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .engine import Engine
@@ -597,19 +598,38 @@ class QueryCompiler:
 
     # -- execution -------------------------------------------------------------
 
-    def execute(self, plan: "LogicalNode | CompiledQuery") -> PlanResult:
-        """Run a (logical or already compiled) plan and materialise its output."""
-        compiled = plan if isinstance(plan, CompiledQuery) else self.compile(plan)
-        if compiled.aggregates:
-            return self._execute_aggregate(compiled)
-        return self._execute_select(compiled)
+    def execute(
+        self, plan: "LogicalNode | CompiledQuery", tracer: "Tracer | None" = None
+    ) -> PlanResult:
+        """Run a (logical or already compiled) plan and materialise its output.
 
-    def explain(self, plan: LogicalNode) -> str:
-        """Render ``plan`` plus the planner's per-block decisions, sans running it.
+        ``tracer``, when given, becomes the ambient tracer for the whole
+        execution (planner, workers, storage fetches included) and records
+        the root ``execute`` span; otherwise the caller's ambient tracer —
+        usually :data:`~repro.query.tracing.TRACE_DISABLED` — is kept.
+        """
+        compiled = plan if isinstance(plan, CompiledQuery) else self.compile(plan)
+        active: "Tracer | NullTracer" = tracer if tracer is not None else current_tracer()
+        with activate(active):
+            with active.span("execute") as root:
+                if compiled.aggregates:
+                    result = self._execute_aggregate(compiled)
+                else:
+                    result = self._execute_select(compiled)
+                if active.enabled:
+                    root.annotate(rows=result.n_rows)
+                return result
+
+    def explain(self, plan: LogicalNode, analyze: bool = False) -> str:
+        """Render ``plan`` plus the planner's per-block decisions.
 
         The physical section lists the columns the query could decode at
         most (projection pushdown), the combined predicate, and one line
         per block with its prune/full/scan verdict and global row range.
+        ``analyze=True`` additionally *runs* the query under a fresh
+        :class:`~repro.query.tracing.Tracer` and appends per-stage wall
+        time, rows and bytes plus the recorded span tree — the classic
+        ``EXPLAIN ANALYZE``.
         """
         compiled = self.compile(plan)
         lines = ["== logical plan ==", render_plan(plan), "", "== physical scan =="]
@@ -635,7 +655,37 @@ class QueryCompiler:
             end = offset + max(n_rows - 1, 0)
             lines.append(f"  block {index:>4} rows {offset:>10,}..{end:<10,} {decision}")
             offset += n_rows
+        if analyze:
+            lines.extend(self._explain_analyze(compiled))
         return "\n".join(lines)
+
+    #: Stage display order for ``EXPLAIN ANALYZE``; unknown stages follow
+    #: alphabetically, so custom span names still show up.
+    _STAGE_ORDER = ("execute", "plan", "scan", "predicate", "fetch", "io", "gather", "aggregate")
+
+    def _explain_analyze(self, compiled: CompiledQuery) -> list[str]:
+        """Run ``compiled`` traced and render the per-stage analysis section."""
+        tracer = Tracer()
+        result = self.execute(compiled, tracer=tracer)
+        trace = QueryTrace.from_tracer(tracer)
+        summary = trace.stage_summary()
+        lines = ["", "== execution (analyze) =="]
+        lines.append(f"wall time: {trace.duration_seconds * 1e3:.3f} ms")
+        lines.append(f"rows out: {result.n_rows:,}")
+        if result.metrics is not None:
+            lines.append(f"scan: {result.metrics.describe()}")
+        lines.append(f"{'stage':<12} {'calls':>7} {'time (ms)':>12} {'rows':>14} {'bytes':>14}")
+        ordered = [name for name in self._STAGE_ORDER if name in summary]
+        ordered += sorted(set(summary) - set(self._STAGE_ORDER))
+        for name in ordered:
+            stage = summary[name]
+            lines.append(
+                f"{name:<12} {stage['calls']:>7} {stage['seconds'] * 1e3:>12.3f} "
+                f"{stage['rows']:>14,} {stage['bytes']:>14,}"
+            )
+        lines.extend(["", "== span tree =="])
+        lines.append(trace.render_tree())
+        return lines
 
     def _execute_select(self, compiled: CompiledQuery) -> PlanResult:
         if compiled.predicate is None:
@@ -706,12 +756,13 @@ class QueryCompiler:
         out-of-core proxy materialises only ``names`` (plus dependency
         closure) — column-granular on format-v3 tables.
         """
-        block = resolve_block(block, columns=names)
-        partial.rows_gathered += int(positions.size)
-        for name in names:
-            if isinstance(block.columns.get(name), DictEncodedStringColumn):
-                partial.string_heap_decodes += int(positions.size)
-        return materialize_block_columns(block, names, positions)
+        with current_tracer().span("gather", rows=int(positions.size), columns=len(names)):
+            block = resolve_block(block, columns=names)
+            partial.rows_gathered += int(positions.size)
+            for name in names:
+                if isinstance(block.columns.get(name), DictEncodedStringColumn):
+                    partial.string_heap_decodes += int(positions.size)
+            return materialize_block_columns(block, names, positions)
 
     def _make_prefetcher(
         self, compiled: CompiledQuery, tasks: list[tuple[int, bool]]
@@ -788,6 +839,20 @@ class QueryCompiler:
         prefetcher: "Callable[[int], None] | None" = None,
     ) -> tuple[list, ScanMetrics]:
         """Worker body: one block's partial aggregate values plus metrics."""
+        tracer = current_tracer()
+        with tracer.span("aggregate", block=index) as span:
+            state, partial = self._ungrouped_block_inner(compiled, index, full, prefetcher)
+            if tracer.enabled:
+                span.annotate(rows=partial.rows_matched)
+            return state, partial
+
+    def _ungrouped_block_inner(
+        self,
+        compiled: CompiledQuery,
+        index: int,
+        full: bool,
+        prefetcher: "Callable[[int], None] | None" = None,
+    ) -> tuple[list, ScanMetrics]:
         if prefetcher is not None:
             prefetcher(index)
         block = self._relation.block(index)
@@ -909,6 +974,22 @@ class QueryCompiler:
         prefetcher: "Callable[[int], None] | None" = None,
     ) -> tuple[dict, bool, ScanMetrics]:
         """Worker body: one block's per-group partial states plus metrics."""
+        tracer = current_tracer()
+        with tracer.span("aggregate", block=index) as span:
+            groups, used_code_space, partial = self._grouped_block_inner(
+                compiled, index, full, prefetcher
+            )
+            if tracer.enabled:
+                span.annotate(rows=partial.rows_matched, groups=len(groups))
+            return groups, used_code_space, partial
+
+    def _grouped_block_inner(
+        self,
+        compiled: CompiledQuery,
+        index: int,
+        full: bool,
+        prefetcher: "Callable[[int], None] | None" = None,
+    ) -> tuple[dict, bool, ScanMetrics]:
         if prefetcher is not None:
             prefetcher(index)
         block = self._relation.block(index)
@@ -1224,24 +1305,33 @@ class LazyQuery:
         """Metrics of the most recent execute()/count() on this chain link."""
         return self._last_metrics
 
-    def explain(self) -> str:
-        """Render the logical tree plus per-block prune/full/scan decisions."""
-        return self._compiler().explain(self.logical_plan())
+    def explain(self, analyze: bool = False) -> str:
+        """Render the logical tree plus per-block prune/full/scan decisions.
 
-    def execute(self) -> PlanResult:
-        """Compile and run the plan, materialising its output."""
-        result = self._compiler().execute(self.logical_plan())
+        ``analyze=True`` also runs the query under a tracer and appends
+        per-stage wall time, rows and bytes plus the span tree.
+        """
+        return self._compiler().explain(self.logical_plan(), analyze=analyze)
+
+    def execute(self, tracer: "Tracer | None" = None) -> PlanResult:
+        """Compile and run the plan, materialising its output.
+
+        ``tracer``, when given, records the execution's span tree (see
+        :mod:`repro.query.tracing`).
+        """
+        result = self._compiler().execute(self.logical_plan(), tracer=tracer)
         self._last_metrics = result.metrics
         return result
 
-    def count(self) -> int:
+    def count(self, tracer: "Tracer | None" = None) -> int:
         """The number of qualifying rows, without materialising any output.
 
         Shortcut for ``agg(count=Count())`` on a plain filter chain; blocks
         the zone maps prove fully covered are answered from metadata alone
         (check :attr:`last_metrics` — ``rows_decoded`` stays zero when every
         block is pruned or covered).  A ``limit(k)`` on the chain caps the
-        result, matching ``execute().n_rows``.
+        result, matching ``execute().n_rows``.  ``tracer`` records the
+        execution's span tree, as for :meth:`execute`.
         """
         if self._spec.aggregates or self._spec.group_keys:
             raise ValidationError("count() is for plain filter chains; use agg(n=Count())")
@@ -1250,7 +1340,7 @@ class LazyQuery:
         if spec.predicate is not None:
             node = Filter(node, spec.predicate)
         node = Aggregate(node, aggregates=(("count", Count()),))
-        result = self._compiler().execute(node)
+        result = self._compiler().execute(node, tracer=tracer)
         self._last_metrics = result.metrics
         total = int(result.scalar("count"))
         if spec.limit is not None:

@@ -44,6 +44,7 @@ from ..storage.relation import Relation
 from .kernels import DEFAULT_KERNELS, KernelRegistry
 from .predicates import And, Not, Or, Predicate
 from .selection import SelectionVector
+from .tracing import current_tracer
 
 __all__ = [
     "materialize_columns",
@@ -167,21 +168,22 @@ def materialize_columns(
             else:
                 outputs[name][output_positions] = np.asarray(values)
 
-    if workers != 1 and len(groups) > 1:
-        # Imported lazily: repro.query.parallel itself imports this module.
-        from .parallel import parallel_map
+    with current_tracer().span("gather", rows=n, columns=len(names), blocks=len(groups)):
+        if workers != 1 and len(groups) > 1:
+            # Imported lazily: repro.query.parallel itself imports this module.
+            from .parallel import parallel_map
 
-        parallel_map(gather_group, groups, workers=workers)
+            parallel_map(gather_group, groups, workers=workers)
+            return outputs
+
+        prefetch = getattr(relation, "prefetch_block_columns", None)
+        for position, group in enumerate(groups):
+            if prefetch is not None and position + 1 < len(groups):
+                # Read-ahead: schedule the next block's projection columns while
+                # this block's gather kernels run.
+                prefetch(groups[position + 1][0], names)
+            gather_group(group)
         return outputs
-
-    prefetch = getattr(relation, "prefetch_block_columns", None)
-    for position, group in enumerate(groups):
-        if prefetch is not None and position + 1 < len(groups):
-            # Read-ahead: schedule the next block's projection columns while
-            # this block's gather kernels run.
-            prefetch(groups[position + 1][0], names)
-        gather_group(group)
-    return outputs
 
 
 # ---------------------------------------------------------------------------
@@ -348,82 +350,99 @@ def evaluate_block_predicate(
     predicate's column set only — on a column-granular table the
     non-predicate columns' bytes are never fetched.
     """
-    block = resolve_block(block, columns=predicate.columns())
-    registry = (kernels if kernels is not None else DEFAULT_KERNELS) if use_kernels else None
-    decoded_cache: dict[str, "np.ndarray | list[str]"] = {}
-    encoded_cache: dict[str, _CodesView] = {}
-    all_positions: np.ndarray | None = None
-    rows_charged = False
+    tracer = current_tracer()
+    with tracer.span("predicate") as span:
+        block = resolve_block(block, columns=predicate.columns())
+        registry = (kernels if kernels is not None else DEFAULT_KERNELS) if use_kernels else None
+        decoded_cache: dict[str, "np.ndarray | list[str]"] = {}
+        encoded_cache: dict[str, _CodesView] = {}
+        all_positions: np.ndarray | None = None
+        rows_charged = False
+        paths: set[str] = set()
 
-    def decode(name: str):
-        # Resolves horizontal dependencies through this same cache, so a
-        # compound predicate touching both a diff-encoded column and its
-        # reference decodes the reference once per block, not per leaf.
-        if name not in decoded_cache:
-            nonlocal all_positions, rows_charged
-            if metrics is not None:
-                if not rows_charged:
-                    # First materialisation for this block: these rows are
-                    # actually decoded (code-space-only blocks never are).
-                    rows_charged = True
-                    metrics.rows_decoded += block.n_rows
-                if isinstance(block.columns.get(name), DictEncodedStringColumn):
-                    metrics.string_heap_decodes += block.n_rows
-            if all_positions is None:
-                all_positions = np.arange(block.n_rows, dtype=np.int64)
-            dependency = block.dependency(name)
-            if dependency is None:
-                values = block.column(name).gather(all_positions)
-            else:
-                references = {ref: decode(ref) for ref in dependency.references}
-                values = block.column(name).gather_with_reference(  # type: ignore[attr-defined]
-                    all_positions, references
-                )
-            decoded_cache[name] = values
-        return decoded_cache[name]
-
-    def walk(node: Predicate) -> np.ndarray:
-        if registry is not None:
-            kernel_names = node.columns()
-            if len(kernel_names) == 1:
-                # Kernel-first: RLE answers compound single-column subtrees in
-                # run space, so the offer happens before any recursion; the
-                # other kernels simply decline non-leaf nodes.
-                kernel_mask = registry.predicate_mask(block, kernel_names[0], node, metrics)
-                if kernel_mask is not None:
-                    return kernel_mask
-        if isinstance(node, Not):
-            return ~walk(node.child)
-        if isinstance(node, (And, Or)):
-            mask = walk(node.children[0])
-            for child in node.children[1:]:
-                if isinstance(node, And):
-                    mask = mask & walk(child)
+        def decode(name: str):
+            # Resolves horizontal dependencies through this same cache, so a
+            # compound predicate touching both a diff-encoded column and its
+            # reference decodes the reference once per block, not per leaf.
+            if name not in decoded_cache:
+                nonlocal all_positions, rows_charged
+                if metrics is not None:
+                    if not rows_charged:
+                        # First materialisation for this block: these rows are
+                        # actually decoded (code-space-only blocks never are).
+                        rows_charged = True
+                        metrics.rows_decoded += block.n_rows
+                    if isinstance(block.columns.get(name), DictEncodedStringColumn):
+                        metrics.string_heap_decodes += block.n_rows
+                if all_positions is None:
+                    all_positions = np.arange(block.n_rows, dtype=np.int64)
+                dependency = block.dependency(name)
+                if dependency is None:
+                    values = block.column(name).gather(all_positions)
                 else:
-                    mask = mask | walk(child)
-            return mask
-        names = node.columns()
-        if use_dictionary and len(names) == 1:
-            encoded = encoded_cache.get(names[0])
-            if encoded is None:
-                column = block.code_space_column(names[0])
-                if column is not None:
-                    encoded = encoded_cache[names[0]] = _CodesView(column)
-            if encoded is not None:
-                statistics = (
-                    block.statistics.column(names[0]) if block.statistics is not None else None
-                )
-                mask = node.evaluate_encoded(encoded, statistics)
-                if mask is not None:
-                    if metrics is not None:
-                        metrics.rows_dict_evaluated += block.n_rows
-                    return np.asarray(mask, dtype=bool)
-        return np.asarray(node.evaluate({name: decode(name) for name in names}), dtype=bool)
+                    references = {ref: decode(ref) for ref in dependency.references}
+                    values = block.column(name).gather_with_reference(  # type: ignore[attr-defined]
+                        all_positions, references
+                    )
+                decoded_cache[name] = values
+            return decoded_cache[name]
 
-    mask = walk(predicate)
-    if mask.shape != (block.n_rows,):
-        raise ValidationError("predicate evaluation must return one boolean per row")
-    return mask
+        def walk(node: Predicate) -> np.ndarray:
+            if registry is not None:
+                kernel_names = node.columns()
+                if len(kernel_names) == 1:
+                    # Kernel-first: RLE answers compound single-column subtrees in
+                    # run space, so the offer happens before any recursion; the
+                    # other kernels simply decline non-leaf nodes.
+                    kernel_mask = registry.predicate_mask(block, kernel_names[0], node, metrics)
+                    if kernel_mask is not None:
+                        if tracer.enabled:
+                            paths.add("kernel")
+                        return kernel_mask
+            if isinstance(node, Not):
+                return ~walk(node.child)
+            if isinstance(node, (And, Or)):
+                mask = walk(node.children[0])
+                for child in node.children[1:]:
+                    if isinstance(node, And):
+                        mask = mask & walk(child)
+                    else:
+                        mask = mask | walk(child)
+                return mask
+            names = node.columns()
+            if use_dictionary and len(names) == 1:
+                encoded = encoded_cache.get(names[0])
+                if encoded is None:
+                    column = block.code_space_column(names[0])
+                    if column is not None:
+                        encoded = encoded_cache[names[0]] = _CodesView(column)
+                if encoded is not None:
+                    statistics = (
+                        block.statistics.column(names[0])
+                        if block.statistics is not None
+                        else None
+                    )
+                    mask = node.evaluate_encoded(encoded, statistics)
+                    if mask is not None:
+                        if metrics is not None:
+                            metrics.rows_dict_evaluated += block.n_rows
+                        if tracer.enabled:
+                            paths.add("dict")
+                        return np.asarray(mask, dtype=bool)
+            if tracer.enabled:
+                paths.add("decode")
+            return np.asarray(node.evaluate({name: decode(name) for name in names}), dtype=bool)
+
+        mask = walk(predicate)
+        if mask.shape != (block.n_rows,):
+            raise ValidationError("predicate evaluation must return one boolean per row")
+        if tracer.enabled:
+            span.annotate(
+                rows=block.n_rows,
+                matched=int(np.count_nonzero(mask)),
+                path="+".join(sorted(paths)),
+            )
+        return mask
 
 
 @dataclass(frozen=True)
@@ -495,34 +514,44 @@ class ScanPlanner:
         return len(self._decisions)
 
     def plan(self, predicate: Predicate | None) -> ScanPlan:
-        if self._relation.cache_token != self._cache_token:
-            self.invalidate()
-            self._cache_token = self._relation.cache_token
-        if len(self._decisions) >= self.MAX_CACHED_DECISIONS:
-            # Epoch eviction: cheaper than LRU bookkeeping on the hot path,
-            # and repeated predicates re-warm within one plan() call each.
-            self.invalidate()
-        fingerprint = predicate.fingerprint() if predicate is not None else None
-        decisions = []
-        for index, block in enumerate(self._relation):
-            if predicate is None:
-                decisions.append(BlockDecision.FULL)
-                continue
-            if not self._use_statistics:
-                decisions.append(BlockDecision.SCAN)
-                continue
-            key = None if fingerprint is None else (index, fingerprint)
-            if key is not None and key in self._decisions:
-                decisions.append(self._decisions[key])
-                continue
-            statistics = block.statistics
-            if block.n_rows == 0 or not predicate.might_match(statistics):
-                decision = BlockDecision.PRUNE
-            elif predicate.matches_all(statistics):
-                decision = BlockDecision.FULL
-            else:
-                decision = BlockDecision.SCAN
-            if key is not None:
-                self._decisions[key] = decision
-            decisions.append(decision)
-        return ScanPlan(predicate=predicate, decisions=tuple(decisions))
+        tracer = current_tracer()
+        with tracer.span("plan") as span:
+            if self._relation.cache_token != self._cache_token:
+                self.invalidate()
+                self._cache_token = self._relation.cache_token
+            if len(self._decisions) >= self.MAX_CACHED_DECISIONS:
+                # Epoch eviction: cheaper than LRU bookkeeping on the hot path,
+                # and repeated predicates re-warm within one plan() call each.
+                self.invalidate()
+            fingerprint = predicate.fingerprint() if predicate is not None else None
+            decisions = []
+            for index, block in enumerate(self._relation):
+                if predicate is None:
+                    decisions.append(BlockDecision.FULL)
+                    continue
+                if not self._use_statistics:
+                    decisions.append(BlockDecision.SCAN)
+                    continue
+                key = None if fingerprint is None else (index, fingerprint)
+                if key is not None and key in self._decisions:
+                    decisions.append(self._decisions[key])
+                    continue
+                statistics = block.statistics
+                if block.n_rows == 0 or not predicate.might_match(statistics):
+                    decision = BlockDecision.PRUNE
+                elif predicate.matches_all(statistics):
+                    decision = BlockDecision.FULL
+                else:
+                    decision = BlockDecision.SCAN
+                if key is not None:
+                    self._decisions[key] = decision
+                decisions.append(decision)
+            plan = ScanPlan(predicate=predicate, decisions=tuple(decisions))
+            if tracer.enabled:
+                span.annotate(
+                    blocks=plan.n_blocks,
+                    pruned=plan.count_of(BlockDecision.PRUNE),
+                    full=plan.count_of(BlockDecision.FULL),
+                    scanned=plan.count_of(BlockDecision.SCAN),
+                )
+            return plan

@@ -1,0 +1,503 @@
+"""Query tracing: timed spans, stage histograms and trace documents.
+
+Counters (:class:`~repro.query.scan.ScanMetrics`,
+:class:`~repro.storage.cache.IOMetrics`) say *what* the engine did; this
+module says *where the time went*.  A :class:`Tracer` collects
+:class:`Span` records — monotonic-clock intervals with parent/child
+nesting — from every layer of a query: the planner's prune/full/scan
+classification, per-block predicate evaluation (kernel vs dictionary vs
+decode), cache and file I/O, gather and aggregation, and the server's
+admission/parse/execute/serialize stages.  A finished tracer renders as a
+:class:`QueryTrace` JSON document or an ``EXPLAIN ANALYZE`` table, and
+feeds per-stage :class:`LatencyHistogram` buckets for ``/metrics``.
+
+A traced disk-backed aggregate looks like this (one ``predicate`` /
+``aggregate`` pair per scanned block, ``fetch`` under whichever span
+first touched the cache, worker spans adopted across threads)::
+
+    request                                  ... server admission + lifecycle
+    ├─ parse
+    ├─ admission
+    ├─ execute                               ... QueryCompiler.execute
+    │  ├─ plan        blocks=8 pruned=5
+    │  ├─ aggregate   block=3   ┐ worker thread corra-engine_0
+    │  │  ├─ predicate rows=4096 path=kernel
+    │  │  │  └─ fetch  outcome=miss bytes=16384
+    │  │  │     └─ io  bytes=16384
+    │  │  └─ gather   rows=512
+    │  └─ aggregate   block=6   ┐ worker thread corra-engine_1
+    │     └─ ...
+    └─ serialize
+
+Design rules:
+
+* **Ambient, not threaded.**  The active tracer lives in a thread-local
+  set by :func:`activate`; deep layers (the block cache, the table
+  reader) call :func:`current_tracer` instead of growing a parameter.
+  Worker threads join the caller's trace via :meth:`Tracer.adopt`, which
+  installs both the tracer and the parent span on the worker.
+* **Disabled means free.**  :data:`TRACE_DISABLED` is a shared
+  :class:`NullTracer` whose :meth:`~NullTracer.span` returns one global
+  no-op span — no allocation, no lock, no clock read — so instrumented
+  hot paths cost a thread-local read and a no-op ``with`` when tracing
+  is off.
+* **Spans only open via ``with``.**  The ``span-discipline`` analyzer
+  rule (``corra check``) enforces it, so a span can never leak open past
+  an early ``return`` or an exception.
+* **Fixed histogram buckets.**  :data:`HISTOGRAM_BUCKETS` is a log-2
+  ladder (``2**-16`` ≈ 15 µs up to 8 s) shared by every stage and every
+  process, so histograms merge across workers and scrapes align across
+  restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
+
+__all__ = [
+    "HISTOGRAM_BUCKETS",
+    "LatencyHistogram",
+    "NullTracer",
+    "QueryTrace",
+    "Span",
+    "StageHistograms",
+    "TRACE_DISABLED",
+    "Tracer",
+    "activate",
+    "current_tracer",
+]
+
+#: Log-2 latency bucket upper bounds in seconds: ``2**-16`` (~15 µs) up to
+#: ``2**3`` (8 s), plus an implicit ``+Inf`` overflow.  Powers of two keep
+#: the ladder fixed across stages, workers and process restarts, so bucket
+#: counts merge exactly — a prerequisite for Prometheus histograms.
+HISTOGRAM_BUCKETS: tuple[float, ...] = tuple(2.0**exp for exp in range(-16, 4))
+
+
+class Span:
+    """One timed interval in a trace; a context manager.
+
+    Created by :meth:`Tracer.span` and *only* entered via ``with`` (the
+    ``span-discipline`` analyzer rule enforces this), so the interval
+    always closes, even on early return or exception.  ``attrs`` carries
+    stage payloads (rows, bytes, cache outcome) added via
+    :meth:`annotate` from inside the body.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "thread", "attrs", "_tracer")
+
+    def __init__(self, tracer: "Tracer", span_id: int, name: str, attrs: dict[str, Any]):
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id: int | None = None
+        self.name = name
+        self.start = 0.0
+        self.end = 0.0
+        self.thread = ""
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach stage payload (``rows=…``, ``bytes=…``) to the span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer._exit(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration * 1e3:.3f} ms, attrs={self.attrs!r})"
+
+
+class _NullSpan:
+    """The shared do-nothing span :data:`TRACE_DISABLED` hands out.
+
+    One module-level instance serves every ``with tracer.span(...)`` site
+    when tracing is off: entering, exiting and annotating are no-ops, so
+    the disabled path allocates nothing and reads no clock.
+    """
+
+    __slots__ = ()
+
+    name = ""
+    attrs: Mapping[str, Any] = {}
+
+    def annotate(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer with every operation stubbed out; see :data:`TRACE_DISABLED`."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def adopt(self, parent: object = None) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def annotate(self, **attrs: Any) -> None:
+        return None
+
+    def spans(self) -> tuple[Span, ...]:
+        return ()
+
+
+#: The ambient default: tracing off, every instrumented site a no-op.
+TRACE_DISABLED = NullTracer()
+
+
+class Tracer:
+    """Collects spans for one query, across threads.
+
+    Each thread keeps its own open-span stack (parenting is per-thread);
+    finished spans land in one lock-guarded list.  Worker threads join
+    the trace with :meth:`adopt`, inheriting the caller's current span as
+    parent so fan-out work nests under the span that launched it.  An
+    optional :class:`StageHistograms` sink observes every finished span's
+    duration under its stage name.
+    """
+
+    enabled = True
+
+    def __init__(self, histograms: "StageHistograms | None" = None):
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._next_id = 1
+        self._local = threading.local()
+        self._histograms = histograms
+
+    # -- span lifecycle ---------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span; open it with ``with``, never by hand."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return Span(self, span_id, name, attrs)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _enter(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            span.parent_id = stack[-1].span_id
+        span.thread = threading.current_thread().name
+        stack.append(span)
+        span.start = time.perf_counter()
+
+    def _exit(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self._finished.append(span)
+        if self._histograms is not None:
+            self._histograms.observe(span.name, span.end - span.start)
+
+    # -- cross-thread propagation -----------------------------------------------
+
+    def adopt(self, parent: Span | None) -> "_Adoption":
+        """Join this trace from a worker thread, nesting under ``parent``.
+
+        Used (with ``with``) around fan-out worker bodies: installs this
+        tracer as the thread's ambient tracer and pushes ``parent`` so
+        spans the worker opens become its children.
+        """
+        return _Adoption(self, parent)
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def annotate(self, **attrs: Any) -> None:
+        """Annotate the innermost open span on this thread, if any."""
+        span = self.current()
+        if span is not None:
+            span.attrs.update(attrs)
+
+    # -- results ----------------------------------------------------------------
+
+    def spans(self) -> tuple[Span, ...]:
+        """Finished spans so far, in completion order."""
+        with self._lock:
+            return tuple(self._finished)
+
+
+class _Adoption:
+    """Context installing a tracer + parent span on a worker thread."""
+
+    __slots__ = ("_tracer", "_parent", "_previous")
+
+    def __init__(self, tracer: Tracer, parent: Span | None):
+        self._tracer = tracer
+        self._parent = parent
+        self._previous: object = None
+
+    def __enter__(self) -> "_Adoption":
+        self._previous = getattr(_ACTIVE, "tracer", None)
+        _ACTIVE.tracer = self._tracer
+        if self._parent is not None:
+            self._tracer._stack().append(self._parent)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._parent is not None:
+            stack = self._tracer._stack()
+            if stack and stack[-1] is self._parent:
+                stack.pop()
+        if self._previous is None:
+            del _ACTIVE.tracer
+        else:
+            _ACTIVE.tracer = self._previous
+
+
+# -- ambient tracer -------------------------------------------------------------
+
+_ACTIVE = threading.local()
+
+
+def current_tracer() -> "Tracer | NullTracer":
+    """The thread's active tracer, or :data:`TRACE_DISABLED`.
+
+    Deep layers (block cache, table reader) call this instead of taking
+    a tracer parameter; :func:`activate` and :meth:`Tracer.adopt` set it.
+    """
+    tracer = getattr(_ACTIVE, "tracer", None)
+    return tracer if tracer is not None else TRACE_DISABLED
+
+
+class _Activation:
+    """Context installing ``tracer`` as the thread's ambient tracer."""
+
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer: "Tracer | NullTracer"):
+        self._tracer = tracer
+        self._previous: object = None
+
+    def __enter__(self) -> "Tracer | NullTracer":
+        self._previous = getattr(_ACTIVE, "tracer", None)
+        _ACTIVE.tracer = self._tracer
+        return self._tracer
+
+    def __exit__(self, *exc: object) -> None:
+        if self._previous is None:
+            del _ACTIVE.tracer
+        else:
+            _ACTIVE.tracer = self._previous
+
+
+def activate(tracer: "Tracer | NullTracer") -> _Activation:
+    """``with activate(tracer): ...`` scopes the ambient tracer."""
+    return _Activation(tracer)
+
+
+def run_adopted(
+    tracer: Tracer, parent: Span | None, fn: Callable[[Any], Any], item: Any
+) -> Any:
+    """Run ``fn(item)`` on a worker thread inside ``tracer``'s context."""
+    with tracer.adopt(parent):
+        return fn(item)
+
+
+# -- histograms -----------------------------------------------------------------
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (see :data:`HISTOGRAM_BUCKETS`).
+
+    Thread-safe; ``observe`` is a bisect plus two adds under one lock.
+    The snapshot carries *cumulative* bucket counts in Prometheus ``le``
+    convention, ready for text exposition.
+    """
+
+    __slots__ = ("_lock", "_counts", "_sum", "_count")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(HISTOGRAM_BUCKETS) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, seconds: float) -> None:
+        index = bisect_left(HISTOGRAM_BUCKETS, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += seconds
+            self._count += 1
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` in; exact because every histogram shares buckets."""
+        with other._lock:
+            counts = list(other._counts)
+            total, count = other._sum, other._count
+        with self._lock:
+            for index, value in enumerate(counts):
+                self._counts[index] += value
+            self._sum += total
+            self._count += count
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            total, count = self._sum, self._count
+        buckets: list[tuple[str, int]] = []
+        cumulative = 0
+        for bound, bucket in zip(list(HISTOGRAM_BUCKETS) + [float("inf")], counts):
+            cumulative += bucket
+            label = "+Inf" if bound == float("inf") else repr(bound)
+            buckets.append((label, cumulative))
+        return {"count": count, "sum_seconds": total, "buckets": buckets}
+
+
+class StageHistograms:
+    """Per-stage latency histograms, fed by tracers as spans close."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stages: dict[str, LatencyHistogram] = {}
+
+    def observe(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            histogram = self._stages.get(stage)
+            if histogram is None:
+                histogram = self._stages[stage] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    def stages(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._stages))
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        with self._lock:
+            stages = dict(self._stages)
+        return {name: histogram.snapshot() for name, histogram in sorted(stages.items())}
+
+
+# -- trace documents ------------------------------------------------------------
+
+#: Attribute keys summed into the per-stage table of a trace document.
+_SUMMED_ATTRS = ("rows", "bytes")
+
+
+@dataclass(frozen=True)
+class QueryTrace:
+    """A finished trace: the span set plus a query label, renderable.
+
+    ``to_dict`` is the JSON document ``QueryService`` returns for
+    ``"trace": true`` requests and ``corra query --trace`` appends to a
+    JSONL sink; ``render_tree`` / ``stage_summary`` feed
+    ``EXPLAIN ANALYZE``.  Span times are rebased to seconds since the
+    earliest span so documents are stable across processes.
+    """
+
+    query: str
+    spans: tuple[Span, ...]
+
+    @classmethod
+    def from_tracer(cls, tracer: "Tracer | NullTracer", query: str = "") -> "QueryTrace":
+        return cls(query=query, spans=tracer.spans())
+
+    @property
+    def duration_seconds(self) -> float:
+        if not self.spans:
+            return 0.0
+        base = min(span.start for span in self.spans)
+        return max(span.end for span in self.spans) - base
+
+    def stage_summary(self) -> dict[str, dict[str, Any]]:
+        """Per-stage totals: call count, seconds, summed rows/bytes attrs."""
+        stages: dict[str, dict[str, Any]] = {}
+        for span in self.spans:
+            stage = stages.setdefault(
+                span.name, {"calls": 0, "seconds": 0.0, "rows": 0, "bytes": 0}
+            )
+            stage["calls"] += 1
+            stage["seconds"] += span.duration
+            for key in _SUMMED_ATTRS:
+                value = span.attrs.get(key)
+                if isinstance(value, (int, float)):
+                    stage[key] += int(value)
+        return stages
+
+    def to_dict(self) -> dict[str, Any]:
+        base = min((span.start for span in self.spans), default=0.0)
+        return {
+            "query": self.query,
+            "duration_seconds": self.duration_seconds,
+            "n_spans": len(self.spans),
+            "stages": self.stage_summary(),
+            "spans": [
+                {
+                    "id": span.span_id,
+                    "parent": span.parent_id,
+                    "name": span.name,
+                    "start_seconds": span.start - base,
+                    "duration_seconds": span.duration,
+                    "thread": span.thread,
+                    "attrs": dict(span.attrs),
+                }
+                for span in sorted(self.spans, key=lambda s: (s.start, s.span_id))
+            ],
+        }
+
+    def to_json_line(self) -> str:
+        """One compact JSON line for a ``corra query --trace`` JSONL sink."""
+        return json.dumps(self.to_dict(), separators=(",", ":"), default=str)
+
+    def _children(self) -> dict[int | None, list[Span]]:
+        known = {span.span_id for span in self.spans}
+        children: dict[int | None, list[Span]] = {}
+        for span in sorted(self.spans, key=lambda s: (s.start, s.span_id)):
+            parent = span.parent_id if span.parent_id in known else None
+            children.setdefault(parent, []).append(span)
+        return children
+
+    def render_tree(self) -> str:
+        """Indented span tree with durations and attrs, for humans."""
+        children = self._children()
+        lines: list[str] = []
+
+        def walk(parent: int | None, depth: int) -> Iterator[str]:
+            for span in children.get(parent, ()):
+                attrs = " ".join(f"{key}={value}" for key, value in sorted(span.attrs.items()))
+                label = f"{'  ' * depth}{span.name:<{max(24 - 2 * depth, 1)}}"
+                suffix = f"  [{attrs}]" if attrs else ""
+                yield f"{label} {span.duration * 1e3:>9.3f} ms{suffix}"
+                yield from walk(span.span_id, depth + 1)
+
+        lines.extend(walk(None, 0))
+        return "\n".join(lines)

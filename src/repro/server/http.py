@@ -5,8 +5,9 @@ instead of a web framework, because the protocol surface is four routes::
 
     GET  /health   -> {"status": "ok"}
     GET  /tables   -> {"tables": [...]}
-    GET  /metrics  -> the service's full metrics snapshot
-    POST /query    -> execute a JSON query body
+    GET  /metrics  -> the service's full metrics snapshot (JSON);
+                      ?format=prometheus serves the text exposition format
+    POST /query    -> execute a JSON query body ("trace": true attaches spans)
 
 The event loop never blocks on a query: request handling decodes bytes and
 dispatches :meth:`QueryService.execute` onto a thread pool sized to the
@@ -30,6 +31,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from ..errors import CorraError
+from .metrics import PROMETHEUS_CONTENT_TYPE, prometheus_exposition
 from .service import QueryService, ServerError
 
 __all__ = ["BackgroundServer", "CorraHttpServer"]
@@ -37,27 +39,31 @@ __all__ = ["BackgroundServer", "CorraHttpServer"]
 #: Largest accepted request body; queries are small JSON objects.
 MAX_BODY_BYTES = 1 << 20
 
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
 
-def _response(status: int, payload: dict) -> bytes:
-    body = json.dumps(payload).encode("utf-8")
-    reason = {
-        200: "OK",
-        400: "Bad Request",
-        404: "Not Found",
-        405: "Method Not Allowed",
-        413: "Payload Too Large",
-        429: "Too Many Requests",
-        500: "Internal Server Error",
-        504: "Gateway Timeout",
-    }.get(status, "Error")
+
+def _raw_response(status: int, body: bytes, content_type: str) -> bytes:
     head = (
-        f"HTTP/1.1 {status} {reason}\r\n"
-        "Content-Type: application/json\r\n"
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         "Connection: close\r\n"
         "\r\n"
     )
     return head.encode("ascii") + body
+
+
+def _response(status: int, payload: dict) -> bytes:
+    return _raw_response(status, json.dumps(payload).encode("utf-8"), "application/json")
 
 
 class CorraHttpServer:
@@ -112,12 +118,17 @@ class CorraHttpServer:
         return method, path, body
 
     async def _dispatch(self, method: str, path: str, body: bytes) -> bytes:
+        path, _, query_string = path.partition("?")
         if method == "GET" and path == "/health":
             return _response(200, {"status": "ok"})
         if method == "GET" and path == "/tables":
             return _response(200, {"tables": list(self._service.tables())})
         if method == "GET" and path == "/metrics":
-            return _response(200, self._service.snapshot_metrics())
+            snapshot = self._service.snapshot_metrics()
+            if query_string == "format=prometheus":
+                text = prometheus_exposition(snapshot, stages=snapshot.get("stages"))
+                return _raw_response(200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE)
+            return _response(200, snapshot)
         if path == "/query":
             if method != "POST":
                 return _response(405, {"error": "use POST for /query"})

@@ -15,7 +15,10 @@ The request body is a small JSON object that lowers 1:1 onto a
     }
 
 ``select`` (a list of column names) and ``aggregates``/``group_by`` are
-mutually exclusive, exactly as in the fluent API.  Parsing is strict:
+mutually exclusive, exactly as in the fluent API.  An optional
+``"trace": true`` flag asks the service to attach the executed query's
+span tree (a :class:`~repro.query.tracing.QueryTrace` dict) to the
+response body.  Parsing is strict:
 unknown keys, unknown predicate ops and malformed shapes raise
 :class:`~repro.errors.ValidationError`, which the HTTP layer maps to 400 —
 the engine never sees a malformed request.
@@ -43,7 +46,7 @@ from ..query.predicates import And, Between, Eq, In, Not, Or, Predicate
 
 __all__ = ["QueryRequest", "build_query", "encode_result", "parse_predicate", "parse_request"]
 
-_REQUEST_KEYS = {"table", "where", "select", "group_by", "aggregates", "limit"}
+_REQUEST_KEYS = {"table", "where", "select", "group_by", "aggregates", "limit", "trace"}
 
 #: JSON ``fn`` name -> aggregate constructor (count takes no column).
 _AGGREGATES: dict[str, Callable[..., AggregateFunction]] = {
@@ -148,6 +151,8 @@ class QueryRequest:
     group_by: tuple[str, ...] = ()
     aggregates: tuple[tuple[str, AggregateFunction], ...] = ()
     limit: int | None = None
+    #: Attach the per-request span tree to the response body.
+    trace: bool = False
 
 
 def parse_request(payload: object) -> QueryRequest:
@@ -208,6 +213,10 @@ def parse_request(payload: object) -> QueryRequest:
             isinstance(limit, int) and not isinstance(limit, bool) and limit >= 0,
             "'limit' must be a non-negative integer",
         )
+
+    trace = payload.get("trace", False)
+    _expect(isinstance(trace, bool), "'trace' must be a boolean")
+    assert isinstance(trace, bool)
     return QueryRequest(
         table=table,
         where=where,
@@ -215,6 +224,7 @@ def parse_request(payload: object) -> QueryRequest:
         group_by=group_by,
         aggregates=aggregates,
         limit=limit,
+        trace=trace,
     )
 
 

@@ -41,6 +41,7 @@ from pathlib import Path
 from ..errors import CorraError, ValidationError
 from ..query.engine import Engine, EngineConfig
 from ..query.scan import BlockDecision
+from ..query.tracing import TRACE_DISABLED, NullTracer, QueryTrace, Tracer, activate
 from ..storage.catalog import Catalog
 from .metrics import ServerMetrics
 from .protocol import QueryRequest, build_query, encode_result, parse_request
@@ -104,6 +105,10 @@ class ServiceConfig:
     result_cache_entries: int = 256
     #: ``False`` builds a cold engine per request — the benchmark baseline.
     reuse_engine: bool = True
+    #: Trace every request (feeding the engine's per-stage latency
+    #: histograms for ``/metrics``).  When ``False`` only requests that
+    #: opt in with ``"trace": true`` are traced.
+    trace_requests: bool = True
 
 
 class _AdmissionGate:
@@ -295,61 +300,100 @@ class QueryService:
         result = lazy.execute()
         return encode_result(result), result.metrics
 
+    def _handle(
+        self, tracer: "Tracer | NullTracer", payload: object, deadline: float
+    ) -> tuple[dict, object, bool]:
+        """Parse, admit and run one request; ``(body, scan metrics, cached)``.
+
+        Runs inside the caller's ``request`` span, so every stage span it
+        opens (``parse`` / ``admission`` / ``serialize``, plus everything
+        the compiler opens during execution) lands on the same trace.
+        """
+        with tracer.span("parse"):
+            request = parse_request(payload)
+
+        if not self._config.reuse_engine:
+            # Benchmark baseline: a cold engine (fresh cache, planner
+            # memos, pools) per request.  No admission, no result cache
+            # — this measures exactly what shared state saves.
+            if self._engine.catalog is None:  # pragma: no cover - guarded in __init__
+                raise ValidationError("service has no catalog")
+            with Engine(config=self._engine_config, catalog=self._engine.catalog.root) as cold:
+                body, scan = self._run(cold, request)
+            return body, scan, False
+
+        engine = self._engine
+        relation = self._open_table(engine, request.table)
+        compiler = engine.compiler_for(relation)
+        compiled = compiler.compile(build_query(engine.query(relation), request).logical_plan())
+        self._check_cost(compiler, compiled)
+
+        fingerprint = compiled.fingerprint()
+        cache_key = None
+        if fingerprint is not None:
+            cache_key = (request.table, fingerprint)
+            cached = self._result_cache.get(cache_key, relation.cache_token)
+            if cached is not None:
+                return cached, None, True
+
+        with tracer.span("admission"):
+            self._gate.acquire(deadline)
+        try:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise QueryTimeoutError("deadline passed before execution started")
+            result = compiler.execute(compiled, tracer=tracer)
+        finally:
+            self._gate.release()
+        if time.monotonic() > deadline:
+            raise QueryTimeoutError(
+                f"query exceeded its {self._config.timeout_seconds:.1f}s budget"
+            )
+        with tracer.span("serialize"):
+            body = encode_result(result)
+            if cache_key is not None:
+                self._result_cache.put(cache_key, relation.cache_token, body)
+        return body, result.metrics, False
+
     def execute(self, payload: object) -> dict:
         """The full request lifecycle for one decoded JSON body.
 
         Raises :class:`ServerError` subclasses for service-level failures
         and :class:`~repro.errors.ValidationError` (→ 400) for malformed
         requests; anything it returns is a JSON-ready response dict.
+
+        When the service traces requests (``ServiceConfig.trace_requests``,
+        on by default) each request runs under its own
+        :class:`~repro.query.tracing.Tracer` wired to the engine's stage
+        histograms; a request carrying ``"trace": true`` additionally gets
+        the span tree attached under ``"trace"`` in the response body
+        (attached to a copy — the result cache never stores a trace).
         """
         self.metrics.count_request()
         started = time.monotonic()
         deadline = started + self._config.timeout_seconds
+        # Probe the raw payload before strict parsing so the tracer already
+        # exists for the ``parse`` span itself; parse_request still
+        # validates the flag.
+        want_trace = isinstance(payload, dict) and payload.get("trace") is True
+        tracer: "Tracer | NullTracer" = (
+            self._engine.tracer()
+            if (self._config.trace_requests or want_trace)
+            else TRACE_DISABLED
+        )
         try:
-            request = parse_request(payload)
-
-            if not self._config.reuse_engine:
-                # Benchmark baseline: a cold engine (fresh cache, planner
-                # memos, pools) per request.  No admission, no result cache
-                # — this measures exactly what shared state saves.
-                if self._engine.catalog is None:  # pragma: no cover - guarded in __init__
-                    raise ValidationError("service has no catalog")
-                with Engine(config=self._engine_config, catalog=self._engine.catalog.root) as cold:
-                    body, scan = self._run(cold, request)
-                self.metrics.record_success(time.monotonic() - started, scan, cached=False)
-                return body
-
-            engine = self._engine
-            relation = self._open_table(engine, request.table)
-            compiler = engine.compiler_for(relation)
-            compiled = compiler.compile(build_query(engine.query(relation), request).logical_plan())
-            self._check_cost(compiler, compiled)
-
-            fingerprint = compiled.fingerprint()
-            cache_key = None
-            if fingerprint is not None:
-                cache_key = (request.table, fingerprint)
-                cached = self._result_cache.get(cache_key, relation.cache_token)
-                if cached is not None:
-                    self.metrics.record_success(time.monotonic() - started, None, cached=True)
-                    return cached
-
-            self._gate.acquire(deadline)
-            try:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise QueryTimeoutError("deadline passed before execution started")
-                result = compiler.execute(compiled)
-            finally:
-                self._gate.release()
-            if time.monotonic() > deadline:
-                raise QueryTimeoutError(
-                    f"query exceeded its {self._config.timeout_seconds:.1f}s budget"
-                )
-            body = encode_result(result)
-            if cache_key is not None:
-                self._result_cache.put(cache_key, relation.cache_token, body)
-            self.metrics.record_success(time.monotonic() - started, result.metrics, cached=False)
+            with activate(tracer):
+                with tracer.span("request"):
+                    body, scan, cached = self._handle(tracer, payload, deadline)
+            if want_trace and tracer.enabled:
+                # Copy before attaching: ``body`` may be (or just became)
+                # a result-cache entry, which must stay trace-free.
+                table = payload.get("table") if isinstance(payload, dict) else None
+                body = dict(body)
+                body["trace"] = QueryTrace.from_tracer(
+                    tracer, query=str(table) if isinstance(table, str) else ""
+                ).to_dict()
+            self.metrics.record_success(time.monotonic() - started, scan, cached=cached)
             return body
         except QueueFullError:
             self.metrics.record_rejection("queue_full")
@@ -405,6 +449,7 @@ class QueryService:
                 "queue_depth": self._config.queue_depth,
             },
             "result_cache": self._result_cache.snapshot(),
+            "stages": engine.stage_latency.snapshot(),
             "block_cache": {
                 "hits": cache_stats.hits,
                 "misses": cache_stats.misses,

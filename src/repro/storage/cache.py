@@ -47,6 +47,24 @@ V = TypeVar("V")
 #: paper's 1 M-tuple blocks without approaching typical container limits.
 DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
 
+_current_tracer: "Callable[[], object] | None" = None
+
+
+def _tracer():
+    """The thread's ambient query tracer (usually ``TRACE_DISABLED``).
+
+    Imported lazily and memoized: the query layer imports storage, so a
+    module-level ``repro.query.tracing`` import here would be circular.
+    After the first call this is one global read plus the thread-local
+    lookup inside ``current_tracer``.
+    """
+    global _current_tracer
+    if _current_tracer is None:
+        from ..query.tracing import current_tracer
+
+        _current_tracer = current_tracer
+    return _current_tracer()
+
 
 @dataclass
 class CacheStats:
@@ -310,40 +328,48 @@ class BlockCache:
         (and count as hits — they never performed I/O).  Loader exceptions
         propagate to every waiter and cache nothing.
         """
-        while True:
-            with self._lock:
-                entry = self._lookup(key)
-                if entry is not None:
-                    self._stats.hits += 1
-                    return entry.value
-                flight = self._loading.get(key)
-                if flight is None:
-                    flight = _InFlight()
-                    self._loading[key] = flight
-                    break
-            flight.event.wait()
-            if flight.error is None:
+        tracer = _tracer()
+        with tracer.span("fetch") as span:
+            while True:
                 with self._lock:
-                    self._stats.hits += 1
-                return flight.value  # type: ignore[return-value]
-            raise flight.error
+                    entry = self._lookup(key)
+                    if entry is not None:
+                        self._stats.hits += 1
+                        if tracer.enabled:
+                            span.annotate(outcome="hit", bytes=entry.size)
+                        return entry.value
+                    flight = self._loading.get(key)
+                    if flight is None:
+                        flight = _InFlight()
+                        self._loading[key] = flight
+                        break
+                flight.event.wait()
+                if flight.error is None:
+                    with self._lock:
+                        self._stats.hits += 1
+                    if tracer.enabled:
+                        span.annotate(outcome="wait", bytes=flight.size)
+                    return flight.value  # type: ignore[return-value]
+                raise flight.error
 
-        try:
-            value, size = loader()
-        except BaseException as error:
-            flight.error = error
+            try:
+                value, size = loader()
+            except BaseException as error:
+                flight.error = error
+                with self._lock:
+                    del self._loading[key]
+                flight.event.set()
+                raise
+            flight.value = value
+            flight.size = int(size)
             with self._lock:
+                self._stats.misses += 1
+                self._insert(key, value, flight.size)
                 del self._loading[key]
             flight.event.set()
-            raise
-        flight.value = value
-        flight.size = int(size)
-        with self._lock:
-            self._stats.misses += 1
-            self._insert(key, value, flight.size)
-            del self._loading[key]
-        flight.event.set()
-        return value
+            if tracer.enabled:
+                span.annotate(outcome="miss", bytes=flight.size)
+            return value
 
     def _insert(self, key: Hashable, value, size: int) -> None:
         """Store one entry, evicting round-robin across tenants to fit.

@@ -46,7 +46,14 @@ import numpy as np
 
 from ..errors import UnknownColumnError
 from .block import ColumnDependency, CompressedBlock
-from .cache import DEFAULT_CACHE_BYTES, BlockCache, CacheStats, IOMetrics, TenantOccupancy
+from .cache import (
+    DEFAULT_CACHE_BYTES,
+    BlockCache,
+    CacheStats,
+    IOMetrics,
+    TenantOccupancy,
+    _tracer,
+)
 from .format import TableFooter, TableReader
 from .relation import Relation
 from .statistics import BlockStatistics, ColumnStatistics
@@ -405,6 +412,10 @@ class DiskRelation(Relation):
             if self._cache.status(self._cache_key(index, name)) == "absent"
         ]
         preloaded = self._reader.read_columns(index, absent) if len(absent) > 1 else {}
+        if preloaded:
+            # Note the coalesced multi-column fetch on the caller's open span
+            # (the per-column ``fetch`` spans below only see cache injections).
+            _tracer().annotate(coalesced_columns=len(preloaded))
         columns = {}
         dependencies = {}
         for name in closure:

@@ -60,7 +60,7 @@ from typing import BinaryIO, Iterable
 
 from ..errors import SerializationError, ValidationError
 from .block import DEFAULT_BLOCK_SIZE, ColumnDependency, CompressedBlock
-from .cache import IOMetrics
+from .cache import IOMetrics, _tracer
 from .relation import Relation
 from .schema import Schema
 from .serialization import (
@@ -485,19 +485,23 @@ class TableReader:
     # -- block access ----------------------------------------------------------
 
     def _read_range(self, offset: int, length: int, what: str) -> bytes:
-        if self._mmap is not None:
-            data = bytes(self._mmap[offset : offset + length])
-        else:
-            with self._lock:
-                # The lock exists precisely to make seek+read atomic over the
-                # one shared file handle; the I/O must happen under it.
-                self._file.seek(offset)  # corra: ignore[lock-discipline] -- atomic seek+read
-                data = _read_exact(self._file, length)  # corra: ignore[lock-discipline]
-        if len(data) != length:
-            raise SerializationError(
-                f"{what} is truncated ({len(data)} of {length} bytes)"
-            )
-        return data
+        tracer = _tracer()
+        with tracer.span("io") as span:
+            if self._mmap is not None:
+                data = bytes(self._mmap[offset : offset + length])
+            else:
+                with self._lock:
+                    # The lock exists precisely to make seek+read atomic over the
+                    # one shared file handle; the I/O must happen under it.
+                    self._file.seek(offset)  # corra: ignore[lock-discipline] -- atomic seek+read
+                    data = _read_exact(self._file, length)  # corra: ignore[lock-discipline]
+            if len(data) != length:
+                raise SerializationError(
+                    f"{what} is truncated ({len(data)} of {length} bytes)"
+                )
+            if tracer.enabled:
+                span.annotate(bytes=length, target=what)
+            return data
 
     def read_block_bytes(self, index: int) -> bytes:
         """Fetch one segment's raw bytes, recording the read in :attr:`io`."""
