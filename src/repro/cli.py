@@ -27,8 +27,10 @@ Python:
     scan-pruning metrics — including the compressed-domain kernel counters
     (``--no-kernels`` restores the decode baseline for A/B runs);
     ``--agg``/``--group-by`` compute (grouped)
-    aggregates (``count``/``sum``/``min``/``max``/``avg``),
-    ``--select``/``--limit`` materialise qualifying rows, and
+    aggregates (``count``/``sum``/``min``/``max``/``avg``/``var``/``std``),
+    ``--select``/``--limit`` materialise qualifying rows,
+    ``--order-by COL[:desc]`` sorts them (with ``--limit`` the pair runs
+    as a fused zone-map-driven top-k), and
     ``--explain`` renders the logical plan plus per-block decisions.
     ``--analyze`` executes under a tracer and prints per-stage wall time
     plus the span tree; ``--trace out.jsonl`` appends the executed
@@ -75,7 +77,9 @@ from .query import (
     Max,
     Min,
     Predicate,
+    Std,
     Sum,
+    Var,
     resolve_workers,
 )
 from .query.tracing import QueryTrace, Tracer
@@ -252,13 +256,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="NAME:FUNC[:COLUMN]",
         help="add a named aggregate output, e.g. n:count, total:sum:fare, "
-        "hi:max:tip (may be repeated; FUNC is count/sum/min/max/avg)",
+        "v:var:tip (may be repeated; FUNC is count/sum/min/max/avg/var/std)",
     )
     query.add_argument(
         "--group-by",
         default=None,
         metavar="COL1,COL2,...",
         help="group the aggregates by the named columns",
+    )
+    query.add_argument(
+        "--order-by",
+        default=None,
+        metavar="COLUMN[:desc]",
+        help="sort the --select output by COLUMN (append ':desc' for "
+        "descending); with --limit the pair runs as a fused top-k that "
+        "skips blocks whose zone-map bounds cannot reach the result",
     )
     query.add_argument(
         "--limit",
@@ -575,10 +587,18 @@ def _build_predicate(args: argparse.Namespace) -> Predicate | None:
 
 
 #: CLI aggregate function names -> constructors (count takes no column).
-_AGG_FUNCTIONS = {"count": Count, "sum": Sum, "min": Min, "max": Max, "avg": Avg}
+_AGG_FUNCTIONS = {
+    "count": Count,
+    "sum": Sum,
+    "min": Min,
+    "max": Max,
+    "avg": Avg,
+    "var": Var,
+    "std": Std,
+}
 
 
-def _parse_aggregate(spec: str) -> tuple[str, "Count | Sum | Min | Max | Avg"]:
+def _parse_aggregate(spec: str) -> tuple[str, "Count | Sum | Min | Max | Avg | Var | Std"]:
     parts = spec.split(":")
     if len(parts) not in (2, 3) or not all(parts):
         raise CorraError(f"expected NAME:FUNC[:COLUMN], got {spec!r}")
@@ -613,6 +633,9 @@ def _print_metrics(metrics, workers: int) -> None:
         ("runs evaluated", f"{metrics.runs_evaluated:,}"),
         ("rows for-evaluated", f"{metrics.rows_for_evaluated:,}"),
         ("rows kernel-aggregated", f"{metrics.rows_kernel_aggregated:,}"),
+        ("kernel declines", f"{metrics.kernel_declines:,}"),
+        ("morsels stolen", f"{metrics.morsels_stolen:,}"),
+        ("steal attempts", f"{metrics.steal_attempts:,}"),
         ("string heap decodes", f"{metrics.string_heap_decodes:,}"),
         ("scan workers", f"{workers:,}"),
     ]
@@ -726,6 +749,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
             "--select cannot be combined with --agg/--group-by; "
             "aggregate outputs are named by --agg"
         )
+    order_column, order_desc = None, False
+    if args.order_by is not None:
+        order_column, _, suffix = args.order_by.partition(":")
+        if not order_column or suffix not in ("", "desc"):
+            raise CorraError(f"expected COLUMN or COLUMN:desc, got {args.order_by!r}")
+        order_desc = suffix == "desc"
+        if aggregates:
+            raise CorraError("--order-by cannot be combined with --agg/--group-by")
+        if not args.select:
+            raise CorraError("--order-by needs --select (ordering a bare count is a no-op)")
     if not predicate and not aggregates and not args.select:
         raise CorraError(
             "no predicate given; use --equals, --between and/or --in "
@@ -749,6 +782,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         lazy = lazy.agg(**aggregates)
     elif args.select:
         lazy = lazy.select(*args.select.split(","))
+    if order_column is not None:
+        lazy = lazy.order_by(order_column, desc=order_desc)
     if args.limit is not None:
         lazy = lazy.limit(args.limit)
 

@@ -51,17 +51,21 @@ Layers, bottom to top:
   Every kernel is exact — bit-identical to the decode baseline — and
   ``use_kernels=False`` (CLI ``--no-kernels``) disables the registry.
 * **Morsel-driven parallelism** (:mod:`~repro.query.parallel`) — post-
-  pruning blocks fan out over a persistent thread pool; the NumPy kernels
-  release the GIL, and results are bit-identical to serial execution.
+  pruning blocks are dealt into per-worker deques over a persistent thread
+  pool, and drained workers steal from the back of a sibling's deque, so
+  skewed workloads rebalance; the NumPy kernels release the GIL, and
+  results are bit-identical to serial execution.
 * **Logical plans** (:mod:`~repro.query.plan`) — ``Scan``/``Filter``/
-  ``Project``/``Aggregate``/``Limit`` nodes, the fluent :class:`LazyQuery`
-  builder, and the :class:`QueryCompiler`, which pushes work down before
-  anything is materialised: projections decode only referenced columns,
-  ``count``/``min``/``max``/``sum`` over fully-covered blocks are answered
-  from :class:`~repro.storage.statistics.ColumnStatistics` without decoding
+  ``Project``/``Aggregate``/``Sort``/``TopK``/``Limit`` nodes, the fluent
+  :class:`LazyQuery` builder, and the :class:`QueryCompiler`, which pushes
+  work down before anything is materialised: projections decode only
+  referenced columns, ``count``/``min``/``max``/``sum`` over fully-covered
+  blocks are answered from
+  :class:`~repro.storage.statistics.ColumnStatistics` without decoding
   a row, group-by on dictionary columns aggregates in code space (one heap
-  decode per distinct group), and limits truncate row ids before
-  materialisation.
+  decode per distinct group), limits truncate row ids before
+  materialisation, and ``order_by().limit(k)`` fuses into a zone-map-driven
+  top-k that stops visiting (and fetching) blocks early.
 * **Imperative facade** (:mod:`~repro.query.executor`) —
   :class:`QueryExecutor` keeps the pre-plan ``scan``/``filter``/``select``/
   ``count`` surface as a thin layer that builds the equivalent plans.
@@ -110,7 +114,11 @@ from .plan import (
     Project,
     QueryCompiler,
     Scan,
+    Sort,
+    Std,
     Sum,
+    TopK,
+    Var,
     render_plan,
 )
 from .predicates import And, Between, ColumnPredicate, Eq, In, Not, Or, Predicate
@@ -177,11 +185,15 @@ __all__ = [
     "Min",
     "Max",
     "Avg",
+    "Var",
+    "Std",
     "LogicalNode",
     "Scan",
     "Filter",
     "Project",
     "Aggregate",
+    "Sort",
+    "TopK",
     "Limit",
     "render_plan",
     "CompiledQuery",

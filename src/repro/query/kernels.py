@@ -8,8 +8,10 @@ remaining vertical encodings, each exploiting its own physical layout:
   (``Eq``/``Between``/``In`` composed with ``And``/``Or``/``Not``) is
   evaluated once per *run* over the (value, length) arrays and fanned out to
   a row mask with ``np.repeat``.  Aggregates become run-weighted sums
-  (Σ value·run_length over surviving runs) and group-by keys are the
-  surviving run values — the row values are never materialised.
+  (Σ value·run_length over surviving runs), group-by keys are the
+  surviving run values, and top-k walks the runs best-first — pushing each
+  (value, run-length) pair once per run — so the row values are never
+  materialised.
 * **FOR/bit-packing — word space.**  Constant comparisons are shifted by the
   frame of reference and run directly over the packed words
   (:meth:`~repro.bitpack.BitPackedArray.compare_range`); machine lane widths
@@ -104,6 +106,15 @@ class ColumnKernel:
         """
         return None
 
+    def topk(self, column, mask: np.ndarray, k: int, descending: bool):
+        """Top-``k`` ``(values, positions)`` over the selected rows, or ``None``.
+
+        ``positions`` are block-local row indices already in final rank
+        order (best first, equal keys broken by ascending position) and
+        ``values`` are the matching keys, both length ``min(k, selected)``.
+        """
+        return None
+
     def charge(self, metrics, column) -> None:
         """Record one answered predicate in the scan metrics."""
 
@@ -151,6 +162,10 @@ class RleKernel(ColumnKernel):
             return int(surviving.min()) if kind == "min" else int(surviving.max())
         if kind == "avg":
             return (int(np.sum(run_values * counts, dtype=np.int64)), selected)
+        if kind in ("var", "std"):
+            total = int(np.sum(run_values * counts, dtype=np.int64))
+            total_sq = int(np.sum(run_values * run_values * counts, dtype=np.int64))
+            return (selected, total, total_sq)
         return None
 
     def group_keys(self, column, mask: np.ndarray):
@@ -168,6 +183,42 @@ class RleKernel(ColumnKernel):
         mapped[survivors] = run_inverse
         inverse = np.repeat(mapped, counts)
         return [int(v) for v in unique_values], inverse
+
+    def topk(self, column, mask: np.ndarray, k: int, descending: bool):
+        if not isinstance(column, RleEncodedColumn) or k <= 0:
+            return None
+        counts = self._selected_per_run(column, mask)
+        survivors = np.flatnonzero(counts > 0)
+        if survivors.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        run_values = column.run_values()
+        keys = run_values[survivors]
+        # Stable argsort keeps equal-valued runs in ascending run (= row)
+        # order, which is exactly the (key, row id) tie-break the sort
+        # operator promises; negating flips the key order without touching
+        # the tie-break.
+        order = np.argsort(-keys if descending else keys, kind="stable")
+        starts = column.run_starts
+        lengths = column.run_lengths()
+        mask_arr = np.asarray(mask, dtype=bool)
+        out_values: list[int] = []
+        out_positions: list[int] = []
+        remaining = k
+        for run_index in survivors[order]:
+            start = int(starts[run_index])
+            length = int(lengths[run_index])
+            positions = np.flatnonzero(mask_arr[start : start + length]) + start
+            take = positions[:remaining]
+            out_positions.extend(int(p) for p in take)
+            out_values.extend([int(run_values[run_index])] * int(take.size))
+            remaining -= int(take.size)
+            if remaining <= 0:
+                break
+        return (
+            np.asarray(out_values, dtype=np.int64),
+            np.asarray(out_positions, dtype=np.int64),
+        )
 
     def charge(self, metrics, column) -> None:
         metrics.rows_rle_evaluated += column.n_values
@@ -300,13 +351,24 @@ class KernelRegistry:
     def predicate_mask(self, block, name: str, node: Predicate, metrics=None) -> np.ndarray | None:
         """``node``'s row mask over ``block``'s encoded column, or ``None``.
 
-        Charges the kernel's scan-metrics counters on success.
+        Charges the kernel's scan-metrics counters on success and
+        ``kernel_declines`` when a fast path existed but declined: a diff
+        column whose dependency blocks dispatch, or a kernel that inspected
+        the node and bowed out (non-integer constant, non-monotonic delta,
+        unsupported node shape).  Columns with no registered kernel charge
+        nothing — there was never a fast path to fall off.
         """
+        if block.dependency(name) is not None:
+            if metrics is not None:
+                metrics.kernel_declines += 1
+            return None
         kernel, column = self._lookup(block, name)
         if kernel is None:
             return None
         mask = kernel.predicate_mask(name, column, node)
         if mask is None:
+            if metrics is not None:
+                metrics.kernel_declines += 1
             return None
         if metrics is not None:
             kernel.charge(metrics, column)
@@ -335,6 +397,16 @@ class KernelRegistry:
         if kernel is None:
             return None
         return kernel.group_keys(column, mask)
+
+    def topk(self, block, name: str, mask: np.ndarray, k: int, descending: bool):
+        """Compressed-domain top-``k`` ``(values, positions)``, or ``None``."""
+        kernel, column = self._lookup(block, name)
+        if kernel is None:
+            return None
+        result = kernel.topk(column, mask, k, descending)
+        if result is not None:
+            current_tracer().annotate(kernel=kernel.encoding_name)
+        return result
 
 
 #: The registry the query layers use unless handed a custom one.

@@ -9,12 +9,34 @@ releases the GIL.  :class:`ParallelEngine` lifts that limit:
   pruned and fully-covered blocks never reach a worker;
 * the surviving *scan* blocks are split into **morsels** (small runs of
   consecutive blocks, the work-stealing granule of morsel-driven execution);
-* a ``ThreadPoolExecutor`` fans the morsels across workers, each evaluating
-  its blocks' predicate masks via
+* the morsels are dealt into per-worker deques as contiguous slices (good
+  for read-ahead locality) and a ``ThreadPoolExecutor`` runs one *drain
+  loop* per worker: each worker pops morsels from the **front** of its own
+  deque, and when it drains it **steals from the back** of a sibling's —
+  so a skewed workload (one dense block among pruned ones, RLE blocks of
+  wildly different run counts, cache-miss stragglers on a
+  :class:`~repro.storage.disk.DiskRelation`) no longer serialises on the
+  slowest worker's tail::
+
+      morsels   [m0 m1 m2 m3 | m4 m5 m6 m7]      contiguous deal, 2 workers
+                     │                │
+      worker 0   m0 m1 m2 m3     worker 1   m4 m5 m6 m7
+                 ▲ popleft()                ▲ popleft()
+                 (own work: front)          ...finishes early, then
+                                            steals m3 = queues[0].pop()
+                                            (victim's back: the morsel the
+                                            owner would reach *last*)
+
+  Each worker evaluates its blocks' predicate masks via
   :func:`~repro.query.scan.evaluate_block_predicate` (dictionary-domain
-  routing included) and recording a private :class:`ScanMetrics`;
+  routing included) and records a private :class:`ScanMetrics`; steals are
+  charged to ``steal_attempts``/``morsels_stolen`` and show up as
+  ``steal`` spans in the tracing tree.  Both deque ends are single
+  CPython bytecode operations, so no locks are needed and a morsel is
+  taken exactly once;
 * per-morsel results are merged back in block order, so row ids come out
-  sorted and identical to serial execution, and the per-worker metrics are
+  sorted and identical to serial execution — stealing changes *where* a
+  morsel runs, never what it returns — and the per-worker metrics are
   folded into one object with :meth:`ScanMetrics.merge`;
 * over an out-of-core relation, each worker hints the *next* surviving
   block's required (predicate) columns to the relation's read-ahead pool
@@ -38,6 +60,7 @@ cores.
 from __future__ import annotations
 
 import os
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
@@ -143,6 +166,11 @@ class ParallelEngine:
         a shared :class:`~repro.query.engine.Engine` passes its one pool
         here so N concurrent queries share workers.  :meth:`close` never
         shuts an external pool down.
+    stealing:
+        Let drained workers steal morsels from the back of a sibling's
+        deque (default).  ``False`` keeps the same contiguous per-worker
+        deal but never rebalances — the fixed fan-out baseline that
+        skew benchmarks compare against.
     """
 
     def __init__(
@@ -155,6 +183,7 @@ class ParallelEngine:
         use_kernels: bool = True,
         kernels=None,
         pool: ThreadPoolExecutor | None = None,
+        stealing: bool = True,
     ):
         if morsel_blocks < 1:
             raise ValidationError("morsel size must be at least one block")
@@ -165,6 +194,7 @@ class ParallelEngine:
         self._use_dictionary = use_dictionary
         self._use_kernels = use_kernels
         self._kernels = kernels
+        self._stealing = stealing
         #: Externally-owned pool (shared engine): used but never shut down.
         self._shared_pool = pool
         #: Lazily-created persistent pool: repeated queries must not pay
@@ -309,13 +339,82 @@ class ParallelEngine:
         count_only: bool = False,
         required_columns: tuple[str, ...] | None = None,
         next_block: "dict[int, int] | None" = None,
-    ) -> list[tuple[list[tuple[int, np.ndarray]], ScanMetrics]]:
-        return self.map_items(
-            morsels,
-            lambda m: self._evaluate_morsel(
-                m, predicate, count_only, required_columns, next_block
-            ),
-        )
+    ) -> tuple[list[tuple[list[tuple[int, np.ndarray]], ScanMetrics]], ScanMetrics]:
+        """Evaluate every morsel under the work-stealing scheduler.
+
+        Returns the per-morsel ``(matches, metrics)`` results *in morsel
+        order* — stealing moves work between threads, never reorders the
+        output — plus one scheduler-level :class:`ScanMetrics` carrying the
+        ``steal_attempts``/``morsels_stolen`` counters summed over workers.
+
+        The morsel list is dealt into ``n_workers`` contiguous deques (so
+        each worker's own work preserves the read-ahead-friendly block
+        order) and one drain loop runs per worker: own work comes off the
+        front (``popleft``); a drained worker probes siblings round-robin
+        and steals from the back (``pop``) — the morsel its owner would
+        have reached last.  Both deque ends are atomic under the GIL, so a
+        morsel is executed exactly once without any locking.  Results land
+        in a pre-sized list at their morsel's position; the writes are to
+        disjoint indices, so the shared list needs no lock either.
+        """
+        scheduler = ScanMetrics()
+        indexed = list(enumerate(morsels))
+        results: list[tuple[list[tuple[int, np.ndarray]], ScanMetrics]] = [
+            ([], ScanMetrics())
+        ] * len(indexed)
+
+        def evaluate(position: int, morsel: Morsel) -> None:
+            results[position] = self._evaluate_morsel(
+                morsel, predicate, count_only, required_columns, next_block
+            )
+
+        n_workers = min(self._workers, len(indexed))
+        if n_workers <= 1:
+            for position, morsel in indexed:
+                evaluate(position, morsel)
+            return results, scheduler
+
+        base, extra = divmod(len(indexed), n_workers)
+        queues: list[deque[tuple[int, Morsel]]] = []
+        start = 0
+        for worker_id in range(n_workers):
+            stop = start + base + (1 if worker_id < extra else 0)
+            queues.append(deque(indexed[start:stop]))
+            start = stop
+
+        def drain(worker_id: int) -> ScanMetrics:
+            stats = ScanMetrics()
+            tracer = current_tracer()
+            own = queues[worker_id]
+            while True:
+                try:
+                    position, morsel = own.popleft()
+                except IndexError:
+                    if not self._stealing:
+                        return stats
+                    stolen = None
+                    for step in range(1, n_workers):
+                        victim = (worker_id + step) % n_workers
+                        stats.steal_attempts += 1
+                        try:
+                            stolen = queues[victim].pop()
+                        except IndexError:
+                            continue
+                        stats.morsels_stolen += 1
+                        position, morsel = stolen
+                        with tracer.span(
+                            "steal", worker=worker_id, victim=victim
+                        ):
+                            evaluate(position, morsel)
+                        break
+                    if stolen is None:
+                        return stats
+                    continue
+                evaluate(position, morsel)
+
+        for stats in self.map_items(list(range(n_workers)), drain):
+            scheduler.merge(stats)
+        return results, scheduler
 
     def close(self) -> None:
         """Shut the owned worker pool down (idempotent; the engine stays
@@ -340,12 +439,13 @@ class ParallelEngine:
         tracer = current_tracer()
         with tracer.span("scan") as span:
             scan_items, full_items, metrics = self.classify(predicate)
-            results = self._run_morsels(
+            results, scheduler = self._run_morsels(
                 self.morsels(scan_items),
                 predicate,
                 required_columns=predicate.columns(),
                 next_block=self._next_block_map(scan_items),
             )
+            metrics.merge(scheduler)
 
             per_block: dict[int, np.ndarray] = {}
             for matches, partial in results:
@@ -358,7 +458,11 @@ class ParallelEngine:
                 per_block[index] = np.arange(offset, offset + n, dtype=np.int64)
 
             if tracer.enabled:
-                span.annotate(rows=metrics.rows_matched, blocks=len(scan_items))
+                span.annotate(
+                    rows=metrics.rows_matched,
+                    blocks=len(scan_items),
+                    stolen=metrics.morsels_stolen,
+                )
             if not per_block:
                 return np.zeros(0, dtype=np.int64), metrics
             ordered = [per_block[index] for index in sorted(per_block)]
@@ -369,13 +473,14 @@ class ParallelEngine:
         tracer = current_tracer()
         with tracer.span("scan") as span:
             scan_items, full_items, metrics = self.classify(predicate)
-            results = self._run_morsels(
+            results, scheduler = self._run_morsels(
                 self.morsels(scan_items),
                 predicate,
                 count_only=True,
                 required_columns=predicate.columns(),
                 next_block=self._next_block_map(scan_items),
             )
+            metrics.merge(scheduler)
             total = 0
             for matches, partial in results:
                 metrics.merge(partial)

@@ -3,8 +3,9 @@
 This is the composable front door of the query engine.  Instead of calling
 the imperative :class:`~repro.query.executor.QueryExecutor` methods, a query
 is *described* first — as a small tree of logical nodes (:class:`Scan`,
-:class:`Filter`, :class:`Project`, :class:`Aggregate`, :class:`Limit`) built
-with the fluent :class:`LazyQuery` API::
+:class:`Filter`, :class:`Project`, :class:`Aggregate`, :class:`Sort`,
+:class:`TopK`, :class:`Limit`) built with the fluent :class:`LazyQuery`
+API::
 
     result = (
         relation.query()
@@ -33,7 +34,14 @@ before any value is materialised:
   code space, deferring the string-heap materialisation to one decode per
   distinct group;
 * **limit pushdown** — ``limit(k)`` truncates the row-id stream *before*
-  the projection is materialised.
+  the projection is materialised;
+* **top-k pushdown** — ``order_by(col).limit(k)`` compiles to a fused
+  :class:`TopK` that keeps a bounded set of ``k`` candidates per block
+  (RLE columns answer in run space) and visits blocks in zone-map bound
+  order, stopping as soon as no remaining block's bound can beat the
+  current ``k``-th candidate — on a clustered column most blocks are
+  never touched, and on a :class:`~repro.storage.disk.DiskRelation`
+  never even fetched.
 
 :meth:`LazyQuery.explain` renders the logical tree together with the
 planner's per-block prune/full/scan decisions, so the effect of every
@@ -42,6 +50,8 @@ pushdown is visible before (or without) running the query.
 
 from __future__ import annotations
 
+import heapq
+import math
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Callable, Sequence
@@ -76,11 +86,15 @@ __all__ = [
     "Min",
     "Max",
     "Avg",
+    "Var",
+    "Std",
     "LogicalNode",
     "Scan",
     "Filter",
     "Project",
     "Aggregate",
+    "Sort",
+    "TopK",
     "Limit",
     "render_plan",
     "CompiledQuery",
@@ -168,6 +182,33 @@ class Avg(_ColumnAggregate):
     kind = "avg"
 
 
+@dataclass(frozen=True, repr=False)
+class Var(_ColumnAggregate):
+    """``var(column)`` — population variance over the qualifying rows.
+
+    Carried as an exact ``(count, sum, sum of squares)`` integer triple
+    that merges across blocks and morsels by plain addition, and finalised
+    as ``(n·Σx² − (Σx)²) / n²`` only at output time — the inputs are
+    integers, so every partial is exact and parallel merge order cannot
+    change the result.  An empty selection yields ``None``.
+    """
+
+    column: str
+    kind = "var"
+
+
+@dataclass(frozen=True, repr=False)
+class Std(_ColumnAggregate):
+    """``std(column)`` — population standard deviation (√ of :class:`Var`).
+
+    Shares :class:`Var`'s exact ``(count, sum, sum of squares)`` partials;
+    only the final square root is floating point.
+    """
+
+    column: str
+    kind = "std"
+
+
 #: (output name, function) pairs, in output order.
 AggregateSpec = tuple[tuple[str, AggregateFunction], ...]
 
@@ -239,6 +280,42 @@ class Aggregate(LogicalNode):
 
 
 @dataclass(frozen=True, repr=False)
+class Sort(LogicalNode):
+    """Order the child's output rows by one column.
+
+    Ordering is total and deterministic: equal keys keep ascending global
+    row id, so every execution strategy (serial, work-stealing parallel,
+    out-of-core) produces bit-identical output.
+    """
+
+    child: LogicalNode
+    column: str
+    descending: bool = False
+
+    def describe(self) -> str:
+        return f"Sort [{self.column} {'desc' if self.descending else 'asc'}]"
+
+
+@dataclass(frozen=True, repr=False)
+class TopK(LogicalNode):
+    """:class:`Sort` fused with :class:`Limit`: the ``k`` best rows by one column.
+
+    Semantically identical to ``Limit(Sort(...), k)`` but executed as a
+    bounded per-block candidate set merged across blocks, with zone-map
+    bounds ordering the block visits and terminating the scan early.
+    """
+
+    child: LogicalNode
+    column: str
+    k: int
+    descending: bool = False
+
+    def describe(self) -> str:
+        direction = "desc" if self.descending else "asc"
+        return f"TopK [{self.column} {direction}, k={self.k}]"
+
+
+@dataclass(frozen=True, repr=False)
 class Limit(LogicalNode):
     """Keep at most ``n`` of the child's output rows."""
 
@@ -281,9 +358,20 @@ class CompiledQuery:
     group_by: tuple[str, ...]
     aggregates: AggregateSpec
     limit: int | None
+    #: HAVING predicate, evaluated over the *aggregated* output rows — its
+    #: column names are aggregation output names, not physical columns.
+    having: Predicate | None = None
+    #: Sort column (physical), ``None`` for unordered plans.  With a
+    #: ``limit`` the pair executes as a fused zone-map-driven top-k.
+    order_by: str | None = None
+    descending: bool = False
 
     def referenced_columns(self) -> tuple[str, ...]:
-        """Every column the physical query will read, in first-use order."""
+        """Every column the physical query will read, in first-use order.
+
+        The HAVING predicate is deliberately absent: it references
+        aggregation *output* names, which are validated separately.
+        """
         seen: list[str] = []
         sources: list[str] = []
         if self.predicate is not None:
@@ -292,6 +380,8 @@ class CompiledQuery:
         for _, fn in self.aggregates:
             if fn.column is not None:
                 sources.append(fn.column)
+        if self.order_by is not None:
+            sources.append(self.order_by)
         sources.extend(self.projection or ())
         for name in sources:
             if name not in seen:
@@ -333,13 +423,25 @@ class CompiledQuery:
             pred = self.predicate.fingerprint()
             if pred is None:
                 return None
+        if self.having is None:
+            having = ""
+        else:
+            having = self.having.fingerprint()
+            if having is None:
+                return None
         projection = "*none*" if self.projection is None else ",".join(self.projection)
         aggregates = ";".join(
             f"{name}:{fn.kind}:{fn.column or ''}" for name, fn in self.aggregates
         )
+        order = (
+            ""
+            if self.order_by is None
+            else f"{self.order_by}:{'desc' if self.descending else 'asc'}"
+        )
         return (
             f"Plan[pred={pred}|proj={projection}|group={','.join(self.group_by)}"
-            f"|aggs={aggregates}|limit={'' if self.limit is None else self.limit}]"
+            f"|aggs={aggregates}|having={having}|order={order}"
+            f"|limit={'' if self.limit is None else self.limit}]"
         )
 
 
@@ -352,7 +454,8 @@ class PlanResult:
     for aggregations (one entry per group, sorted by group key; exactly one
     entry when there is no group-by).  ``row_ids`` carries the qualifying
     global row ids for non-aggregate plans (``None`` after an aggregation —
-    rows were reduced away).
+    rows were reduced away); they are ascending except under a
+    :class:`Sort`/:class:`TopK`, where they follow the requested order.
     """
 
     columns: dict[str, "np.ndarray | list"]
@@ -391,11 +494,24 @@ class PlanResult:
 _NO_VALUE = None
 
 
+def _combine_filters(predicates: list[Predicate]) -> Predicate | None:
+    """Stacked Filter nodes (root -> leaf order) as one conjunction.
+
+    Bottom-up order is kept, matching how the filters would have applied.
+    """
+    if not predicates:
+        return None
+    if len(predicates) == 1:
+        return predicates[0]
+    return And(*reversed(predicates))
+
+
 def _merge_partial(kind: str, a: Any, b: Any) -> Any:
     """Fold two per-block partial aggregate values (either may be None).
 
-    ``avg`` partials are exact ``(sum, count)`` pairs; the division happens
-    once, at output time.
+    ``avg`` partials are exact ``(sum, count)`` pairs and ``var``/``std``
+    partials exact ``(count, sum, sum of squares)`` triples; the division
+    (and square root) happens once, at output time.
     """
     if b is None:
         return a
@@ -405,6 +521,8 @@ def _merge_partial(kind: str, a: Any, b: Any) -> Any:
         return a + b
     if kind == "avg":
         return (a[0] + b[0], a[1] + b[1])
+    if kind in ("var", "std"):
+        return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
     if kind == "min":
         return a if a <= b else b
     return a if a >= b else b
@@ -419,6 +537,13 @@ def _reduce_values(kind: str, values: "np.ndarray | list") -> "int | str | tuple
             return int(np.sum(values, dtype=np.int64))
         if kind == "avg":
             return (int(np.sum(values, dtype=np.int64)), int(values.size))
+        if kind in ("var", "std"):
+            as_int64 = values.astype(np.int64, copy=False)
+            return (
+                int(values.size),
+                int(np.sum(as_int64, dtype=np.int64)),
+                int(np.sum(as_int64 * as_int64, dtype=np.int64)),
+            )
         if kind == "min":
             return int(values.min())
         return int(values.max())
@@ -430,9 +555,19 @@ def _reduce_values(kind: str, values: "np.ndarray | list") -> "int | str | tuple
 
 
 def _finalize_partial(kind: str, value: Any) -> Any:
-    """Turn a merged partial into its output value (divides avg pairs)."""
+    """Turn a merged partial into its output value (divides avg pairs,
+    resolves var/std triples)."""
     if kind == "avg":
         return None if value is None or value[1] == 0 else value[0] / value[1]
+    if kind in ("var", "std"):
+        if value is None or value[0] == 0:
+            return None
+        n, total, total_sq = value
+        # All-integer numerator keeps the computation exact until the one
+        # final division; the max() guards the float rounding of that
+        # division from producing a tiny negative variance.
+        variance = max((n * total_sq - total * total) / (n * n), 0.0)
+        return variance if kind == "var" else math.sqrt(variance)
     if value is None and kind in ("count", "sum"):
         return 0
     return value
@@ -516,63 +651,106 @@ class QueryCompiler:
     def compile(self, plan: LogicalNode) -> CompiledQuery:
         """Flatten and validate a logical plan against this relation."""
         schema = self._relation.schema
-        predicates: list[Predicate] = []
+        where: list[Predicate] = []
+        having_parts: list[Predicate] = []
         projection: tuple[str, ...] | None = None
         group_by: tuple[str, ...] = ()
         aggregates: AggregateSpec = ()
         limit: int | None = None
+        order_by: str | None = None
+        descending = False
+        order_limit: int | None = None
 
-        # Walking root -> leaf, node kinds must come in canonical order —
-        # Limit(Aggregate|Project(Filter*(Scan))) — so the flattened form
-        # executes exactly the semantics the tree expresses.  Out-of-order
-        # chains (a Limit below an Aggregate, a HAVING-style Filter above
-        # one) would silently mean something else, so they are rejected.
-        ranks = {Limit: 3, Aggregate: 2, Project: 2, Filter: 1}
-        previous_rank = 4
+        # Flatten the chain root -> leaf first: a Filter's meaning depends
+        # on whether it sits above or below the Aggregate (HAVING over the
+        # aggregated rows vs WHERE over the stored rows), which a single
+        # forward walk cannot know yet.
+        nodes: list[LogicalNode] = []
         node: LogicalNode = plan
         while not isinstance(node, Scan):
-            rank = ranks.get(type(node))
-            if rank is None:
+            nodes.append(node)
+            child = getattr(node, "child", None)
+            if child is None:
                 raise ValidationError(f"unsupported logical node {type(node).__name__}")
+            node = child
+        aggregate_position = next(
+            (i for i, n in enumerate(nodes) if isinstance(n, Aggregate)), None
+        )
+
+        # Walking root -> leaf, node kinds must come in canonical order —
+        # Limit(Sort|TopK(Filter*(Aggregate|Project(Filter*(Scan))))) — so
+        # the flattened form executes exactly the semantics the tree
+        # expresses.  Out-of-order chains (a Limit below an Aggregate, a
+        # Sort below a Project) would silently mean something else, so
+        # they are rejected.
+        ranks = {Limit: 5, Sort: 4, TopK: 4, Aggregate: 2, Project: 2}
+        previous_rank = 6
+        for position, current in enumerate(nodes):
+            if isinstance(current, Filter):
+                is_having = aggregate_position is not None and position < aggregate_position
+                rank = 3 if is_having else 1
+            else:
+                is_having = False
+                maybe_rank = ranks.get(type(current))
+                if maybe_rank is None:
+                    raise ValidationError(
+                        f"unsupported logical node {type(current).__name__}"
+                    )
+                rank = maybe_rank
             if rank > previous_rank:
                 raise ValidationError(
-                    "logical nodes must nest as Limit(Aggregate|Project(Filter*(Scan))); "
-                    f"found {type(node).__name__} below a node it must enclose"
+                    "logical nodes must nest as "
+                    "Limit(Sort|TopK(Filter*(Aggregate|Project(Filter*(Scan))))); "
+                    f"found {type(current).__name__} below a node it must enclose"
                 )
             previous_rank = rank
-            if isinstance(node, Limit):
+            if isinstance(current, Limit):
                 if limit is not None:
                     raise ValidationError("a plan may contain at most one Limit node")
-                if node.n < 0:
+                if current.n < 0:
                     raise ValidationError("limit must be non-negative")
-                limit = node.n
-            elif isinstance(node, Aggregate):
+                limit = current.n
+            elif isinstance(current, (Sort, TopK)):
+                if order_by is not None:
+                    raise ValidationError("a plan may contain at most one Sort or TopK node")
+                order_by = current.column
+                descending = current.descending
+                if isinstance(current, TopK):
+                    if current.k < 0:
+                        raise ValidationError("top-k needs a non-negative k")
+                    order_limit = current.k
+            elif isinstance(current, Aggregate):
                 if aggregates:
                     raise ValidationError("a plan may contain at most one Aggregate node")
-                if not node.aggregates:
+                if not current.aggregates:
                     raise ValidationError("Aggregate needs at least one aggregate function")
-                aggregates = node.aggregates
-                group_by = node.group_by
-            elif isinstance(node, Project):
+                aggregates = current.aggregates
+                group_by = current.group_by
+            elif isinstance(current, Project):
                 if projection is not None:
                     raise ValidationError("a plan may contain at most one Project node")
-                projection = node.columns
+                projection = current.columns
             else:
-                predicates.append(node.predicate)
-            node = node.child  # type: ignore[attr-defined]
+                assert isinstance(current, Filter)
+                (having_parts if is_having else where).append(current.predicate)
         if node.relation is not self._relation:
             raise ValidationError("plan scans a different relation than the compiler was built for")
         if aggregates and projection is not None:
             raise ValidationError("Project and Aggregate cannot appear in the same plan")
         if group_by and not aggregates:
             raise ValidationError("group_by needs at least one aggregate")
+        if order_by is not None and aggregates:
+            raise ValidationError(
+                "Sort/TopK cannot be combined with aggregation; order the grouped "
+                "output in the caller"
+            )
+        if order_limit is not None:
+            # A TopK is a fused Sort+Limit; an additional enclosing Limit
+            # keeps whichever bound is tighter.
+            limit = order_limit if limit is None else min(limit, order_limit)
 
-        predicate: Predicate | None = None
-        if len(predicates) == 1:
-            predicate = predicates[0]
-        elif predicates:
-            # Stacked Filter nodes are one conjunction; keep bottom-up order.
-            predicate = And(*reversed(predicates))
+        predicate = _combine_filters(where)
+        having = _combine_filters(having_parts)
 
         compiled = CompiledQuery(
             relation=self._relation,
@@ -581,6 +759,9 @@ class QueryCompiler:
             group_by=group_by,
             aggregates=aggregates,
             limit=limit,
+            having=having,
+            order_by=order_by,
+            descending=descending,
         )
         for name in compiled.referenced_columns():
             if name not in schema:
@@ -590,10 +771,17 @@ class QueryCompiler:
             if name in output_names:
                 raise ValidationError(f"duplicate output column {name!r} in aggregation")
             output_names.append(name)
-            if fn.kind in ("sum", "avg") and schema.dtype(fn.column).is_string:
+            if fn.kind in ("sum", "avg", "var", "std") and schema.dtype(fn.column).is_string:
                 raise ValidationError(
                     f"{fn.kind}() needs an integer column, {fn.column!r} is a string"
                 )
+        if having is not None:
+            for name in having.columns():
+                if name not in output_names:
+                    raise ValidationError(
+                        f"having references {name!r}, which is not an output column "
+                        "of the aggregation"
+                    )
         return compiled
 
     # -- execution -------------------------------------------------------------
@@ -661,7 +849,19 @@ class QueryCompiler:
 
     #: Stage display order for ``EXPLAIN ANALYZE``; unknown stages follow
     #: alphabetically, so custom span names still show up.
-    _STAGE_ORDER = ("execute", "plan", "scan", "predicate", "fetch", "io", "gather", "aggregate")
+    _STAGE_ORDER = (
+        "execute",
+        "plan",
+        "scan",
+        "steal",
+        "predicate",
+        "fetch",
+        "io",
+        "gather",
+        "aggregate",
+        "sort",
+        "topk",
+    )
 
     def _explain_analyze(self, compiled: CompiledQuery) -> list[str]:
         """Run ``compiled`` traced and render the per-stage analysis section."""
@@ -688,15 +888,23 @@ class QueryCompiler:
         return lines
 
     def _execute_select(self, compiled: CompiledQuery) -> PlanResult:
-        if compiled.predicate is None:
-            row_ids = np.arange(self._relation.n_rows, dtype=np.int64)
-            metrics = None
+        metrics: ScanMetrics | None
+        if compiled.order_by is not None and compiled.limit is not None:
+            # Fused top-k: bounded per-block candidate sets, block visits in
+            # zone-map bound order, early exit — the full sort never runs.
+            row_ids, metrics = self._topk_row_ids(compiled)
         else:
-            row_ids, metrics = self._engine.scan(compiled.predicate)
-        if compiled.limit is not None:
-            # Limit pushdown: truncate the row-id stream before any value of
-            # the projection is materialised.
-            row_ids = row_ids[: compiled.limit]
+            if compiled.predicate is None:
+                row_ids = np.arange(self._relation.n_rows, dtype=np.int64)
+                metrics = None
+            else:
+                row_ids, metrics = self._engine.scan(compiled.predicate)
+            if compiled.order_by is not None:
+                row_ids = self._sorted_row_ids(compiled, row_ids)
+            if compiled.limit is not None:
+                # Limit pushdown: truncate the row-id stream before any value
+                # of the projection is materialised.
+                row_ids = row_ids[: compiled.limit]
         if compiled.projection is None:
             columns: dict[str, "np.ndarray | list"] = {}
         else:
@@ -704,6 +912,193 @@ class QueryCompiler:
                 self._relation, compiled.projection, row_ids, workers=self._workers
             )
         return PlanResult(columns=columns, row_ids=row_ids, metrics=metrics)
+
+    # -- ordering and top-k ------------------------------------------------------
+
+    def _sorted_row_ids(self, compiled: CompiledQuery, row_ids: np.ndarray) -> np.ndarray:
+        """``row_ids`` reordered by the sort column (full materialise-and-sort).
+
+        The order criterion is total: equal keys keep ascending global row
+        id, which every stable sort below preserves because the gathered
+        keys arrive in ascending row-id order.
+        """
+        if row_ids.size <= 1:
+            return row_ids
+        with current_tracer().span("sort", rows=int(row_ids.size)):
+            assert compiled.order_by is not None
+            keys = materialize_columns(
+                self._relation, (compiled.order_by,), row_ids, workers=self._workers
+            )[compiled.order_by]
+            if isinstance(keys, np.ndarray):
+                sort_keys = -keys if compiled.descending else keys
+                return row_ids[np.argsort(sort_keys, kind="stable")]
+            # String keys: Python's sort is stable and ``reverse=True`` does
+            # not reorder equal elements, so ties stay in row-id order.
+            order = sorted(
+                range(len(keys)), key=lambda i: keys[i], reverse=compiled.descending
+            )
+            return row_ids[np.asarray(order, dtype=np.int64)]
+
+    def _topk_row_ids(self, compiled: CompiledQuery) -> tuple[np.ndarray, ScanMetrics]:
+        """The ``k`` best row ids by the sort column, zone-map-driven.
+
+        Blocks are visited in order of the sort column's min (ascending) or
+        max (descending) zone-map bound, one worker-sized wave at a time;
+        each visited block contributes at most ``k`` ``(key, row id)``
+        candidates (RLE columns in run space, everything else gathered).
+        The scan stops as soon as no remaining block's bound can *strictly*
+        beat the current ``k``-th candidate — a tie could still displace it
+        on the ascending-row-id tie-break, so ties keep scanning.  Blocks
+        never visited are re-classified as pruned: on an out-of-core
+        relation their data was never fetched.
+        """
+        column = compiled.order_by
+        assert column is not None
+        k = compiled.limit if compiled.limit is not None else 0
+        tracer = current_tracer()
+        with tracer.span("topk", column=column, k=k) as span:
+            scan_items, full_items, metrics = self._engine.classify(compiled.predicate)
+            entries = sorted(
+                [(index, offset, False) for index, offset in scan_items]
+                + [(index, offset, True) for index, offset in full_items]
+            )
+            if k == 0 or not entries:
+                for index, _, full in entries:
+                    self._reclassify_pruned(metrics, full)
+                return np.zeros(0, dtype=np.int64), metrics
+
+            def bound(index: int) -> "int | str | None":
+                """The block's best-possible key, or ``None`` (always visit)."""
+                if not self._use_statistics:
+                    return None
+                stats = self._relation.block(index).column_statistics(column)
+                if stats is None:
+                    return None
+                # Derived (non-exact) bounds still *contain* the true range,
+                # so ordering/stopping on them is safe — merely less tight.
+                return stats.max_value if compiled.descending else stats.min_value
+
+            bounds = [bound(index) for index, _, _ in entries]
+            # Unknown bounds first (they must always be visited), then most
+            # promising first.  The sign flip makes "promising" uniform.
+            sign = -1 if compiled.descending else 1
+
+            def visit_key(position: int) -> "tuple[int, Any]":
+                b = bounds[position]
+                if b is None:
+                    return (0, 0)
+                return (1, sign * b) if not isinstance(b, str) else (1, b)
+
+            if compiled.descending and any(isinstance(b, str) for b in bounds):
+                # String bounds cannot be sign-flipped; sort descending ones
+                # separately (None-first is preserved by the stable sort).
+                order = sorted(
+                    range(len(entries)),
+                    key=lambda p: (bounds[p] is not None, bounds[p] or ""),
+                )
+                known = [p for p in order if bounds[p] is not None]
+                order = [p for p in order if bounds[p] is None] + known[::-1]
+            else:
+                order = sorted(range(len(entries)), key=visit_key)
+
+            wave = max(1, min(self._workers, len(entries)))
+            candidates: list[tuple[Any, int]] = []
+            position = 0
+            while position < len(order):
+                if len(candidates) == k:
+                    next_bound = bounds[order[position]]
+                    kth_key = candidates[-1][0]
+                    if next_bound is not None and (
+                        next_bound < kth_key if compiled.descending else next_bound > kth_key
+                    ):
+                        break
+                batch = order[position : position + wave]
+                position += len(batch)
+                results = self._engine.map_items(
+                    [entries[p] for p in batch],
+                    lambda entry: self._topk_block(
+                        compiled, entry[0], entry[1], entry[2], k
+                    ),
+                )
+                for pairs, partial in results:
+                    metrics.merge(partial)
+                    candidates.extend(pairs)
+                candidates = _topk_pairs(candidates, k, compiled.descending)
+            for p in order[position:]:
+                self._reclassify_pruned(metrics, entries[p][2])
+            if tracer.enabled:
+                span.annotate(
+                    rows=len(candidates),
+                    blocks=position,
+                    skipped=len(order) - position,
+                )
+            return (
+                np.asarray([row_id for _, row_id in candidates], dtype=np.int64),
+                metrics,
+            )
+
+    @staticmethod
+    def _reclassify_pruned(metrics: ScanMetrics, full: bool) -> None:
+        """Account a block the top-k early exit never visited as pruned."""
+        if full:
+            metrics.blocks_full -= 1
+        else:
+            metrics.blocks_scanned -= 1
+        metrics.blocks_pruned += 1
+
+    def _topk_block(
+        self,
+        compiled: CompiledQuery,
+        index: int,
+        offset: int,
+        full: bool,
+        k: int,
+    ) -> tuple[list[tuple[Any, int]], ScanMetrics]:
+        """Worker body: one block's ``k`` best ``(key, global row id)`` pairs.
+
+        The pairs come back already in final rank order.  An RLE sort
+        column answers in run space — each run contributes its value once
+        and only the winning runs' positions are expanded; otherwise the
+        key column is gathered at the selected positions and ranked with a
+        stable bounded sort.
+        """
+        block = self._relation.block(index)
+        partial = ScanMetrics()
+        mask, n_selected = self._block_selection(block, compiled.predicate, full, partial)
+        if n_selected == 0:
+            return [], partial
+        column = compiled.order_by
+        assert column is not None
+        if self._use_kernels:
+            resolved = resolve_block(block, columns=(column,))
+            kernel_mask = mask if mask is not None else np.ones(resolved.n_rows, dtype=bool)
+            run_space = self._kernels.topk(
+                resolved, column, kernel_mask, k, compiled.descending
+            )
+            if run_space is not None:
+                values, positions = run_space
+                partial.rows_kernel_aggregated += n_selected
+                return (
+                    [(int(v), int(offset + p)) for v, p in zip(values, positions)],
+                    partial,
+                )
+            block = resolved
+        positions = np.arange(block.n_rows) if mask is None else np.flatnonzero(mask)
+        gathered = self._gather_inputs(block, (column,), positions, partial)
+        keys = gathered[column]
+        if isinstance(keys, np.ndarray):
+            sort_keys = -keys if compiled.descending else keys
+            best = np.argsort(sort_keys, kind="stable")[:k]
+            return (
+                [(int(keys[i]), int(offset + positions[i])) for i in best],
+                partial,
+            )
+        pairs = list(zip(keys, (positions + offset).tolist()))
+        if compiled.descending:
+            # ``nlargest`` with a key is documented equivalent to a stable
+            # reverse sort, so ties keep ascending (row) input order.
+            return heapq.nlargest(k, pairs, key=lambda pair: pair[0]), partial
+        return heapq.nsmallest(k, pairs), partial
 
     # -- aggregate execution ---------------------------------------------------
 
@@ -827,8 +1222,11 @@ class QueryCompiler:
         columns: dict[str, "np.ndarray | list"] = {}
         for slot, (name, fn) in enumerate(aggs):
             columns[name] = [_finalize_partial(fn.kind, totals[slot])]
-        if compiled.limit == 0:
-            columns = {name: [] for name in columns}
+        if compiled.having is not None:
+            # HAVING filters the aggregated output — here a single row.
+            columns = _apply_having(columns, compiled.having)
+        if compiled.limit is not None:
+            columns = {name: values[: compiled.limit] for name, values in columns.items()}
         return PlanResult(columns=columns, row_ids=None, metrics=metrics)
 
     def _ungrouped_block(
@@ -945,7 +1343,9 @@ class QueryCompiler:
                         existing[slot] = _merge_partial(fn.kind, existing[slot], state[slot])
 
         keys = sorted(merged)
-        if compiled.limit is not None:
+        if compiled.having is None and compiled.limit is not None:
+            # Without a HAVING the limit can truncate before any key is
+            # decoded; a HAVING must see every group first.
             keys = keys[: compiled.limit]
         single = len(compiled.group_by) == 1
         group_is_string = [
@@ -964,6 +1364,12 @@ class QueryCompiler:
             columns[name] = values
         for slot, (name, fn) in enumerate(aggs):
             columns[name] = [_finalize_partial(fn.kind, merged[key][slot]) for key in keys]
+        if compiled.having is not None:
+            columns = _apply_having(columns, compiled.having)
+            if compiled.limit is not None:
+                columns = {
+                    name: values[: compiled.limit] for name, values in columns.items()
+                }
         return PlanResult(columns=columns, row_ids=None, metrics=metrics)
 
     def _grouped_block(
@@ -1106,6 +1512,14 @@ def _grouped_reduce_ints(kind: str, values: np.ndarray, inverse: np.ndarray, n_g
         np.add.at(sums, inverse, values)
         counts = np.bincount(inverse, minlength=n_groups)
         return [(int(s), int(c)) for s, c in zip(sums, counts)]
+    if kind in ("var", "std"):
+        as_int64 = values.astype(np.int64, copy=False)
+        sums = np.zeros(n_groups, dtype=np.int64)
+        np.add.at(sums, inverse, as_int64)
+        squares = np.zeros(n_groups, dtype=np.int64)
+        np.add.at(squares, inverse, as_int64 * as_int64)
+        counts = np.bincount(inverse, minlength=n_groups)
+        return [(int(c), int(s), int(q)) for c, s, q in zip(counts, sums, squares)]
     if kind == "sum":
         out = np.zeros(n_groups, dtype=np.int64)
         np.add.at(out, inverse, values)
@@ -1116,6 +1530,44 @@ def _grouped_reduce_ints(kind: str, values: np.ndarray, inverse: np.ndarray, n_g
         out = np.full(n_groups, np.iinfo(np.int64).min)
         np.maximum.at(out, inverse, values)
     return [int(v) for v in out]
+
+
+def _topk_pairs(
+    pairs: "list[tuple[Any, int]]", k: int, descending: bool
+) -> "list[tuple[Any, int]]":
+    """The ``k`` best ``(key, row id)`` pairs under the total order criterion.
+
+    Ascending ranks by ``(key, row id)`` directly; descending needs key
+    descending but row id still *ascending* on ties, which two stable
+    passes deliver for any key type (strings cannot be negated).
+    """
+    if descending:
+        by_row = sorted(pairs, key=lambda pair: pair[1])
+        return sorted(by_row, key=lambda pair: pair[0], reverse=True)[:k]
+    return sorted(pairs)[:k]
+
+
+def _apply_having(
+    columns: "dict[str, np.ndarray | list]", predicate: Predicate
+) -> "dict[str, np.ndarray | list]":
+    """Filter aggregated output rows by a HAVING predicate.
+
+    Rows where any referenced output is ``None`` (the empty-selection
+    result of min/max/avg/var) are dropped first, mirroring SQL's NULL
+    comparison semantics, so the predicate only ever sees real values.
+    """
+    names = predicate.columns()
+    n_rows = len(next(iter(columns.values()))) if columns else 0
+    keep = [
+        i
+        for i in range(n_rows)
+        if all(columns[name][i] is not None for name in names)
+    ]
+    if keep:
+        sub = {name: [columns[name][i] for i in keep] for name in names}
+        mask = np.asarray(predicate.evaluate(sub), dtype=bool)
+        keep = [i for i, flag in zip(keep, mask) if flag]
+    return {name: [values[i] for i in keep] for name, values in columns.items()}
 
 
 def _output_key(key: object) -> object:
@@ -1141,6 +1593,9 @@ class _QuerySpec:
     group_keys: tuple[str, ...] = ()
     aggregates: AggregateSpec = ()
     limit: int | None = None
+    order_column: str | None = None
+    order_desc: bool = False
+    having_predicate: Predicate | None = None
 
 
 class LazyQuery:
@@ -1239,6 +1694,8 @@ class LazyQuery:
             raise ValidationError("group_by() needs at least one column")
         if self._spec.projection is not None:
             raise ValidationError("group_by() cannot be combined with select()")
+        if self._spec.order_column is not None:
+            raise ValidationError("group_by() cannot be combined with order_by()")
         return self._chain(group_keys=tuple(columns))
 
     def agg(self, **aggregates: AggregateFunction) -> "LazyQuery":
@@ -1249,11 +1706,49 @@ class LazyQuery:
             if not isinstance(fn, AggregateFunction):
                 raise ValidationError(
                     "agg() values must be aggregate functions "
-                    f"(Count/Sum/Min/Max), got {fn!r} for {name!r}"
+                    f"(Count/Sum/Min/Max/Avg/Var/Std), got {fn!r} for {name!r}"
                 )
         if self._spec.projection is not None:
             raise ValidationError("agg() cannot be combined with select()")
+        if self._spec.order_column is not None:
+            raise ValidationError("agg() cannot be combined with order_by()")
         return self._chain(aggregates=self._spec.aggregates + tuple(aggregates.items()))
+
+    def having(self, *predicates: Predicate) -> "LazyQuery":
+        """Filter the *aggregated* output rows (AND-combined, like where()).
+
+        The predicates reference aggregation output names — group keys and
+        ``agg()`` output columns — and run over the aggregated rows, after
+        the per-group reduction and before any :meth:`limit`.  Groups whose
+        referenced output is ``None`` (an empty-selection min/max/avg) are
+        dropped, mirroring SQL's NULL comparison semantics.  Requires an
+        aggregation on the chain by the time a terminal runs.
+        """
+        if not predicates:
+            raise ValidationError("having() needs at least one predicate")
+        terms = (
+            [self._spec.having_predicate]
+            if self._spec.having_predicate is not None
+            else []
+        )
+        terms.extend(predicates)
+        combined = terms[0] if len(terms) == 1 else And(*terms)
+        return self._chain(having_predicate=combined)
+
+    def order_by(self, column: str, desc: bool = False) -> "LazyQuery":
+        """Order the output rows by ``column`` (ties keep ascending row id).
+
+        Followed by :meth:`limit`, the pair compiles to a fused
+        :class:`TopK`: bounded per-block candidate heaps, block visits in
+        zone-map bound order, and an early exit that skips — and on disk
+        never fetches — blocks that cannot affect the answer.  Not
+        combinable with ``agg()``/``group_by()``.
+        """
+        if not column:
+            raise ValidationError("order_by() needs a column name")
+        if self._spec.aggregates or self._spec.group_keys:
+            raise ValidationError("order_by() cannot be combined with agg()/group_by()")
+        return self._chain(order_column=column, order_desc=bool(desc))
 
     def limit(self, n: int) -> "LazyQuery":
         """Keep at most ``n`` output rows (applied before materialisation)."""
@@ -1271,13 +1766,25 @@ class LazyQuery:
             node = Filter(node, spec.predicate)
         if spec.aggregates:
             node = Aggregate(node, aggregates=spec.aggregates, group_by=spec.group_keys)
+            if spec.having_predicate is not None:
+                # A Filter above the Aggregate is the HAVING position.
+                node = Filter(node, spec.having_predicate)
         elif spec.group_keys:
             raise ValidationError("group_by() needs at least one aggregate; add .agg(...)")
+        elif spec.having_predicate is not None:
+            raise ValidationError("having() needs an aggregation; add .agg(...)")
         else:
             projection = spec.projection
             if projection is None:
                 projection = self._relation.schema.names
             node = Project(node, tuple(projection))
+        if spec.order_column is not None:
+            if spec.limit is not None:
+                # order_by().limit(k) fuses into a bounded-heap top-k.
+                return TopK(
+                    node, column=spec.order_column, k=spec.limit, descending=spec.order_desc
+                )
+            node = Sort(node, column=spec.order_column, descending=spec.order_desc)
         if spec.limit is not None:
             node = Limit(node, spec.limit)
         return node
@@ -1333,7 +1840,7 @@ class LazyQuery:
         result, matching ``execute().n_rows``.  ``tracer`` records the
         execution's span tree, as for :meth:`execute`.
         """
-        if self._spec.aggregates or self._spec.group_keys:
+        if self._spec.aggregates or self._spec.group_keys or self._spec.having_predicate:
             raise ValidationError("count() is for plain filter chains; use agg(n=Count())")
         spec = self._spec
         node: LogicalNode = Scan(self._relation)

@@ -224,7 +224,17 @@ class ScanMetrics:
     ``runs_evaluated`` the runs actually compared — the work really done),
     ``rows_for_evaluated`` rows answered by FOR/delta word-space
     comparisons, and ``rows_kernel_aggregated`` selected rows whose
-    aggregate or group-by was computed run-weighted instead of gathered.
+    aggregate, group-by or top-k was computed run-weighted instead of
+    gathered.  ``kernel_declines`` counts predicate subtrees a kernel was
+    offered but declined — an outlier-bearing diff column that cannot
+    dispatch, a non-monotonic delta column, a non-integer constant — i.e.
+    why a block fell off the fast path and decoded instead.
+
+    The scheduler counters account the work-stealing morsel scheduler:
+    ``steal_attempts`` counts probes of another worker's deque by a
+    drained worker, ``morsels_stolen`` the probes that actually took a
+    morsel.  Both stay zero under serial execution or a perfectly
+    balanced parallel scan.
     """
 
     n_blocks: int = 0
@@ -241,6 +251,9 @@ class ScanMetrics:
     runs_evaluated: int = 0
     rows_for_evaluated: int = 0
     rows_kernel_aggregated: int = 0
+    kernel_declines: int = 0
+    morsels_stolen: int = 0
+    steal_attempts: int = 0
 
     def merge(self, other: "ScanMetrics") -> "ScanMetrics":
         """Fold another metrics object (covering disjoint work) into this one.
@@ -263,6 +276,9 @@ class ScanMetrics:
         self.runs_evaluated += other.runs_evaluated
         self.rows_for_evaluated += other.rows_for_evaluated
         self.rows_kernel_aggregated += other.rows_kernel_aggregated
+        self.kernel_declines += other.kernel_declines
+        self.morsels_stolen += other.morsels_stolen
+        self.steal_attempts += other.steal_attempts
         return self
 
     @property
@@ -287,7 +303,9 @@ class ScanMetrics:
             f"{self.rows_dict_evaluated:,} dict-evaluated, "
             f"{self.rows_rle_evaluated:,} rle-evaluated, "
             f"{self.rows_for_evaluated:,} for-evaluated, "
-            f"{self.rows_matched:,} matched"
+            f"{self.rows_matched:,} matched; "
+            f"{self.kernel_declines:,} kernel declines, "
+            f"{self.morsels_stolen:,}/{self.steal_attempts:,} morsels stolen/steal attempts"
         )
 
 

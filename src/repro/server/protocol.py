@@ -15,9 +15,15 @@ The request body is a small JSON object that lowers 1:1 onto a
     }
 
 ``select`` (a list of column names) and ``aggregates``/``group_by`` are
-mutually exclusive, exactly as in the fluent API.  An optional
-``"trace": true`` flag asks the service to attach the executed query's
-span tree (a :class:`~repro.query.tracing.QueryTrace` dict) to the
+mutually exclusive, exactly as in the fluent API.  ``order_by`` (a column
+name, or ``{"column": ..., "desc": true}``) orders the output rows; with
+``k`` (a row count that requires ``order_by`` and replaces ``limit``) the
+pair lowers onto the engine's fused top-k path.  ``having`` is a predicate
+over the aggregation's *output* columns.  All of these are
+fingerprint-canonical: two requests meaning the same query produce the
+same plan fingerprint, so the service's result cache keeps working.  An
+optional ``"trace": true`` flag asks the service to attach the executed
+query's span tree (a :class:`~repro.query.tracing.QueryTrace` dict) to the
 response body.  Parsing is strict:
 unknown keys, unknown predicate ops and malformed shapes raise
 :class:`~repro.errors.ValidationError`, which the HTTP layer maps to 400 —
@@ -40,13 +46,26 @@ from ..query.plan import (
     Max,
     Min,
     PlanResult,
+    Std,
     Sum,
+    Var,
 )
 from ..query.predicates import And, Between, Eq, In, Not, Or, Predicate
 
 __all__ = ["QueryRequest", "build_query", "encode_result", "parse_predicate", "parse_request"]
 
-_REQUEST_KEYS = {"table", "where", "select", "group_by", "aggregates", "limit", "trace"}
+_REQUEST_KEYS = {
+    "table",
+    "where",
+    "select",
+    "group_by",
+    "aggregates",
+    "having",
+    "order_by",
+    "k",
+    "limit",
+    "trace",
+}
 
 #: JSON ``fn`` name -> aggregate constructor (count takes no column).
 _AGGREGATES: dict[str, Callable[..., AggregateFunction]] = {
@@ -55,6 +74,8 @@ _AGGREGATES: dict[str, Callable[..., AggregateFunction]] = {
     "min": Min,
     "max": Max,
     "avg": Avg,
+    "var": Var,
+    "std": Std,
 }
 
 
@@ -150,6 +171,12 @@ class QueryRequest:
     select: tuple[str, ...] | None = None
     group_by: tuple[str, ...] = ()
     aggregates: tuple[tuple[str, AggregateFunction], ...] = ()
+    #: HAVING predicate over the aggregation's output columns.
+    having: Predicate | None = None
+    #: Sort column; ``k`` (the JSON top-k row count) folds into ``limit``,
+    #: so an ordered-and-limited request always takes the fused top-k path.
+    order_by: str | None = None
+    order_desc: bool = False
     limit: int | None = None
     #: Attach the per-request span tree to the response body.
     trace: bool = False
@@ -207,12 +234,55 @@ def parse_request(payload: object) -> QueryRequest:
     )
     _expect(not (group_by and not aggregates), "'group_by' needs 'aggregates'")
 
+    having = None
+    if payload.get("having") is not None:
+        _expect(bool(aggregates), "'having' needs 'aggregates'")
+        having = parse_predicate(payload["having"])
+
+    order_by: str | None = None
+    order_desc = False
+    if payload.get("order_by") is not None:
+        raw_order = payload["order_by"]
+        if isinstance(raw_order, str):
+            _expect(raw_order != "", "'order_by' column name must be non-empty")
+            order_by = raw_order
+        else:
+            _expect(
+                isinstance(raw_order, dict) and not (set(raw_order) - {"column", "desc"}),
+                "'order_by' must be a column name or {'column': ..., 'desc': bool}",
+            )
+            assert isinstance(raw_order, dict)
+            column = raw_order.get("column")
+            _expect(
+                isinstance(column, str) and column != "",
+                "'order_by' needs a 'column' string",
+            )
+            assert isinstance(column, str)
+            order_by = column
+            desc = raw_order.get("desc", False)
+            _expect(isinstance(desc, bool), "'order_by' 'desc' must be a boolean")
+            order_desc = bool(desc)
+        _expect(
+            not (group_by or aggregates),
+            "'order_by' cannot be combined with 'group_by'/'aggregates'",
+        )
+
     limit = payload.get("limit")
     if limit is not None:
         _expect(
             isinstance(limit, int) and not isinstance(limit, bool) and limit >= 0,
             "'limit' must be a non-negative integer",
         )
+
+    k = payload.get("k")
+    if k is not None:
+        _expect(
+            isinstance(k, int) and not isinstance(k, bool) and k >= 0,
+            "'k' must be a non-negative integer",
+        )
+        _expect(order_by is not None, "'k' needs 'order_by'")
+        _expect(limit is None, "'k' replaces 'limit'; send one or the other")
+        limit = k
 
     trace = payload.get("trace", False)
     _expect(isinstance(trace, bool), "'trace' must be a boolean")
@@ -223,6 +293,9 @@ def parse_request(payload: object) -> QueryRequest:
         select=select,
         group_by=group_by,
         aggregates=aggregates,
+        having=having,
+        order_by=order_by,
+        order_desc=order_desc,
         limit=limit,
         trace=trace,
     )
@@ -238,6 +311,10 @@ def build_query(lazy: LazyQuery, request: QueryRequest) -> LazyQuery:
         lazy = lazy.group_by(*request.group_by)
     if request.aggregates:
         lazy = lazy.agg(**dict(request.aggregates))
+    if request.having is not None:
+        lazy = lazy.having(request.having)
+    if request.order_by is not None:
+        lazy = lazy.order_by(request.order_by, desc=request.order_desc)
     if request.limit is not None:
         lazy = lazy.limit(request.limit)
     return lazy

@@ -408,10 +408,17 @@ class TestBuilderValidation:
         )
         with pytest.raises(ValidationError):
             compiler.compile(inner_limit)
-        # A HAVING-style Filter above an Aggregate is not supported either.
+        # A Filter above an Aggregate is HAVING: it compiles into the
+        # dedicated having slot, not the scan predicate.
         having = Filter(Aggregate(Scan(relation), (("n", Count()),)), Eq("n", 1))
+        compiled = compiler.compile(having)
+        assert compiled.having is not None
+        assert compiled.having.describe() == Eq("n", 1).describe()
+        assert compiled.predicate is None
+        # A Filter above a Limit is above where the flattened execution
+        # could apply it.
         with pytest.raises(ValidationError):
-            compiler.compile(having)
+            compiler.compile(Filter(Limit(Project(Scan(relation), ("v",)), 3), Eq("v", 1)))
         # A Filter above a Project would be reordered below it too.
         late_filter = Filter(Project(Scan(relation), ("v",)), Eq("v", 1))
         with pytest.raises(ValidationError):
